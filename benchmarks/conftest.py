@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table and figure has a ``test_table*.py`` / ``test_figure*.py``
+file here; run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark measures the corresponding experiment driver on a
+reduced workload (the drivers accept ``size_indices`` / ``families``)
+and asserts the *shape* properties the paper reports — who wins, how
+quantities scale — so a benchmark run doubles as a reproduction check.
+The full-scale runs used for EXPERIMENTS.md go through
+``examples/paper_tables.py`` and ``examples/paper_figures.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Families exercised by the default benchmark runs: one rule-heavy
+#: (VQE), one rotation-heavy (Shor), one adjoint-structured (HHL).
+BENCH_FAMILIES = ["HHL", "Shor", "VQE"]
+
+#: Instance sizes for benchmark runs (small, to keep the suite minutes).
+BENCH_SIZES = (0,)
+
+
+@pytest.fixture(scope="session")
+def bench_families():
+    return list(BENCH_FAMILIES)
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    return BENCH_SIZES

@@ -1,0 +1,81 @@
+"""Micro-benchmarks for the circuit data structure (Algorithm 1).
+
+Measures the operations whose cost bounds Section 3 states, at a size
+where O(lg n) and O(n) visibly separate (see test_ablations.py for the
+end-to-end effect).
+"""
+
+import random
+
+from repro.core import FenwickTree, IndexTree, TombstoneArray
+
+N = 1 << 15
+
+
+def _tombstoned_flags(n: int, live_fraction: float, seed: int = 0):
+    rng = random.Random(seed)
+    return [1 if rng.random() < live_fraction else 0 for _ in range(n)]
+
+
+def test_index_tree_build(benchmark):
+    flags = _tombstoned_flags(N, 0.5)
+    tree = benchmark(IndexTree, flags)
+    assert tree.total > 0
+
+
+def test_index_tree_before(benchmark):
+    tree = IndexTree(_tombstoned_flags(N, 0.5))
+    idx = list(range(0, N, 97))
+
+    def run():
+        return [tree.before(i) for i in idx]
+
+    out = benchmark(run)
+    assert out[0] == 0
+
+
+def test_index_tree_select(benchmark):
+    tree = IndexTree(_tombstoned_flags(N, 0.5))
+    ranks = list(range(0, tree.total, 97))
+
+    def run():
+        return [tree.select(r) for r in ranks]
+
+    out = benchmark(run)
+    assert len(out) == len(ranks)
+
+
+def test_index_tree_substitute(benchmark):
+    rng = random.Random(1)
+    updates = [(rng.randrange(N), rng.random() < 0.5) for _ in range(512)]
+
+    def run():
+        tree = IndexTree([1] * N)
+        tree.set_live_batch(updates)
+        return tree.total
+
+    benchmark(run)
+
+
+def test_fenwick_before(benchmark):
+    tree = FenwickTree(_tombstoned_flags(N, 0.5))
+    idx = list(range(0, N, 97))
+    benchmark(lambda: [tree.before(i) for i in idx])
+
+
+def test_fenwick_select(benchmark):
+    tree = FenwickTree(_tombstoned_flags(N, 0.5))
+    ranks = list(range(0, tree.total, 97))
+    benchmark(lambda: [tree.select(r) for r in ranks])
+
+
+def test_tombstone_segment_extraction(benchmark):
+    arr = TombstoneArray(list(range(N)))
+    rng = random.Random(2)
+    arr.substitute([(i, None) for i in rng.sample(range(N), N // 2)])
+
+    def run():
+        return arr.segment(arr.live_count // 2 - 200, arr.live_count // 2 + 200)
+
+    indices, items = benchmark(run)
+    assert len(items) == 400

@@ -1,0 +1,26 @@
+"""Figure 3: self-speedup vs number of workers (largest instances).
+
+Paper shape: speedup curves rise with worker count and flatten as the
+per-round task count limits available parallelism; deeper/larger
+circuits scale further.
+"""
+
+from repro.experiments import run_figure3
+
+WORKERS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_figure3(benchmark, bench_families):
+    curves, text = benchmark.pedantic(
+        run_figure3,
+        kwargs=dict(families=bench_families, size_index=1, workers=WORKERS),
+        iterations=1,
+        rounds=1,
+    )
+    for c in curves:
+        assert abs(c.speedups[0] - 1.0) < 0.05  # p=1 is the reference
+        # non-decreasing within noise
+        for a, b in zip(c.speedups, c.speedups[1:]):
+            assert b >= a - 0.05
+        # some real parallelism is exposed at p=64
+        assert c.speedups[-1] > 1.3

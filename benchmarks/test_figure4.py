@@ -1,0 +1,25 @@
+"""Figure 4: number of rounds, smallest vs largest instance.
+
+Paper shape: rounds sit far below circuit size (20-130 in the paper)
+and grow only mildly with instance size (e.g. +40% for an 8x larger
+BoolSat).
+"""
+
+from repro.experiments import run_figure4
+
+
+def test_figure4(benchmark, bench_families):
+    points, text = benchmark.pedantic(
+        run_figure4,
+        kwargs=dict(families=bench_families, small_index=0, large_index=2),
+        iterations=1,
+        rounds=1,
+    )
+    for p in points:
+        assert 1 <= p.rounds_small <= p.gates_small
+        # rounds must stay far below gate count (span << work)
+        assert p.rounds_large < p.gates_large / 20
+        # rounds grow much slower than size
+        size_ratio = p.gates_large / p.gates_small
+        round_ratio = p.rounds_large / max(1, p.rounds_small)
+        assert round_ratio < size_ratio

@@ -1,0 +1,24 @@
+"""Figure 5: self-speedup at 64 workers vs circuit size.
+
+Paper shape: larger circuits expose more parallelism — the speedup
+points trend upward with gate count.
+"""
+
+from repro.experiments import run_figure5
+
+
+def test_figure5(benchmark):
+    points, text = benchmark.pedantic(
+        run_figure5,
+        kwargs=dict(families=["Shor", "VQE"], size_indices=(0, 2), workers=64),
+        iterations=1,
+        rounds=1,
+    )
+    by_family: dict[str, list] = {}
+    for p in points:
+        by_family.setdefault(p.family, []).append(p)
+    for fam, pts in by_family.items():
+        pts.sort(key=lambda p: p.gates)
+        # speedup grows (or at least does not collapse) with size
+        assert pts[-1].speedup >= pts[0].speedup * 0.8
+        assert pts[-1].speedup > 1.2

@@ -1,0 +1,23 @@
+"""Figure 6: search oracle with gate-count vs mixed (depth-aware) cost.
+
+Paper shape: the mixed cost achieves clearly better depth reduction
+than pure gate-count optimization, at a modest gate-count price.
+"""
+
+from repro.experiments import run_figure6
+
+
+def test_figure6(benchmark):
+    rows, text = benchmark.pedantic(
+        run_figure6,
+        kwargs=dict(families=["Shor", "VQE"], size_indices=(0,), omega=20),
+        iterations=1,
+        rounds=1,
+    )
+    depth_wins = 0
+    for r in rows:
+        if r.mixed_cost_depth_reduction >= r.gate_cost_depth_reduction - 1e-9:
+            depth_wins += 1
+    # mixed cost should match or beat gate cost on depth for the
+    # majority of families (the paper shows it for all)
+    assert depth_wins >= len(rows) - 1

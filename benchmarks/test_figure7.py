@@ -1,0 +1,30 @@
+"""Figure 7: single-thread work and #oracle calls vs circuit size.
+
+Paper shape: both quantities grow approximately linearly in the gate
+count (Lemma 2 bounds the calls by O(n); Theorem 4 bounds the work by
+O(n lg n)).
+"""
+
+from repro.experiments import run_figure7
+
+
+def test_figure7(benchmark):
+    points, text = benchmark.pedantic(
+        run_figure7,
+        kwargs=dict(families=["Shor", "VQE"], size_indices=(0, 1, 2)),
+        iterations=1,
+        rounds=1,
+    )
+    by_family: dict[str, list] = {}
+    for p in points:
+        by_family.setdefault(p.family, []).append(p)
+    for fam, pts in by_family.items():
+        pts.sort(key=lambda p: p.gates)
+        small, large = pts[0], pts[-1]
+        size_ratio = large.gates / small.gates
+        call_ratio = large.oracle_calls / max(1, small.oracle_calls)
+        time_ratio = large.time_seconds / max(1e-9, small.time_seconds)
+        # oracle calls linear in n (generous constant for small sizes)
+        assert call_ratio < 3.0 * size_ratio
+        # work n log n-ish: far below quadratic
+        assert time_ratio < size_ratio ** 1.7

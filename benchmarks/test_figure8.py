@@ -1,0 +1,26 @@
+"""Figure 8: fraction of time spent inside the oracle.
+
+Paper shape: oracle calls consume most of the runtime (>90% at scale),
+i.e. the administrative machinery (fingers, index tree, substitution)
+is cheap.
+"""
+
+from repro.experiments import run_figure8
+
+
+def test_figure8(benchmark, bench_families):
+    points, text = benchmark.pedantic(
+        run_figure8,
+        kwargs=dict(families=bench_families, size_indices=(0, 1)),
+        iterations=1,
+        rounds=1,
+    )
+    for p in points:
+        assert p.oracle_fraction > 0.6
+    # the fraction rises (or holds) as instances grow
+    by_family: dict[str, list] = {}
+    for p in points:
+        by_family.setdefault(p.family, []).append(p)
+    for pts in by_family.values():
+        pts.sort(key=lambda p: p.gates)
+        assert pts[-1].oracle_fraction >= pts[0].oracle_fraction - 0.15

@@ -1,0 +1,24 @@
+"""Figure 9: impact of Ω on optimization quality and running time.
+
+Paper shape: quality rises with Ω and saturates; time grows once Ω
+passes the sweet spot (with an initial dip at very small Ω where
+administrative overhead dominates).
+"""
+
+from repro.experiments import run_figure9
+
+OMEGAS = (25, 50, 100, 200)
+
+
+def test_figure9(benchmark):
+    points, text = benchmark.pedantic(
+        run_figure9,
+        kwargs=dict(families=["Shor", "VQE"], size_index=1, omegas=OMEGAS),
+        iterations=1,
+        rounds=1,
+    )
+    assert [p.omega for p in points] == list(OMEGAS)
+    reductions = [p.avg_reduction for p in points]
+    # quality non-decreasing in omega (within noise)
+    assert reductions[-1] >= reductions[0] - 0.01
+    assert all(p.avg_time > 0 for p in points)

@@ -1,0 +1,48 @@
+"""Micro-benchmarks for the oracle passes on 2Ω-sized segments.
+
+The paper's Theorem 4 treats the oracle cost W on a 2Ω-segment as the
+dominant constant; these benchmarks pin down our W for the default
+Ω=100 segments and for the individual passes.
+"""
+
+from repro.circuits import random_circuit, random_redundant_circuit
+from repro.oracles import (
+    NamOracle,
+    SearchOracle,
+    cancellation_pass,
+    rotation_merge_pass,
+)
+
+SEGMENT = list(random_redundant_circuit(8, 200, seed=0).gates)
+CLEAN_SEGMENT = list(random_circuit(8, 200, seed=1).gates)
+
+
+def test_nam_oracle_fixpoint_redundant(benchmark):
+    oracle = NamOracle()
+    out = benchmark(lambda: oracle(list(SEGMENT)))
+    assert len(out) < len(SEGMENT)
+
+
+def test_nam_oracle_fixpoint_clean(benchmark):
+    """Cost of a rejected oracle call (the common case at convergence)."""
+    oracle = NamOracle()
+    settled = oracle(list(CLEAN_SEGMENT))
+    out = benchmark(lambda: oracle(list(settled)))
+    assert out == settled
+
+
+def test_cancellation_pass(benchmark):
+    out, _ = benchmark(lambda: cancellation_pass(list(SEGMENT)))
+    assert len(out) <= len(SEGMENT)
+
+
+def test_rotation_merge_pass(benchmark):
+    out, _ = benchmark(lambda: rotation_merge_pass(list(SEGMENT)))
+    assert len(out) <= len(SEGMENT)
+
+
+def test_search_oracle(benchmark):
+    oracle = SearchOracle(beam_width=4, max_steps=2, node_budget=400)
+    seg = SEGMENT[:60]
+    out = benchmark(lambda: oracle(list(seg)))
+    assert len(out) <= len(seg)

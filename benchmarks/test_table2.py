@@ -1,0 +1,35 @@
+"""Table 2: POPQC vs the whole-circuit baseline, both single-threaded.
+
+Paper shape: the advantage of local optimization alone grows with
+circuit size (the baseline's whole-circuit scans are superlinear, the
+POPQC loop is O(n lg n)); at small sizes the baseline can win (the
+paper's HHL-7 row shows 0.3x), with the crossover on deep instances.
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark, bench_families, bench_sizes):
+    rows, text = benchmark.pedantic(
+        run_table2,
+        kwargs=dict(size_indices=bench_sizes, families=bench_families),
+        iterations=1,
+        rounds=1,
+    )
+    assert len(rows) == len(bench_families) * len(bench_sizes)
+    for r in rows:
+        assert r.popqc_time > 0 and r.baseline_time > 0
+        assert r.speedup > 0
+
+
+def test_table2_speedup_grows_with_size(benchmark):
+    """The paper's central scaling claim at reduced scale: the
+    POPQC-vs-baseline time ratio improves as instances grow."""
+
+    def run():
+        rows, _ = run_table2(size_indices=(0, 2), families=["VQE"])
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    small, large = rows
+    assert large.speedup > small.speedup

@@ -1,0 +1,24 @@
+"""Table 4: gate reduction under different initial gate orderings.
+
+Paper shape: left-justified, right-justified and default orderings land
+within a fraction of a percent of each other for most families.
+"""
+
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark, bench_families):
+    rows, text = benchmark.pedantic(
+        run_table4,
+        kwargs=dict(size_indices=(0,), families=bench_families),
+        iterations=1,
+        rounds=1,
+    )
+    assert len(rows) == len(bench_families)
+    for r in rows:
+        values = [
+            r.left_justified_reduction,
+            r.right_justified_reduction,
+            r.default_reduction,
+        ]
+        assert max(values) - min(values) < 0.10

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Adaptive Ω — the paper's Section A.4 future work, in action.
+
+The paper observes that Sqrt is ordering-sensitive because >5% of its
+gates can slide more than 200 positions, and proposes choosing Ω from
+the circuit's sliding-distance profile.  This example profiles each
+benchmark family, shows the suggested Ω, and compares fixed-Ω against
+adaptive-Ω optimization.
+
+Run:  python examples/adaptive_omega.py
+"""
+
+from repro.benchgen import family_names, generate
+from repro.core import popqc, popqc_adaptive, suggest_omega
+from repro.oracles import NamOracle
+
+FIXED_OMEGA = 100
+
+
+def main() -> None:
+    oracle = NamOracle()
+    print(
+        "family     gates  max_slide  q95_slide  omega*   "
+        "fixed-red%  adaptive-red%"
+    )
+    for fam in family_names():
+        circuit = generate(fam, 1)
+        profile = suggest_omega(circuit)
+        fixed = popqc(circuit, oracle, FIXED_OMEGA)
+        adaptive, _ = popqc_adaptive(circuit, oracle)
+        print(
+            f"{fam:9s} {circuit.num_gates:6d} {profile.max_distance:10d} "
+            f"{profile.quantile_distance:10d} {profile.suggested_omega:7d} "
+            f"{100 * fixed.stats.gate_reduction:10.1f} "
+            f"{100 * adaptive.stats.gate_reduction:13.1f}"
+        )
+    print(
+        "\nomega* is the 95th-percentile sliding distance clamped to "
+        "[50, 800];\nfamilies whose gates slide far (the paper's Sqrt "
+        "effect) get a larger window."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Plugging custom oracles into POPQC.
+
+POPQC treats the oracle as a black box (the paper: "we make no
+assumptions about its inner workings").  This example demonstrates:
+
+1. a user-written oracle (adjacent-duplicate cancellation only);
+2. composing oracles with ComposedOracle;
+3. the well-behavedness check the local-optimality theorem requires;
+4. how oracle strength shows up in the final quality.
+
+Run:  python examples/custom_oracle.py
+"""
+
+from repro import popqc
+from repro.benchgen import generate
+from repro.circuits import Gate
+from repro.oracles import (
+    ComposedOracle,
+    NamOracle,
+    SearchOracle,
+    check_well_behaved,
+)
+
+
+class AdjacentPairOracle:
+    """A deliberately weak oracle: cancels only *adjacent* self-inverse
+    pairs, no commutation reasoning.  Run to a fixpoint so it is
+    well-behaved."""
+
+    def __call__(self, gates):
+        gates = list(gates)
+        while True:
+            out = []
+            i = 0
+            changed = False
+            while i < len(gates):
+                if (
+                    i + 1 < len(gates)
+                    and gates[i].name in ("h", "x", "cnot")
+                    and gates[i] == gates[i + 1]
+                ):
+                    i += 2
+                    changed = True
+                else:
+                    out.append(gates[i])
+                    i += 1
+            gates = out
+            if not changed:
+                return gates
+
+
+def main() -> None:
+    circuit = generate("Grover", 0)
+    print(f"workload: Grover[0], {circuit.num_gates} gates")
+
+    oracles = {
+        "adjacent-pairs (custom)": AdjacentPairOracle(),
+        "rule-based (NamOracle)": NamOracle(),
+        "rules + search (Composed)": ComposedOracle(
+            NamOracle(), SearchOracle(beam_width=4, max_steps=2, node_budget=300)
+        ),
+    }
+
+    for name, oracle in oracles.items():
+        # Theorem 7 requires well-behaved oracles; verify empirically.
+        sample = list(circuit.gates[:120])
+        bad = check_well_behaved(oracle, sample, samples=25, seed=0)
+        badge = "well-behaved" if not bad else f"NOT well-behaved ({len(bad)} hits)"
+
+        res = popqc(circuit, oracle, omega=60)
+        print(
+            f"{name:26s}: {res.circuit.num_gates:5d} gates "
+            f"({100 * res.stats.gate_reduction:5.1f}% reduction), "
+            f"{res.stats.oracle_calls} calls, {badge}"
+        )
+
+    print("\nstronger oracles find more; POPQC's guarantee adapts to each:")
+    print("the output is locally optimal *with respect to the oracle used*.")
+
+
+if __name__ == "__main__":
+    main()

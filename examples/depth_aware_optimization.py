@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Depth-aware optimization with the search oracle (paper Section 7.8).
+
+Runs layered POPQC with the Quartz-like search oracle under two
+objectives — pure gate count and the paper's mixed cost
+(10*depth + gates) — on a VQE ansatz, and reports the gate/depth
+trade-off Figure 6 illustrates.
+
+Run:  python examples/depth_aware_optimization.py
+"""
+
+from repro.benchgen import vqe
+from repro.core import layered_popqc, mixed_cost
+from repro.oracles import GateCount, MixedCost, SearchOracle
+
+
+def main() -> None:
+    circuit = vqe(8, layers=8, seed=0)
+    d0, g0 = circuit.depth(), circuit.num_gates
+    print(f"input: {g0} gates, depth {d0}")
+
+    omega_layers = 20  # omega counts layers in the layered representation
+
+    gate_result = layered_popqc(
+        circuit,
+        SearchOracle(GateCount()),
+        omega_layers,
+        cost=lambda gates: float(len(gates)),
+    )
+    gc, gd = gate_result.circuit.num_gates, gate_result.circuit.depth()
+    print(
+        f"gate-count objective : {gc} gates ({100 * (1 - gc / g0):.1f}% red.), "
+        f"depth {gd} ({100 * (1 - gd / d0):.1f}% red.)"
+    )
+
+    mixed_result = layered_popqc(
+        circuit,
+        SearchOracle(MixedCost(10.0)),
+        omega_layers,
+        cost=mixed_cost(10.0),
+    )
+    mc, md = mixed_result.circuit.num_gates, mixed_result.circuit.depth()
+    print(
+        f"mixed objective      : {mc} gates ({100 * (1 - mc / g0):.1f}% red.), "
+        f"depth {md} ({100 * (1 - md / d0):.1f}% red.)"
+    )
+
+    if md <= gd:
+        print("-> the depth-aware cost matched or beat the gate-count "
+              "objective on depth, as in the paper's Figure 6")
+
+
+if __name__ == "__main__":
+    main()

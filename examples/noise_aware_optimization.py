@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Noise-aware optimization with a fidelity cost function.
+
+Section 8.1 of the paper lists circuit fidelity as the key NISQ-era
+objective.  POPQC's acceptance test takes any cost function; here we
+optimize a benchmark under ``FidelityCost`` — negative log success
+probability with per-gate depolarizing errors (two-qubit gates 10x
+noisier) — and compare against plain gate-count optimization.
+
+Run:  python examples/noise_aware_optimization.py
+"""
+
+from repro.benchgen import generate
+from repro.core import popqc
+from repro.oracles import FidelityCost, NamOracle
+
+
+def main() -> None:
+    circuit = generate("Grover", 1)
+    cost = FidelityCost(single_qubit_error=1e-4, two_qubit_error=1e-3)
+    oracle = NamOracle()
+
+    print(
+        f"input: {circuit.num_gates} gates "
+        f"({circuit.two_qubit_count()} two-qubit), modeled fidelity "
+        f"{cost.fidelity(list(circuit.gates)):.4f}"
+    )
+
+    by_count = popqc(circuit, oracle, 100)
+    g = by_count.circuit
+    print(
+        f"gate-count objective: {g.num_gates} gates "
+        f"({g.two_qubit_count()} two-qubit), fidelity "
+        f"{cost.fidelity(list(g.gates)):.4f}"
+    )
+
+    by_fidelity = popqc(circuit, oracle, 100, cost=cost)
+    f = by_fidelity.circuit
+    print(
+        f"fidelity objective  : {f.num_gates} gates "
+        f"({f.two_qubit_count()} two-qubit), fidelity "
+        f"{cost.fidelity(list(f.gates)):.4f}"
+    )
+
+    gain = cost.fidelity(list(f.gates)) / cost.fidelity(list(circuit.gates))
+    print(f"\nmodeled success probability improved {gain:.2f}x; the fidelity "
+          "objective weighs CNOT removals 10x more than single-qubit ones.")
+
+
+if __name__ == "__main__":
+    main()

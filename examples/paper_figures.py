@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figures 3-9 at reproduction scale.
+
+Companion to paper_tables.py; EXPERIMENTS.md records this output.
+
+Run:  python examples/paper_figures.py [--figures 3 4 ...] [--full]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--figures", nargs="*", default=["3", "4", "5", "6", "7", "8", "9"]
+    )
+    parser.add_argument("--full", action="store_true", help="largest instances")
+    args = parser.parse_args()
+    t0 = time.time()
+
+    large = 3 if args.full else 2
+    sizes = (0, 1, 2, 3) if args.full else (0, 1, 2)
+
+    if "3" in args.figures:
+        _, text = run_figure3(size_index=large)
+        print(text, "\n")
+    if "4" in args.figures:
+        _, text = run_figure4(large_index=large)
+        print(text, "\n")
+    if "5" in args.figures:
+        _, text = run_figure5(size_indices=sizes)
+        print(text, "\n")
+    if "6" in args.figures:
+        _, text = run_figure6(size_indices=(0, 1))
+        print(text, "\n")
+    if "7" in args.figures:
+        _, text = run_figure7(size_indices=sizes)
+        print(text, "\n")
+    if "8" in args.figures:
+        _, text = run_figure8(size_indices=sizes)
+        print(text, "\n")
+    if "9" in args.figures:
+        _, text = run_figure9(size_index=1)
+        print(text, "\n")
+
+    print(f"total: {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Tables 1-4 at reproduction scale.
+
+This is the script whose output EXPERIMENTS.md records.  By default it
+runs all 8 families at sizes 0-2 (size 3 included with --full); expect
+roughly 10-30 minutes for --full on one core.
+
+Run:  python examples/paper_tables.py [--full] [--csv DIR]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    write_csv,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true", help="include size 3")
+    parser.add_argument("--csv", help="directory to write CSV files")
+    parser.add_argument("--tables", nargs="*", default=["1", "2", "3", "4"])
+    args = parser.parse_args()
+
+    sizes = (0, 1, 2, 3) if args.full else (0, 1, 2)
+    t0 = time.time()
+
+    if "1" in args.tables:
+        rows, text = run_table1(size_indices=sizes)
+        print(text, "\n")
+        if args.csv:
+            write_csv(
+                f"{args.csv}/table1.csv",
+                ["family", "qubits", "gates", "base_red", "base_t",
+                 "popqc_red", "popqc_t", "speedup"],
+                [[r.family, r.qubits, r.gates, r.baseline_reduction,
+                  r.baseline_time, r.popqc_reduction, r.popqc_time, r.speedup]
+                 for r in rows],
+            )
+
+    if "2" in args.tables:
+        rows, text = run_table2(size_indices=sizes)
+        print(text, "\n")
+        if args.csv:
+            write_csv(
+                f"{args.csv}/table2.csv",
+                ["family", "qubits", "gates", "base_t", "popqc_t", "speedup"],
+                [[r.family, r.qubits, r.gates, r.baseline_time, r.popqc_time,
+                  r.speedup] for r in rows],
+            )
+
+    if "3" in args.tables:
+        rows, text = run_table3(size_indices=sizes)
+        print(text, "\n")
+        if args.csv:
+            write_csv(
+                f"{args.csv}/table3.csv",
+                ["family", "qubits", "gates", "oac_t", "popqc_t", "speedup",
+                 "oac_red", "popqc_red"],
+                [[r.family, r.qubits, r.gates, r.oac_time, r.popqc_time,
+                  r.speedup, r.oac_reduction, r.popqc_reduction] for r in rows],
+            )
+
+    if "4" in args.tables:
+        rows, text = run_table4(size_indices=sizes[:2])
+        print(text, "\n")
+        if args.csv:
+            write_csv(
+                f"{args.csv}/table4.csv",
+                ["family", "left", "right", "default"],
+                [[r.family, r.left_justified_reduction,
+                  r.right_justified_reduction, r.default_reduction]
+                 for r in rows],
+            )
+
+    print(f"total: {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

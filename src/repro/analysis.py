@@ -1,0 +1,103 @@
+"""Circuit analysis: the metrics quantum-compiler evaluations report.
+
+Collects, for a circuit, the cost metrics of Section 2.3 (gate count,
+depth, two-qubit count, non-Clifford/T count) plus a per-layer
+parallelism profile, and renders them as a compact report.  Used by the
+``popqc analyze`` CLI subcommand and the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .circuits import Circuit, Gate, layers_asap
+
+__all__ = ["CircuitReport", "analyze", "t_count", "non_clifford_count"]
+
+_CLIFFORD_ANGLES = (0.0, math.pi / 2, math.pi, 3 * math.pi / 2)
+
+
+def _is_clifford_rz(g: Gate) -> bool:
+    assert g.name == "rz" and g.param is not None
+    return any(abs(g.param - a) < 1e-9 for a in _CLIFFORD_ANGLES)
+
+
+def t_count(circuit: Circuit | Sequence[Gate]) -> int:
+    """Number of T/T-dagger rotations (RZ of an odd multiple of pi/4).
+
+    The fault-tolerant-era cost metric (paper Section 8.1).
+    """
+    gates = circuit.gates if isinstance(circuit, Circuit) else circuit
+    count = 0
+    for g in gates:
+        if g.name != "rz":
+            continue
+        assert g.param is not None
+        ratio = g.param / (math.pi / 4)
+        nearest = round(ratio)
+        if abs(ratio - nearest) < 1e-9 and nearest % 2 == 1:
+            count += 1
+    return count
+
+
+def non_clifford_count(circuit: Circuit | Sequence[Gate]) -> int:
+    """Number of rotations outside the Clifford group."""
+    gates = circuit.gates if isinstance(circuit, Circuit) else circuit
+    return sum(
+        1 for g in gates if g.name == "rz" and not _is_clifford_rz(g)
+    )
+
+
+@dataclass
+class CircuitReport:
+    """Summary metrics for one circuit."""
+
+    num_qubits: int
+    num_gates: int
+    depth: int
+    two_qubit_gates: int
+    t_gates: int
+    non_clifford_gates: int
+    histogram: dict[str, int] = field(default_factory=dict)
+    #: gates per layer: min / mean / max — the parallelism profile
+    layer_width_min: int = 0
+    layer_width_mean: float = 0.0
+    layer_width_max: int = 0
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        hist = ", ".join(f"{k}:{v}" for k, v in sorted(self.histogram.items()))
+        return "\n".join(
+            [
+                f"qubits            {self.num_qubits}",
+                f"gates             {self.num_gates}  ({hist})",
+                f"depth             {self.depth}",
+                f"two-qubit gates   {self.two_qubit_gates}",
+                f"T gates           {self.t_gates}",
+                f"non-Clifford RZ   {self.non_clifford_gates}",
+                (
+                    f"layer width       min {self.layer_width_min} / "
+                    f"mean {self.layer_width_mean:.2f} / max {self.layer_width_max}"
+                ),
+            ]
+        )
+
+
+def analyze(circuit: Circuit) -> CircuitReport:
+    """Compute a :class:`CircuitReport` for ``circuit``."""
+    layers = layers_asap(circuit.gates, circuit.num_qubits)
+    widths = [len(layer) for layer in layers] or [0]
+    return CircuitReport(
+        num_qubits=circuit.num_qubits,
+        num_gates=circuit.num_gates,
+        depth=len(layers),
+        two_qubit_gates=circuit.two_qubit_count(),
+        t_gates=t_count(circuit),
+        non_clifford_gates=non_clifford_count(circuit),
+        histogram=circuit.gate_histogram(),
+        layer_width_min=min(widths),
+        layer_width_mean=sum(widths) / len(widths),
+        layer_width_max=max(widths),
+    )

@@ -1,0 +1,11 @@
+"""Sequential baselines: whole-circuit (VOQC role) and OAC (Arora et al.)."""
+
+from .oac import OacResult, oac_optimize
+from .whole_circuit import WholeCircuitResult, optimize_whole_circuit
+
+__all__ = [
+    "OacResult",
+    "WholeCircuitResult",
+    "oac_optimize",
+    "optimize_whole_circuit",
+]

@@ -1,0 +1,40 @@
+"""Benchmark circuit generators for the eight families of the evaluation."""
+
+from . import decompose
+from .boolsat import boolsat, boolsat_total_qubits
+from .bwt import bwt
+from .grover import grover, grover_total_qubits
+from .hhl import hhl
+from .registry import (
+    FAMILIES,
+    BenchmarkFamily,
+    family_names,
+    generate,
+    generate_params,
+)
+from .shor import shor
+from .sqrt import sqrt_circuit
+from .suite import SuiteEntry, write_suite
+from .statevec import statevec
+from .vqe import vqe
+
+__all__ = [
+    "FAMILIES",
+    "BenchmarkFamily",
+    "boolsat",
+    "boolsat_total_qubits",
+    "bwt",
+    "decompose",
+    "family_names",
+    "generate",
+    "generate_params",
+    "grover",
+    "grover_total_qubits",
+    "hhl",
+    "shor",
+    "SuiteEntry",
+    "sqrt_circuit",
+    "write_suite",
+    "statevec",
+    "vqe",
+]

@@ -1,0 +1,96 @@
+"""Binary Welded Tree benchmark (paper Section 7.2, "BWT").
+
+The BWT problem is solved by a continuous-time quantum walk on two
+binary trees welded at the leaves; quantum circuits for it Trotterize
+the walk Hamiltonian, whose hopping terms are (XX+YY)/2 couplings along
+the edge coloring of the graph.  Following the NWQBench construction,
+we Trotterize ``steps`` time slices; each slice applies an XX+YY
+rotation on every edge of each of three edge-color classes (edges of
+one color form a perfect matching, so they act on disjoint qubit
+pairs), plus local RZ phases for the diagonal part.
+
+The XX and YY rotations decompose through CNOT + RZ conjugated by
+basis-change single-qubit gates, producing long runs of H/RZ pairs at
+slice boundaries — exactly the cancellation structure the optimizers
+exploit on this family.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..circuits import CNOT, Circuit, Gate, H, RZ
+from . import decompose as dec
+
+__all__ = ["bwt"]
+
+
+def _zz_rotation(a: int, b: int, theta: float) -> list[Gate]:
+    """exp(-i theta ZZ / 2) up to global phase."""
+    return [CNOT(a, b), RZ(b, theta), CNOT(a, b)]
+
+
+def _xx_rotation(a: int, b: int, theta: float) -> list[Gate]:
+    """exp(-i theta XX / 2): Hadamard conjugate of the ZZ rotation."""
+    return [H(a), H(b), *_zz_rotation(a, b, theta), H(b), H(a)]
+
+
+def _yy_rotation(a: int, b: int, theta: float) -> list[Gate]:
+    """exp(-i theta YY / 2): S†H-basis conjugate of the ZZ rotation."""
+    pre = [*dec.sdg(a), H(a), *dec.sdg(b), H(b)]
+    post = [H(b), *dec.s(b), H(a), *dec.s(a)]
+    return [*pre, *_zz_rotation(a, b, theta), *post]
+
+
+def bwt(
+    num_qubits: int,
+    *,
+    steps: int | None = None,
+    seed: int = 0,
+) -> Circuit:
+    """Generate a Trotterized welded-tree walk circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Vertex-register width (>= 4).  Edge matchings are built over
+        these qubits: color c couples qubit pairs offset by c.
+    steps:
+        Trotter steps; defaults to ``4 * num_qubits`` (walk time grows
+        with the tree depth).
+    seed:
+        Chooses the per-edge coupling phases.
+    """
+    n = num_qubits
+    if n < 4:
+        raise ValueError("bwt needs at least 4 qubits")
+    if steps is None:
+        steps = 4 * n
+    rng = random.Random(seed)
+    dt = 0.35
+
+    # Three edge-color matchings over the vertex register.
+    colorings: list[list[tuple[int, int]]] = []
+    for color in range(3):
+        offset = color % 2
+        pairs = [(i, i + 1) for i in range(offset, n - 1, 2)]
+        if color == 2:  # the weld: long-range pairs
+            pairs = [(i, n - 1 - i) for i in range(n // 2) if i != n - 1 - i]
+        colorings.append(pairs)
+
+    weights = {
+        (c, pair): rng.uniform(0.5, 1.5)
+        for c, pairs in enumerate(colorings)
+        for pair in pairs
+    }
+
+    gates: list[Gate] = [H(q) for q in range(n)]  # walk start superposition
+    for _ in range(max(1, steps)):
+        for c, pairs in enumerate(colorings):
+            for a, b in pairs:
+                theta = dt * weights[(c, (a, b))]
+                gates += _xx_rotation(a, b, theta)
+                gates += _yy_rotation(a, b, theta)
+        for q in range(n):  # diagonal (vertex-potential) part
+            gates.append(RZ(q, dt * 0.25))
+    return Circuit(gates, n)

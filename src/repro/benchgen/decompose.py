@@ -1,0 +1,213 @@
+"""Decompositions of common gates into the base {H, X, CNOT, RZ} set.
+
+The paper's benchmarks and oracles all use the VOQC gate set (Section
+7.2); every generator in :mod:`repro.benchgen` builds its circuits from
+these decompositions.  The decompositions are the standard ones
+(Nielsen & Chuang; Barenco et al. for multi-controls) and each is
+unitary-verified against a direct matrix construction in
+``tests/benchgen/test_decompose.py``.
+
+All functions return plain ``list[Gate]`` so generators can concatenate
+them cheaply.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..circuits import CNOT, RZ, Gate, H, X
+
+__all__ = [
+    "z",
+    "s",
+    "sdg",
+    "t",
+    "tdg",
+    "rx",
+    "ry",
+    "cz",
+    "swap",
+    "controlled_phase",
+    "controlled_rz",
+    "toffoli",
+    "ccz",
+    "mcx",
+    "mcz",
+    "qft",
+    "inverse",
+    "qft_inverse",
+]
+
+_PI = math.pi
+
+
+def z(q: int) -> list[Gate]:
+    """Pauli-Z as a single RZ(pi)."""
+    return [RZ(q, _PI)]
+
+
+def s(q: int) -> list[Gate]:
+    """S = RZ(pi/2)."""
+    return [RZ(q, _PI / 2)]
+
+
+def sdg(q: int) -> list[Gate]:
+    """S-dagger = RZ(-pi/2)."""
+    return [RZ(q, -_PI / 2)]
+
+
+def t(q: int) -> list[Gate]:
+    """T = RZ(pi/4)."""
+    return [RZ(q, _PI / 4)]
+
+
+def tdg(q: int) -> list[Gate]:
+    """T-dagger = RZ(-pi/4)."""
+    return [RZ(q, -_PI / 4)]
+
+
+def rx(q: int, theta: float) -> list[Gate]:
+    """RX(theta) up to global phase: H RZ(theta) H."""
+    return [H(q), RZ(q, theta), H(q)]
+
+
+def ry(q: int, theta: float) -> list[Gate]:
+    """RY(theta) up to global phase: S-dg H RZ(theta) H S.
+
+    Derivation: RY = S RX S^dagger (conjugating X into Y), and RX is the
+    Hadamard conjugate of RZ.
+    """
+    return [RZ(q, -_PI / 2), H(q), RZ(q, theta), H(q), RZ(q, _PI / 2)]
+
+
+def cz(a: int, b: int) -> list[Gate]:
+    """Controlled-Z: H on the target conjugating a CNOT."""
+    return [H(b), CNOT(a, b), H(b)]
+
+
+def swap(a: int, b: int) -> list[Gate]:
+    """SWAP from three alternating CNOTs."""
+    return [CNOT(a, b), CNOT(b, a), CNOT(a, b)]
+
+
+def controlled_phase(theta: float, c: int, tq: int) -> list[Gate]:
+    """Controlled phase ``diag(1,1,1,e^{i theta})``.
+
+    Phase bookkeeping (all diagonal terms commute):
+    ``theta/2 * (t + c - (t xor c)) = theta * (c and t)``.
+    """
+    return [
+        RZ(tq, theta / 2),
+        CNOT(c, tq),
+        RZ(tq, -theta / 2),
+        CNOT(c, tq),
+        RZ(c, theta / 2),
+    ]
+
+
+def controlled_rz(theta: float, c: int, tq: int) -> list[Gate]:
+    """Controlled-RZ in our diag(1, e^{i theta}) convention.
+
+    With RZ(theta) = diag(1, e^{i theta}), controlled-RZ *is* the
+    controlled phase on (c, t).
+    """
+    return controlled_phase(theta, c, tq)
+
+
+def toffoli(a: int, b: int, c: int) -> list[Gate]:
+    """CCX with controls ``a``, ``b`` and target ``c``.
+
+    The standard 15-gate T-depth-3 circuit (Nielsen & Chuang Fig. 4.9),
+    with T = RZ(pi/4) in our convention (equal up to global phase).
+    """
+    return [
+        H(c),
+        CNOT(b, c),
+        *tdg(c),
+        CNOT(a, c),
+        *t(c),
+        CNOT(b, c),
+        *tdg(c),
+        CNOT(a, c),
+        *t(b),
+        *t(c),
+        H(c),
+        CNOT(a, b),
+        *t(a),
+        *tdg(b),
+        CNOT(a, b),
+    ]
+
+
+def ccz(a: int, b: int, c: int) -> list[Gate]:
+    """CCZ: Hadamard conjugate of the Toffoli on the target."""
+    return [H(c), *toffoli(a, b, c), H(c)]
+
+
+def mcx(
+    controls: Sequence[int], target: int, ancillas: Sequence[int]
+) -> list[Gate]:
+    """Multi-controlled X via the Barenco V-chain of Toffolis.
+
+    Requires ``len(ancillas) >= len(controls) - 2`` clean ancillas (they
+    are returned to |0>).  With 0 controls this is an X, with 1 a CNOT,
+    with 2 a Toffoli.
+    """
+    k = len(controls)
+    if k == 0:
+        return [X(target)]
+    if k == 1:
+        return [CNOT(controls[0], target)]
+    if k == 2:
+        return toffoli(controls[0], controls[1], target)
+    need = k - 2
+    if len(ancillas) < need:
+        raise ValueError(f"mcx with {k} controls needs {need} ancillas")
+    gates: list[Gate] = []
+    # compute chain: anc[0] = c0 & c1; anc[i] = anc[i-1] & c_{i+1}
+    gates += toffoli(controls[0], controls[1], ancillas[0])
+    for i in range(2, k - 1):
+        gates += toffoli(controls[i], ancillas[i - 2], ancillas[i - 1])
+    gates += toffoli(controls[k - 1], ancillas[k - 3], target)
+    # uncompute
+    for i in range(k - 2, 1, -1):
+        gates += toffoli(controls[i], ancillas[i - 2], ancillas[i - 1])
+    gates += toffoli(controls[0], controls[1], ancillas[0])
+    return gates
+
+
+def mcz(
+    controls: Sequence[int], target: int, ancillas: Sequence[int]
+) -> list[Gate]:
+    """Multi-controlled Z: Hadamard conjugate of :func:`mcx`."""
+    return [H(target), *mcx(controls, target, ancillas), H(target)]
+
+
+def qft(qubits: Sequence[int], *, with_swaps: bool = False) -> list[Gate]:
+    """Quantum Fourier transform on ``qubits`` (MSB first).
+
+    The textbook H + controlled-phase cascade.  Swaps are off by default
+    because the benchmark circuits absorb the bit reversal into indexing,
+    as most compiled QASM benchmarks do.
+    """
+    gates: list[Gate] = []
+    n = len(qubits)
+    for i in range(n):
+        gates.append(H(qubits[i]))
+        for j in range(i + 1, n):
+            gates += controlled_phase(_PI / (1 << (j - i)), qubits[j], qubits[i])
+    if with_swaps:
+        for i in range(n // 2):
+            gates += swap(qubits[i], qubits[n - 1 - i])
+    return gates
+
+
+def inverse(gates: Sequence[Gate]) -> list[Gate]:
+    """Adjoint of a gate list (reverse order, invert each gate)."""
+    return [g.inverse() for g in reversed(gates)]
+
+
+def qft_inverse(qubits: Sequence[int], *, with_swaps: bool = False) -> list[Gate]:
+    """Inverse QFT."""
+    return inverse(qft(qubits, with_swaps=with_swaps))

@@ -1,0 +1,79 @@
+"""Grover's search benchmark (paper Section 7.2, [20]).
+
+Standard Grover iteration over ``n`` search qubits: a phase oracle that
+marks one random basis state (X conjugation + multi-controlled Z) and
+the diffusion operator (H/X conjugated multi-controlled Z).  The
+multi-controlled Z's are decomposed through the Toffoli V-chain, which
+is where the optimizer finds work: adjacent X/H conjugation layers and
+T/T-dagger pairs across Toffoli boundaries cancel.
+
+Qubit layout: ``n`` search qubits followed by ``max(0, n-3)`` clean
+ancillas for the V-chain.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..circuits import Circuit, Gate, H, X
+from . import decompose as dec
+
+__all__ = ["grover", "grover_total_qubits"]
+
+
+def grover_total_qubits(num_search_qubits: int) -> int:
+    """Total qubits including V-chain ancillas."""
+    return num_search_qubits + max(0, num_search_qubits - 3)
+
+
+def grover(
+    num_search_qubits: int,
+    *,
+    iterations: int | None = None,
+    seed: int = 0,
+) -> Circuit:
+    """Generate a Grover search circuit.
+
+    Parameters
+    ----------
+    num_search_qubits:
+        Size of the search register (n >= 2); the search space is 2^n.
+    iterations:
+        Number of Grover iterations; defaults to the optimal
+        ``round(pi/4 * sqrt(2^n))``.
+    seed:
+        Chooses the marked state.
+    """
+    n = num_search_qubits
+    if n < 2:
+        raise ValueError("grover needs at least 2 search qubits")
+    rng = random.Random(seed)
+    marked = rng.randrange(1 << n)
+    if iterations is None:
+        iterations = max(1, round(math.pi / 4 * math.sqrt(1 << n)))
+
+    search = list(range(n))
+    ancillas = list(range(n, grover_total_qubits(n)))
+    controls, target = search[:-1], search[-1]
+
+    def oracle() -> list[Gate]:
+        flips = [q for q in search if not (marked >> (n - 1 - q)) & 1]
+        body: list[Gate] = [X(q) for q in flips]
+        body += dec.mcz(controls, target, ancillas)
+        body += [X(q) for q in flips]
+        return body
+
+    def diffusion() -> list[Gate]:
+        body: list[Gate] = [H(q) for q in search]
+        body += [X(q) for q in search]
+        body += dec.mcz(controls, target, ancillas)
+        body += [X(q) for q in search]
+        body += [H(q) for q in search]
+        return body
+
+    gates: list[Gate] = [H(q) for q in search]
+    for _ in range(iterations):
+        gates += oracle()
+        gates += diffusion()
+    return Circuit(gates, grover_total_qubits(n))

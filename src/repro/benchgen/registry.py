@@ -1,0 +1,181 @@
+"""Benchmark registry: family name -> generator, paper sizes, scaled sizes.
+
+The paper evaluates 8 families at 4 instance sizes each (Table 1), in a
+*deep-and-narrow* regime: tens of qubits carrying tens of thousands to
+millions of gates (e.g. BWT: 17 qubits, 361k gates).  A pure-Python
+reproduction cannot run multi-million-gate instances in reasonable
+time, so every family carries two size ladders:
+
+* ``paper_qubits`` — the qubit counts from Table 1, for the record;
+* ``default_params`` — four scaled-down instances whose gate counts
+  grow by roughly the paper's per-step factor (~2-4x) while keeping
+  the paper's depth-per-qubit character, so size-dependent effects
+  (speedup growth, round growth, baseline crossover) reproduce in
+  shape.
+
+``generate(family, index)`` builds the instance; ``generate_params``
+builds a custom configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..circuits import Circuit
+from .boolsat import boolsat
+from .bwt import bwt
+from .grover import grover
+from .hhl import hhl
+from .shor import shor
+from .sqrt import sqrt_circuit
+from .statevec import statevec
+from .vqe import vqe
+
+__all__ = [
+    "BenchmarkFamily",
+    "FAMILIES",
+    "family_names",
+    "generate",
+    "generate_params",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkFamily:
+    """A benchmark family: generator plus its size ladders."""
+
+    name: str
+    #: Build an instance from keyword parameters (must accept ``seed``).
+    build: Callable[..., Circuit]
+    #: Qubit counts used in the paper's Table 1.
+    paper_qubits: tuple[int, int, int, int]
+    #: Scaled-down parameter sets for this reproduction's harness,
+    #: smallest to largest.
+    default_params: tuple[Mapping[str, Any], ...]
+    #: Gate reduction VOQC achieved in the paper (for EXPERIMENTS.md).
+    paper_reduction: float
+
+
+FAMILIES: dict[str, BenchmarkFamily] = {
+    "BoolSat": BenchmarkFamily(
+        "BoolSat",
+        lambda num_vars, iterations, seed=0: boolsat(
+            num_vars, iterations=iterations, seed=seed
+        ),
+        (28, 30, 32, 34),
+        (
+            {"num_vars": 8, "iterations": 2},
+            {"num_vars": 10, "iterations": 4},
+            {"num_vars": 12, "iterations": 8},
+            {"num_vars": 14, "iterations": 14},
+        ),
+        0.833,
+    ),
+    "BWT": BenchmarkFamily(
+        "BWT",
+        lambda num_qubits, steps, seed=0: bwt(num_qubits, steps=steps, seed=seed),
+        (17, 21, 25, 29),
+        (
+            {"num_qubits": 8, "steps": 20},
+            {"num_qubits": 10, "steps": 44},
+            {"num_qubits": 12, "steps": 100},
+            {"num_qubits": 14, "steps": 220},
+        ),
+        0.49,
+    ),
+    "Grover": BenchmarkFamily(
+        "Grover",
+        lambda num_search_qubits, iterations, seed=0: grover(
+            num_search_qubits, iterations=iterations, seed=seed
+        ),
+        (9, 11, 13, 15),
+        (
+            {"num_search_qubits": 6, "iterations": 8},
+            {"num_search_qubits": 7, "iterations": 18},
+            {"num_search_qubits": 8, "iterations": 40},
+            {"num_search_qubits": 9, "iterations": 85},
+        ),
+        0.296,
+    ),
+    "HHL": BenchmarkFamily(
+        "HHL",
+        lambda num_qubits, depth, seed=0: hhl(num_qubits, depth=depth, seed=seed),
+        (7, 9, 11, 13),
+        (
+            {"num_qubits": 7, "depth": 4},
+            {"num_qubits": 8, "depth": 7},
+            {"num_qubits": 9, "depth": 13},
+            {"num_qubits": 10, "depth": 22},
+        ),
+        0.44,
+    ),
+    "Shor": BenchmarkFamily(
+        "Shor",
+        lambda num_qubits, passes, seed=0: shor(num_qubits, passes=passes, seed=seed),
+        (10, 12, 14, 16),
+        (
+            {"num_qubits": 8, "passes": 1},
+            {"num_qubits": 10, "passes": 1},
+            {"num_qubits": 12, "passes": 2},
+            {"num_qubits": 14, "passes": 3},
+        ),
+        0.092,
+    ),
+    "Sqrt": BenchmarkFamily(
+        "Sqrt",
+        lambda num_qubits, rounds, seed=0: sqrt_circuit(
+            num_qubits, rounds=rounds, seed=seed
+        ),
+        (42, 48, 54, 60),
+        (
+            {"num_qubits": 12, "rounds": 4},
+            {"num_qubits": 14, "rounds": 9},
+            {"num_qubits": 16, "rounds": 18},
+            {"num_qubits": 18, "rounds": 36},
+        ),
+        0.422,
+    ),
+    "StateVec": BenchmarkFamily(
+        "StateVec",
+        lambda num_qubits, reps, seed=0: statevec(num_qubits, reps=reps, seed=seed),
+        (5, 6, 7, 8),
+        (
+            {"num_qubits": 5, "reps": 8},
+            {"num_qubits": 6, "reps": 14},
+            {"num_qubits": 7, "reps": 26},
+            {"num_qubits": 8, "reps": 48},
+        ),
+        0.791,
+    ),
+    "VQE": BenchmarkFamily(
+        "VQE",
+        lambda num_qubits, layers, seed=0: vqe(num_qubits, layers=layers, seed=seed),
+        (18, 22, 26, 30),
+        (
+            {"num_qubits": 8, "layers": 14},
+            {"num_qubits": 10, "layers": 30},
+            {"num_qubits": 12, "layers": 64},
+            {"num_qubits": 14, "layers": 130},
+        ),
+        0.604,
+    ),
+}
+
+
+def family_names() -> list[str]:
+    """All family names in the paper's table order."""
+    return list(FAMILIES.keys())
+
+
+def generate(family: str, size_index: int, *, seed: int = 0) -> Circuit:
+    """Build the ``size_index``-th (0..3) scaled instance of ``family``."""
+    fam = FAMILIES[family]
+    if not 0 <= size_index < len(fam.default_params):
+        raise ValueError(f"size_index {size_index} out of range 0..3")
+    return fam.build(seed=seed, **fam.default_params[size_index])
+
+
+def generate_params(family: str, *, seed: int = 0, **params: Any) -> Circuit:
+    """Build an instance of ``family`` with explicit parameters."""
+    return FAMILIES[family].build(seed=seed, **params)

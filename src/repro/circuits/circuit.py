@@ -1,0 +1,169 @@
+"""The :class:`Circuit` container.
+
+A circuit is an ordered gate sequence over ``num_qubits`` qubits (paper
+Section 2.2, "gate sequence representation").  The container is
+deliberately simple — the interesting parallel data structure lives in
+:mod:`repro.core.index_tree`; this class is the user-facing value type that
+flows in and out of the optimizers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .gate import Gate, gates_qubit_span
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An immutable-by-convention ordered sequence of gates.
+
+    Parameters
+    ----------
+    gates:
+        The gate sequence, applied left to right (``gates[0]`` first).
+    num_qubits:
+        Number of qubits; inferred from the gates when omitted.
+    """
+
+    __slots__ = ("_gates", "_num_qubits")
+
+    def __init__(self, gates: Iterable[Gate] = (), num_qubits: int | None = None):
+        self._gates: tuple[Gate, ...] = tuple(gates)
+        span = gates_qubit_span(self._gates)
+        if num_qubits is None:
+            num_qubits = span
+        elif num_qubits < span:
+            raise ValueError(
+                f"num_qubits={num_qubits} too small for gates spanning {span} qubits"
+            )
+        self._num_qubits = num_qubits
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gate sequence as an immutable tuple."""
+        return self._gates
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the circuit."""
+        return self._num_qubits
+
+    @property
+    def num_gates(self) -> int:
+        """Total gate count (the paper's primary cost metric)."""
+        return len(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return Circuit(self._gates[idx], self._num_qubits)
+        return self._gates[idx]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self._num_qubits == other._num_qubits and self._gates == other._gates
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_qubits, self._gates))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug formatting
+        return f"Circuit({self.num_gates} gates, {self.num_qubits} qubits)"
+
+    # -- structure -------------------------------------------------------
+
+    def count(self, name: str) -> int:
+        """Number of gates with the given name."""
+        return sum(1 for g in self._gates if g.name == name)
+
+    def gate_histogram(self) -> dict[str, int]:
+        """Mapping from gate name to occurrence count."""
+        hist: dict[str, int] = {}
+        for g in self._gates:
+            hist[g.name] = hist.get(g.name, 0) + 1
+        return hist
+
+    def two_qubit_count(self) -> int:
+        """Number of multi-qubit gates (cnot count for the base set)."""
+        return sum(1 for g in self._gates if g.arity > 1)
+
+    def depth(self) -> int:
+        """Circuit depth: length of the greedy ASAP layering.
+
+        Defined as in Section 2.2 of the paper: the minimum number of
+        layers of mutually independent gates that respects gate order.
+        """
+        if not self._gates:
+            return 0
+        frontier = [0] * self._num_qubits
+        depth = 0
+        for g in self._gates:
+            layer = max(frontier[q] for q in g.qubits) + 1
+            for q in g.qubits:
+                frontier[q] = layer
+            if layer > depth:
+                depth = layer
+        return depth
+
+    # -- composition -------------------------------------------------------
+
+    def extended(self, gates: Iterable[Gate]) -> "Circuit":
+        """A new circuit with ``gates`` appended."""
+        return Circuit(self._gates + tuple(gates), None)
+
+    def concat(self, other: "Circuit") -> "Circuit":
+        """Concatenation ``self ; other`` on the union qubit count."""
+        n = max(self._num_qubits, other._num_qubits)
+        return Circuit(self._gates + other._gates, n)
+
+    def inverse(self) -> "Circuit":
+        """The adjoint circuit (gates reversed and individually inverted)."""
+        return Circuit(
+            tuple(g.inverse() for g in reversed(self._gates)), self._num_qubits
+        )
+
+    def map_gates(self, fn: Callable[[Gate], Gate]) -> "Circuit":
+        """Apply ``fn`` to each gate, keeping the qubit count."""
+        return Circuit(tuple(fn(g) for g in self._gates), self._num_qubits)
+
+    def remapped(self, mapping: Sequence[int]) -> "Circuit":
+        """Relabel qubits: old qubit ``q`` becomes ``mapping[q]``."""
+        gates = tuple(
+            Gate(g.name, tuple(mapping[q] for q in g.qubits), g.param)
+            for g in self._gates
+        )
+        return Circuit(gates)
+
+    def support(self) -> tuple[int, ...]:
+        """Sorted tuple of qubits actually touched by some gate."""
+        used: set[int] = set()
+        for g in self._gates:
+            used.update(g.qubits)
+        return tuple(sorted(used))
+
+    def compacted(self) -> tuple["Circuit", tuple[int, ...]]:
+        """Relabel the support onto ``0..k-1``.
+
+        Returns the compacted circuit and the original qubit labels in
+        order, so position ``i`` of the returned tuple is the original
+        label of compacted qubit ``i``.  Used for segment-level unitary
+        equivalence checks.
+        """
+        sup = self.support()
+        inv = {q: i for i, q in enumerate(sup)}
+        gates = tuple(
+            Gate(g.name, tuple(inv[q] for q in g.qubits), g.param)
+            for g in self._gates
+        )
+        return Circuit(gates, len(sup)), sup

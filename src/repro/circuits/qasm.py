@@ -1,0 +1,179 @@
+"""OpenQASM 2.0 subset reader/writer.
+
+The paper's benchmarks ship as QASM files (PennyLane / Qiskit / NWQBench);
+our generators build circuits programmatically, but this module lets users
+round-trip circuits through the same interchange format, and lets the
+optimizers run on externally supplied QASM.
+
+Supported statements: ``OPENQASM 2.0``, ``include``, a single ``qreg``
+(or several, concatenated), ``creg`` (ignored), the base gates ``h``,
+``x``, ``cx``/``cnot``, ``rz(expr)`` plus the common aliases ``z``, ``s``,
+``sdg``, ``t``, ``tdg``, ``cz``, ``ccx``/``ccz``, ``swap`` and ``p``/``u1``
+which are decomposed into the base set on load.  Angle expressions may use
+``pi``, the arithmetic operators ``+ - * /`` and parentheses.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable
+
+from .circuit import Circuit
+from .gate import CNOT, RZ, Gate, H, X
+
+__all__ = ["parse_qasm", "to_qasm", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed QASM input."""
+
+
+_STATEMENT_RE = re.compile(r"([^;]*);")
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_QARG_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\[(\d+)\]$")
+
+# Tokens allowed in angle expressions, for safe eval.
+_EXPR_RE = re.compile(r"^[\d\.\s\+\-\*/\(\)piePI]*$")
+
+
+def _eval_angle(expr: str) -> float:
+    """Evaluate a QASM angle expression such as ``-3*pi/4``."""
+    expr = expr.strip()
+    if not expr:
+        raise QasmError("empty angle expression")
+    if not _EXPR_RE.match(expr):
+        raise QasmError(f"unsupported angle expression: {expr!r}")
+    try:
+        return float(eval(expr, {"__builtins__": {}}, {"pi": math.pi, "e": math.e}))
+    except Exception as exc:  # noqa: BLE001 - surface as QasmError
+        raise QasmError(f"bad angle expression: {expr!r}") from exc
+
+
+def _strip_comments(text: str) -> str:
+    out_lines = []
+    for line in text.splitlines():
+        idx = line.find("//")
+        if idx >= 0:
+            line = line[:idx]
+        out_lines.append(line)
+    return "\n".join(out_lines)
+
+
+def parse_qasm(text: str) -> Circuit:
+    """Parse an OpenQASM 2.0 program into a :class:`Circuit`.
+
+    Multiple ``qreg`` declarations are laid out consecutively in
+    declaration order.  Gates outside the base set are decomposed.
+    """
+    from ..benchgen import decompose as dec  # local import: avoid cycle
+
+    text = _strip_comments(text)
+    regs: dict[str, int] = {}  # name -> base offset
+    total_qubits = 0
+    gates: list[Gate] = []
+
+    def resolve(arg: str) -> int:
+        m = _QARG_RE.match(arg.strip())
+        if not m:
+            raise QasmError(f"bad qubit argument: {arg!r}")
+        name, idx = m.group(1), int(m.group(2))
+        if name not in regs:
+            raise QasmError(f"unknown register: {name!r}")
+        return regs[name] + idx
+
+    for m in _STATEMENT_RE.finditer(text):
+        stmt = m.group(1).strip()
+        if not stmt:
+            continue
+        if stmt.startswith("OPENQASM") or stmt.startswith("include"):
+            continue
+        if stmt.startswith("qreg"):
+            decl = re.match(r"qreg\s+([A-Za-z_][A-Za-z0-9_]*)\[(\d+)\]", stmt)
+            if not decl:
+                raise QasmError(f"bad qreg declaration: {stmt!r}")
+            regs[decl.group(1)] = total_qubits
+            total_qubits += int(decl.group(2))
+            continue
+        if stmt.startswith("creg") or stmt.startswith("barrier"):
+            continue
+        if stmt.startswith("measure"):
+            continue  # measurement is outside the optimizer's scope
+
+        # Greedy parenthesis match: qubit arguments never contain parens,
+        # so the last ')' closes the (possibly nested) angle expression.
+        head = re.match(r"([A-Za-z_][A-Za-z0-9_]*)\s*(\((.*)\))?\s*([^()]*)$", stmt)
+        if not head:
+            raise QasmError(f"unparseable statement: {stmt!r}")
+        name = head.group(1).lower()
+        param_src = head.group(3)
+        args = [a for a in head.group(4).split(",") if a.strip()]
+        qubits = [resolve(a) for a in args]
+
+        if name == "h":
+            gates.append(H(qubits[0]))
+        elif name == "x":
+            gates.append(X(qubits[0]))
+        elif name in ("cx", "cnot"):
+            gates.append(CNOT(qubits[0], qubits[1]))
+        elif name in ("rz", "p", "u1"):
+            gates.append(RZ(qubits[0], _eval_angle(param_src or "")))
+        elif name == "z":
+            gates.append(RZ(qubits[0], math.pi))
+        elif name == "s":
+            gates.append(RZ(qubits[0], math.pi / 2))
+        elif name == "sdg":
+            gates.append(RZ(qubits[0], -math.pi / 2))
+        elif name == "t":
+            gates.append(RZ(qubits[0], math.pi / 4))
+        elif name == "tdg":
+            gates.append(RZ(qubits[0], -math.pi / 4))
+        elif name == "cz":
+            gates.extend(dec.cz(qubits[0], qubits[1]))
+        elif name == "swap":
+            gates.extend(dec.swap(qubits[0], qubits[1]))
+        elif name == "ccx":
+            gates.extend(dec.toffoli(qubits[0], qubits[1], qubits[2]))
+        elif name == "ccz":
+            gates.extend(dec.ccz(qubits[0], qubits[1], qubits[2]))
+        elif name in ("crz", "cp", "cu1"):
+            gates.extend(
+                dec.controlled_phase(_eval_angle(param_src or ""), qubits[0], qubits[1])
+            )
+        else:
+            raise QasmError(f"unsupported gate: {name!r}")
+
+    return Circuit(gates, total_qubits)
+
+
+def to_qasm(circuit: Circuit, register: str = "q") -> str:
+    """Serialize a base-gate-set circuit to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg {register}[{circuit.num_qubits}];",
+    ]
+    for g in circuit.gates:
+        if g.name == "h":
+            lines.append(f"h {register}[{g.qubits[0]}];")
+        elif g.name == "x":
+            lines.append(f"x {register}[{g.qubits[0]}];")
+        elif g.name == "cnot":
+            lines.append(f"cx {register}[{g.qubits[0]}],{register}[{g.qubits[1]}];")
+        elif g.name == "rz":
+            lines.append(f"rz({g.param!r}) {register}[{g.qubits[0]}];")
+        else:
+            raise QasmError(f"cannot serialize non-base gate: {g.name!r}")
+    return "\n".join(lines) + "\n"
+
+
+def write_qasm(circuit: Circuit, path: str) -> None:
+    """Write :func:`to_qasm` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_qasm(circuit))
+
+
+def read_qasm(path: str) -> Circuit:
+    """Parse a QASM file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_qasm(fh.read())

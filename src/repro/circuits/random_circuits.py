@@ -1,0 +1,92 @@
+"""Random circuit generation for tests and micro-benchmarks.
+
+Two flavours:
+
+* :func:`random_circuit` — uniform random gates from the base set; used by
+  property tests because it explores the full rewrite space.
+* :func:`random_redundant_circuit` — a random circuit deliberately seeded
+  with cancellation opportunities (inverse pairs at random separations,
+  mergeable rotations); used to exercise the optimizers where reductions
+  are guaranteed to exist.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from .circuit import Circuit
+from .gate import CNOT, RZ, Gate, H, X
+
+__all__ = ["random_circuit", "random_redundant_circuit", "random_segment"]
+
+_ANGLES = (math.pi / 4, -math.pi / 4, math.pi / 2, -math.pi / 2, math.pi)
+
+
+def _random_gate(rng: random.Random, num_qubits: int) -> Gate:
+    kind = rng.randrange(4)
+    if kind == 0:
+        return H(rng.randrange(num_qubits))
+    if kind == 1:
+        return X(rng.randrange(num_qubits))
+    if kind == 2:
+        return RZ(rng.randrange(num_qubits), rng.choice(_ANGLES))
+    a = rng.randrange(num_qubits)
+    b = rng.randrange(num_qubits - 1)
+    if b >= a:
+        b += 1
+    return CNOT(a, b)
+
+
+def random_circuit(
+    num_qubits: int, num_gates: int, seed: Optional[int] = None
+) -> Circuit:
+    """Uniform random circuit over the base gate set.
+
+    Requires ``num_qubits >= 2`` so that cnot gates can be drawn.
+    """
+    if num_qubits < 2:
+        raise ValueError("random_circuit needs at least 2 qubits")
+    rng = random.Random(seed)
+    return Circuit(
+        [_random_gate(rng, num_qubits) for _ in range(num_gates)], num_qubits
+    )
+
+
+def random_redundant_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: Optional[int] = None,
+    redundancy: float = 0.5,
+) -> Circuit:
+    """Random circuit seeded with guaranteed cancellation opportunities.
+
+    With probability ``redundancy`` each step emits an inverse pair
+    ``g, g^{-1}`` (sometimes separated by a commuting spacer gate on a
+    different qubit); otherwise a uniform random gate.  The expected
+    fraction of removable gates is therefore roughly ``redundancy``.
+    """
+    if num_qubits < 3:
+        raise ValueError("random_redundant_circuit needs at least 3 qubits")
+    rng = random.Random(seed)
+    gates: list[Gate] = []
+    while len(gates) < num_gates:
+        if rng.random() < redundancy:
+            g = _random_gate(rng, num_qubits)
+            gates.append(g)
+            if rng.random() < 0.5:
+                # Spacer on qubits disjoint from g (always exists: >=3 qubits).
+                free = [q for q in range(num_qubits) if q not in g.qubits]
+                gates.append(H(rng.choice(free)))
+            gates.append(g.inverse())
+        else:
+            gates.append(_random_gate(rng, num_qubits))
+    return Circuit(gates[:num_gates], num_qubits)
+
+
+def random_segment(
+    num_qubits: int, num_gates: int, seed: Optional[int] = None
+) -> list[Gate]:
+    """Random gate list (not a :class:`Circuit`) for oracle-level tests."""
+    return list(random_circuit(num_qubits, num_gates, seed).gates)

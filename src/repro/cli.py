@@ -1,0 +1,188 @@
+"""``popqc`` command-line interface.
+
+Subcommands:
+
+* ``optimize FILE.qasm`` — optimize a QASM circuit and write the result;
+* ``bench FAMILY`` — generate and optimize a benchmark instance;
+* ``tables`` / ``figures`` — regenerate the paper's evaluation artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import analyze
+from .baselines import optimize_whole_circuit
+from .benchgen import family_names, generate
+from .circuits import read_qasm, write_qasm
+from .core import popqc, popqc_traced, render_trace
+from .experiments import (
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from .oracles import NamOracle
+from .parallel import ProcessMap, SerialMap, SimulatedParallelism
+
+__all__ = ["main"]
+
+_TABLES = {"1": run_table1, "2": run_table2, "3": run_table3, "4": run_table4}
+_FIGURES = {
+    "3": run_figure3,
+    "4": run_figure4,
+    "5": run_figure5,
+    "6": run_figure6,
+    "7": run_figure7,
+    "8": run_figure8,
+    "9": run_figure9,
+}
+
+
+def _make_parmap(spec: str):
+    if spec == "serial":
+        return SerialMap()
+    if spec.startswith("process"):
+        _, _, count = spec.partition(":")
+        return ProcessMap(int(count) if count else None)
+    if spec.startswith("simulated"):
+        _, _, count = spec.partition(":")
+        return SimulatedParallelism(int(count) if count else 64)
+    raise SystemExit(f"unknown executor spec: {spec!r}")
+
+
+def _load_circuit(spec: str):
+    """Load ``FAMILY[:size]`` from the registry or a QASM path."""
+    if ":" in spec or spec in family_names():
+        name, _, size = spec.partition(":")
+        if name in family_names():
+            return generate(name, int(size) if size else 0)
+    return read_qasm(spec)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="popqc", description="POPQC parallel quantum-circuit optimizer"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("optimize", help="optimize an OpenQASM 2.0 file")
+    p_opt.add_argument("input")
+    p_opt.add_argument("-o", "--output", help="output QASM path")
+    p_opt.add_argument("--omega", type=int, default=100)
+    p_opt.add_argument(
+        "--executor",
+        default="serial",
+        help="serial | process[:N] | simulated[:N]",
+    )
+
+    p_bench = sub.add_parser("bench", help="optimize a generated benchmark")
+    p_bench.add_argument("family", choices=family_names())
+    p_bench.add_argument("--size", type=int, default=1, choices=range(4))
+    p_bench.add_argument("--omega", type=int, default=100)
+    p_bench.add_argument("--executor", default="serial")
+    p_bench.add_argument(
+        "--baseline", action="store_true", help="also run the whole-circuit baseline"
+    )
+
+    p_an = sub.add_parser("analyze", help="report circuit metrics")
+    p_an.add_argument("input", help="QASM file or FAMILY[:size]")
+
+    p_tr = sub.add_parser("trace", help="visualize a run's round dynamics")
+    p_tr.add_argument("input", help="QASM file or FAMILY[:size]")
+    p_tr.add_argument("--omega", type=int, default=100)
+    p_tr.add_argument("--width", type=int, default=72)
+
+    p_suite = sub.add_parser("suite", help="write the benchmark suite as QASM")
+    p_suite.add_argument("--out", required=True, help="output directory")
+    p_suite.add_argument("--sizes", type=int, nargs="*", default=[0, 1])
+    p_suite.add_argument("--families", nargs="*", default=None)
+
+    p_tab = sub.add_parser("tables", help="regenerate paper tables")
+    p_tab.add_argument("which", nargs="*", default=list(_TABLES), choices=list(_TABLES))
+    p_tab.add_argument("--sizes", type=int, nargs="*", default=[0, 1])
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument(
+        "which", nargs="*", default=list(_FIGURES), choices=list(_FIGURES)
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "optimize":
+        circuit = read_qasm(args.input)
+        res = popqc(
+            circuit, NamOracle(), args.omega, parmap=_make_parmap(args.executor)
+        )
+        print(res.stats.summary())
+        if args.output:
+            write_qasm(res.circuit, args.output)
+            print(f"wrote {args.output}")
+        return 0
+
+    if args.command == "bench":
+        circuit = generate(args.family, args.size)
+        print(f"{args.family}[{args.size}]: {circuit.num_gates} gates, "
+              f"{circuit.num_qubits} qubits")
+        res = popqc(
+            circuit, NamOracle(), args.omega, parmap=_make_parmap(args.executor)
+        )
+        print("popqc:   ", res.stats.summary())
+        if args.baseline:
+            base = optimize_whole_circuit(circuit)
+            print(
+                f"baseline: {circuit.num_gates} -> {base.num_gates} gates, "
+                f"{base.time_seconds:.3f}s"
+            )
+        return 0
+
+    if args.command == "analyze":
+        circuit = _load_circuit(args.input)
+        print(analyze(circuit).render())
+        return 0
+
+    if args.command == "trace":
+        circuit = _load_circuit(args.input)
+        res, trace = popqc_traced(circuit, NamOracle(), args.omega)
+        print(render_trace(trace, width=args.width))
+        print(res.stats.summary())
+        return 0
+
+    if args.command == "suite":
+        from .benchgen import write_suite
+
+        entries = write_suite(
+            args.out, families=args.families, size_indices=tuple(args.sizes)
+        )
+        for e in entries:
+            print(f"{e.path}: {e.num_gates} gates, {e.num_qubits} qubits")
+        print(f"wrote {len(entries)} circuits + manifest.csv to {args.out}")
+        return 0
+
+    if args.command == "tables":
+        for which in args.which:
+            _, text = _TABLES[which](size_indices=tuple(args.sizes))
+            print(text)
+            print()
+        return 0
+
+    if args.command == "figures":
+        for which in args.which:
+            _, text = _FIGURES[which]()
+            print(text)
+            print()
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

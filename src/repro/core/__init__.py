@@ -1,0 +1,49 @@
+"""POPQC core: index tree, tombstone array, fingers, driver, verification."""
+
+from .adaptive import SlidingProfile, popqc_adaptive, sliding_distances, suggest_omega
+from .fenwick import FenwickTree
+from .fingers import initial_fingers, select_fingers
+from .greedy import popqc_greedy
+from .index_tree import IndexTree
+from .naive_index import NaiveIndex
+from .layered import LayeredPopqcResult, layered_popqc, mixed_cost
+from .popqc import CostFn, OracleFn, PopqcResult, popqc
+from .stats import OptimizationStats, RoundStats
+from .tombstone import TombstoneArray
+from .trace import RoundTrace, popqc_traced, render_trace
+from .verify import (
+    LocalOptimalityViolation,
+    assert_locally_optimal,
+    find_local_optimality_violations,
+    oracle_call_bound,
+)
+
+__all__ = [
+    "CostFn",
+    "SlidingProfile",
+    "popqc_adaptive",
+    "popqc_greedy",
+    "sliding_distances",
+    "suggest_omega",
+    "FenwickTree",
+    "IndexTree",
+    "LayeredPopqcResult",
+    "LocalOptimalityViolation",
+    "NaiveIndex",
+    "OptimizationStats",
+    "OracleFn",
+    "PopqcResult",
+    "RoundStats",
+    "RoundTrace",
+    "TombstoneArray",
+    "popqc_traced",
+    "render_trace",
+    "assert_locally_optimal",
+    "find_local_optimality_violations",
+    "initial_fingers",
+    "layered_popqc",
+    "mixed_cost",
+    "oracle_call_bound",
+    "popqc",
+    "select_fingers",
+]

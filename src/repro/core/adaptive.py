@@ -1,0 +1,143 @@
+"""Circuit-adaptive choice of the locality parameter Ω.
+
+Section A.4 of the paper observes that families whose gates can "slide"
+long distances in the array representation (Sqrt: >5% of gates slide
+more than 200 positions) are sensitive to the initial ordering and to
+Ω, and proposes — as future work — "a circuit-specific heuristic for
+choosing Ω according to the maximum sliding distance of gates in the
+circuit's array representation".  This module implements that
+heuristic.
+
+A gate's *sliding distance* is how far its position moves between the
+as-soon-as-possible (left-justified) and as-late-as-possible
+(right-justified) orderings: the slack the dependency structure gives
+it.  Two gates can only interact under an optimizer if some ordering
+brings them within the same window, so Ω should cover the typical
+slack.  We take a high quantile of the sliding-distance distribution
+(robust against a few free-floating gates) and clamp it into a
+practical band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..circuits import Circuit, Gate
+from ..parallel import ParallelMap
+from .popqc import CostFn, OracleFn, PopqcResult, popqc
+
+__all__ = [
+    "sliding_distances",
+    "suggest_omega",
+    "popqc_adaptive",
+    "SlidingProfile",
+]
+
+
+def _justified_positions(
+    gates: Sequence[Gate], num_qubits: int, latest: bool
+) -> list[int]:
+    """Per-gate position after left- (or right-) justification.
+
+    Works on gate *indices* so duplicate gate values are tracked
+    individually.
+    """
+    n = len(gates)
+    if n == 0:
+        return []
+    if latest:
+        order = list(reversed(range(n)))
+    else:
+        order = list(range(n))
+    frontier = [0] * num_qubits
+    layer_of = [0] * n
+    for idx in order:
+        g = gates[idx]
+        layer = max(frontier[q] for q in g.qubits)
+        layer_of[idx] = layer
+        for q in g.qubits:
+            frontier[q] = layer + 1
+    if latest:
+        top = max(layer_of)
+        layer_of = [top - l for l in layer_of]
+    # stable order: by layer, then original index
+    ranked = sorted(range(n), key=lambda i: (layer_of[i], i))
+    pos = [0] * n
+    for new_pos, idx in enumerate(ranked):
+        pos[idx] = new_pos
+    return pos
+
+
+def sliding_distances(circuit: Circuit) -> list[int]:
+    """Per-gate slack: |ASAP position - ALAP position|."""
+    gates = circuit.gates
+    left = _justified_positions(gates, circuit.num_qubits, latest=False)
+    right = _justified_positions(gates, circuit.num_qubits, latest=True)
+    return [abs(l - r) for l, r in zip(left, right)]
+
+
+@dataclass
+class SlidingProfile:
+    """Summary of a circuit's gate-sliding behaviour."""
+
+    max_distance: int
+    quantile_distance: int
+    fraction_over_omega: float
+    suggested_omega: int
+
+
+def suggest_omega(
+    circuit: Circuit,
+    *,
+    quantile: float = 0.95,
+    omega_min: int = 50,
+    omega_max: int = 800,
+    reference_omega: int = 200,
+) -> SlidingProfile:
+    """The Section A.4 heuristic: Ω from the sliding-distance profile.
+
+    Returns a :class:`SlidingProfile`; ``suggested_omega`` is the
+    ``quantile``-th sliding distance (so an Ω-window covers the slack of
+    almost all gates), clamped into ``[omega_min, omega_max]``.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    dists = sorted(sliding_distances(circuit))
+    if not dists:
+        return SlidingProfile(0, 0, 0.0, omega_min)
+    q_idx = min(len(dists) - 1, int(quantile * len(dists)))
+    q_dist = dists[q_idx]
+    over = sum(1 for d in dists if d > reference_omega) / len(dists)
+    omega = max(omega_min, min(omega_max, q_dist))
+    return SlidingProfile(dists[-1], q_dist, over, omega)
+
+
+def popqc_adaptive(
+    circuit: Circuit,
+    oracle: OracleFn,
+    *,
+    parmap: Optional[ParallelMap] = None,
+    cost: Optional[CostFn] = None,
+    quantile: float = 0.95,
+    omega_min: int = 50,
+    omega_max: int = 800,
+    max_rounds: Optional[int] = None,
+) -> tuple[PopqcResult, SlidingProfile]:
+    """Run POPQC with the circuit-adapted Ω.
+
+    Returns the optimization result and the sliding profile that chose
+    the Ω (recorded so experiments can report it).
+    """
+    profile = suggest_omega(
+        circuit, quantile=quantile, omega_min=omega_min, omega_max=omega_max
+    )
+    result = popqc(
+        circuit,
+        oracle,
+        profile.suggested_omega,
+        parmap=parmap,
+        cost=cost,
+        max_rounds=max_rounds,
+    )
+    return result, profile

@@ -1,0 +1,79 @@
+"""Finger selection (paper Algorithm 4).
+
+Fingers are array indices into the tombstone array marking regions that
+may still contain unoptimized Ω-segments.  Two fingers are
+*non-interfering* when at least 2Ω live gates separate them, which makes
+the 2Ω-segments centered on them disjoint and safe to optimize in
+parallel (Lemma 5).
+
+``select_fingers`` partitions the circuit's live ranks into groups of 2Ω
+and picks the first finger of every even-numbered group (or of every odd
+group, whichever set is larger), guaranteeing that at least a 1/4Ω
+fraction of all fingers is selected each round (Lemma 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["select_fingers", "initial_fingers"]
+
+
+def initial_fingers(num_gates: int, omega: int) -> list[int]:
+    """Initial finger set: one finger at the start of each Ω-segment.
+
+    Matches Algorithm 2 line 2 (``{0, Ω, 2Ω, ...}``) restricted to valid
+    array indices.
+    """
+    if omega < 1:
+        raise ValueError("omega must be positive")
+    if num_gates <= 0:
+        return []
+    return list(range(0, num_gates, omega))
+
+
+def select_fingers(
+    ranks: Sequence[int], omega: int
+) -> tuple[list[int], list[int]]:
+    """Partition finger *positions* into (selected, remaining).
+
+    Parameters
+    ----------
+    ranks:
+        The live rank of each finger, in sorted order (the caller computes
+        ``ranks[i] = C.before(F[i])``; sortedness follows from F being
+        sorted by array index).
+    omega:
+        The segment-size parameter Ω.
+
+    Returns
+    -------
+    (selected, remaining):
+        Index lists into the finger array.  ``selected`` is
+        non-interfering: consecutive selected fingers differ in rank by
+        at least 2Ω (they come from distinct same-parity groups).
+
+    Notes
+    -----
+    Follows Algorithm 4: group index is ``rank // 2Ω``; the first finger
+    of each group is eligible; the larger of the even-group and odd-group
+    sets is selected.  Ties go to the odd set, matching the pseudocode's
+    strict ``>`` comparison.
+    """
+    if omega < 1:
+        raise ValueError("omega must be positive")
+    group_size = 2 * omega
+    even: list[int] = []
+    odd: list[int] = []
+    prev_group = -1
+    for i, rank in enumerate(ranks):
+        if i > 0 and rank < ranks[i - 1]:
+            raise ValueError("finger ranks must be sorted")
+        group = rank // group_size
+        if group > prev_group:
+            (even if group % 2 == 0 else odd).append(i)
+        prev_group = group
+    chosen = even if len(even) > len(odd) else odd
+    chosen_set = set(chosen)
+    remaining = [i for i in range(len(ranks)) if i not in chosen_set]
+    return chosen, remaining

@@ -1,0 +1,329 @@
+"""The POPQC algorithm (paper Algorithms 2 and 3).
+
+The driver keeps a sorted set of *fingers* (array indices into the
+tombstone array) and maintains the invariant that every Ω-segment that
+might still be optimizable contains a finger.  Each round it:
+
+1. computes each finger's live rank (``before``),
+2. selects a non-interfering subset (Algorithm 4, :mod:`.fingers`),
+3. extracts the 2Ω-segment centered on each selected finger,
+4. maps the oracle over the segments with the configured ``parmap``,
+5. accepts an oracle result iff it strictly reduces the cost function,
+   writing the new gates over the segment's slots (tombstoning the
+   remainder) and planting boundary fingers,
+6. merges surviving and new fingers and repeats until no fingers remain.
+
+The output circuit is locally optimal with respect to the oracle and Ω
+(Theorem 7) whenever the oracle is *well-behaved* — our rule-based
+oracles achieve this by running their rewrite passes to a fixpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..circuits import Circuit, Gate
+from ..parallel import ParallelMap, SerialMap, SimulatedParallelism
+from .fingers import initial_fingers, select_fingers
+from .index_tree import IndexTree
+from .stats import OptimizationStats, RoundStats
+from .tombstone import TombstoneArray
+
+__all__ = [
+    "popqc",
+    "PopqcResult",
+    "OracleFn",
+    "CostFn",
+    "OracleContractViolation",
+]
+
+
+class OracleContractViolation(RuntimeError):
+    """Raised in validation mode when an oracle output is not equivalent
+    to its input segment (or acts outside the segment's qubit support).
+
+    The paper assumes a correct oracle; this check turns that assumption
+    into an enforceable contract for third-party oracles.
+    """
+
+#: An oracle maps a gate segment to an equivalent (hopefully cheaper) one.
+OracleFn = Callable[[list[Gate]], list[Gate]]
+
+#: A cost maps a gate segment to a comparable number (default: length).
+CostFn = Callable[[Sequence[Gate]], float]
+
+
+@dataclass
+class PopqcResult:
+    """Optimized circuit plus run statistics."""
+
+    circuit: Circuit
+    stats: OptimizationStats
+
+
+def _gate_count_cost(segment: Sequence[Gate]) -> float:
+    return float(len(segment))
+
+
+class _OracleTask:
+    """Picklable oracle-application task for process-pool executors."""
+
+    __slots__ = ("oracle",)
+
+    def __init__(self, oracle: OracleFn):
+        self.oracle = oracle
+
+    def __call__(self, segment: list[Gate]) -> list[Gate]:
+        return self.oracle(segment)
+
+
+def popqc(
+    circuit: Circuit | Sequence[Gate],
+    oracle: OracleFn,
+    omega: int,
+    *,
+    parmap: Optional[ParallelMap] = None,
+    cost: Optional[CostFn] = None,
+    tree_factory: Callable[[Sequence[int]], IndexTree] = IndexTree,
+    max_rounds: Optional[int] = None,
+    check_invariants: bool = False,
+    validate_oracle: bool = False,
+    validation_max_qubits: int = 12,
+) -> PopqcResult:
+    """Optimize ``circuit`` to local optimality w.r.t. ``oracle`` and Ω.
+
+    Parameters
+    ----------
+    circuit:
+        Input circuit or raw gate sequence.
+    oracle:
+        The external optimizer applied to 2Ω-segments.  Must return a
+        gate sequence equivalent to its input; only outputs that
+        strictly reduce ``cost`` (and fit in the segment's slots) are
+        accepted.
+    omega:
+        Segment-size parameter Ω (paper default: 200).
+    parmap:
+        Parallel-map executor; defaults to :class:`SerialMap`.
+    cost:
+        Acceptance cost; defaults to gate count, matching Algorithm 3's
+        ``|optSegment| < |segment|`` test.  The depth-aware experiment
+        passes a mixed cost here.
+    tree_factory:
+        Rank/select structure for the tombstone array (IndexTree or
+        FenwickTree).
+    max_rounds:
+        Optional safety cap on the number of rounds.
+    check_invariants:
+        When True, verify non-interference and slot-disjointness every
+        round (used by the test suite; adds overhead).
+    validate_oracle:
+        When True, every *accepted* oracle output is checked against
+        its input segment: the output must act only on the segment's
+        qubits, and (when the joint support fits in
+        ``validation_max_qubits``) must implement the same unitary up
+        to global phase.  Violations raise
+        :class:`OracleContractViolation`.  Intended for integrating
+        untrusted oracles; costs one small simulation per accepted
+        call.
+
+    Returns
+    -------
+    PopqcResult with the optimized :class:`Circuit` and statistics.
+    """
+    if omega < 1:
+        raise ValueError("omega must be positive")
+    if isinstance(circuit, Circuit):
+        gates: list[Gate] = list(circuit.gates)
+        num_qubits: Optional[int] = circuit.num_qubits
+    else:
+        gates = list(circuit)
+        num_qubits = None
+    pmap = parmap if parmap is not None else SerialMap()
+    cost_fn = cost if cost is not None else _gate_count_cost
+
+    stats = OptimizationStats(
+        initial_gates=len(gates),
+        initial_cost=cost_fn(gates),
+        workers=getattr(pmap, "workers", 1),
+    )
+    t_start = time.perf_counter()
+
+    array: TombstoneArray[Gate] = TombstoneArray(gates, tree_factory)
+    fingers = initial_fingers(len(gates), omega)
+    task = _OracleTask(oracle)
+    simulated = isinstance(pmap, SimulatedParallelism)
+
+    while fingers:
+        if max_rounds is not None and stats.rounds >= max_rounds:
+            break
+        stats.rounds += 1
+        rstats = RoundStats(fingers=len(fingers))
+        t_round = time.perf_counter()
+
+        fingers = _run_round(
+            array,
+            fingers,
+            task,
+            omega,
+            pmap,
+            cost_fn,
+            rstats,
+            simulated,
+            check_invariants,
+            validate_oracle,
+            validation_max_qubits,
+        )
+
+        round_total = time.perf_counter() - t_round
+        rstats.admin_time = max(0.0, round_total - rstats.oracle_time)
+        stats.oracle_calls += rstats.selected
+        stats.oracle_accepted += rstats.accepted
+        stats.oracle_time += rstats.oracle_time
+        stats.admin_time += rstats.admin_time
+        stats.simulated_oracle_time += rstats.oracle_makespan
+        stats.per_round.append(rstats)
+
+    final_gates = array.items()
+    stats.final_gates = len(final_gates)
+    stats.final_cost = cost_fn(final_gates)
+    stats.total_time = time.perf_counter() - t_start
+    return PopqcResult(Circuit(final_gates, num_qubits), stats)
+
+
+def _run_round(
+    array: TombstoneArray[Gate],
+    fingers: list[int],
+    task: _OracleTask,
+    omega: int,
+    pmap: ParallelMap,
+    cost_fn: CostFn,
+    rstats: RoundStats,
+    simulated: bool,
+    check_invariants: bool,
+    validate_oracle: bool = False,
+    validation_max_qubits: int = 12,
+) -> list[int]:
+    """One iteration of ``optimizeSegments`` (Algorithm 3).
+
+    Returns the next round's sorted finger list.
+    """
+    total_live = array.live_count
+    if total_live == 0:
+        return []
+
+    # Rank every finger.  Fingers are array indices, so sorted finger
+    # order implies sorted rank order (before() is monotone).
+    ranks = [array.before(f) for f in fingers]
+    selected_pos, remaining_pos = select_fingers(ranks, omega)
+
+    if check_invariants:
+        _assert_non_interfering([ranks[p] for p in selected_pos], omega)
+
+    # Extract the 2Ω-segment centered on each selected finger.
+    seg_slots: list[list[int]] = []
+    seg_gates: list[list[Gate]] = []
+    seg_bounds: list[tuple[int, int]] = []
+    kept_remaining = [fingers[p] for p in remaining_pos]
+    for p in selected_pos:
+        rank = min(ranks[p], total_live)
+        lo = max(0, rank - omega)
+        hi = min(total_live, rank + omega)
+        slots, seg = array.segment(lo, hi)
+        seg_slots.append(slots)
+        seg_gates.append(seg)
+        seg_bounds.append((lo, hi))
+
+    if check_invariants:
+        _assert_disjoint_slots(seg_slots)
+
+    # Parallel oracle map (the only source of parallelism, per Sec. 2.4).
+    makespan_before = (
+        pmap.simulated_elapsed if simulated else 0.0  # type: ignore[attr-defined]
+    )
+    t_oracle = time.perf_counter()
+    results = pmap.map(task, seg_gates)
+    rstats.oracle_time = time.perf_counter() - t_oracle
+    if simulated:
+        rstats.oracle_makespan = (
+            pmap.simulated_elapsed - makespan_before  # type: ignore[attr-defined]
+        )
+    rstats.selected = len(seg_gates)
+
+    # Accept / reject, build the batched substitution and new fingers.
+    updates: list[tuple[int, Optional[Gate]]] = []
+    new_fingers: list[int] = []
+    for slots, seg, (lo, hi), opt in zip(seg_slots, seg_gates, seg_bounds, results):
+        if not slots:
+            continue
+        if len(opt) <= len(slots) and cost_fn(opt) < cost_fn(seg):
+            if validate_oracle:
+                _validate_oracle_output(seg, opt, validation_max_qubits)
+            rstats.accepted += 1
+            for i, slot in enumerate(slots):
+                updates.append((slot, opt[i] if i < len(opt) else None))
+            # Boundary fingers (Lemma 6): the first slot of the optimized
+            # region covers segments crossing its left boundary; the first
+            # live gate after the region covers the right boundary.  Both
+            # are computed before the substitution shifts ranks.
+            if lo > 0:
+                new_fingers.append(slots[0])
+            if hi < total_live:
+                new_fingers.append(array.index_of(hi))
+        # else: oracle found nothing (or result does not fit) — finger drops.
+
+    if updates:
+        array.substitute(updates)
+
+    # mergeAndDeduplicate: both lists hold array indices; keep sorted order.
+    merged = sorted(set(kept_remaining) | set(new_fingers))
+    return merged
+
+
+def _validate_oracle_output(
+    segment: list[Gate], output: list[Gate], max_qubits: int
+) -> None:
+    """Enforce the oracle contract on one accepted rewrite.
+
+    Cheap structural check always: the output may only touch qubits the
+    input touched (an equivalent replacement cannot involve new wires).
+    Semantic check when feasible: unitary equivalence up to global
+    phase on the compacted joint support.
+    """
+    in_support: set[int] = set()
+    for g in segment:
+        in_support.update(g.qubits)
+    for g in output:
+        for q in g.qubits:
+            if q not in in_support:
+                raise OracleContractViolation(
+                    f"oracle output touches qubit {q} outside the segment "
+                    f"support {sorted(in_support)}"
+                )
+    if len(in_support) <= max_qubits:
+        from ..sim import segments_equivalent  # lazy: sim pulls in numpy ops
+
+        if not segments_equivalent(segment, output):
+            raise OracleContractViolation(
+                f"oracle output ({len(output)} gates) is not equivalent to "
+                f"its input segment ({len(segment)} gates)"
+            )
+
+
+def _assert_non_interfering(selected_ranks: list[int], omega: int) -> None:
+    for a, b in zip(selected_ranks, selected_ranks[1:]):
+        if b - a < 2 * omega:
+            raise AssertionError(
+                f"selected fingers interfere: ranks {a} and {b} with omega={omega}"
+            )
+
+
+def _assert_disjoint_slots(seg_slots: list[list[int]]) -> None:
+    seen: set[int] = set()
+    for slots in seg_slots:
+        for s in slots:
+            if s in seen:
+                raise AssertionError(f"slot {s} appears in two segments")
+            seen.add(s)

@@ -1,0 +1,99 @@
+"""Instrumentation for POPQC runs.
+
+The evaluation section of the paper reports, beyond gate reductions:
+round counts (Fig. 4), oracle-call counts and their linearity in n
+(Fig. 7), the fraction of time spent inside the oracle (Fig. 8), and
+parallel/self-speedup figures (Figs. 3 and 5).  All of those quantities
+are collected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundStats", "OptimizationStats"]
+
+
+@dataclass
+class RoundStats:
+    """Per-round accounting."""
+
+    fingers: int = 0
+    selected: int = 0
+    accepted: int = 0
+    oracle_time: float = 0.0
+    admin_time: float = 0.0
+    #: Simulated p-worker makespan of this round's oracle map (only when
+    #: the executor is a SimulatedParallelism; 0 otherwise).
+    oracle_makespan: float = 0.0
+
+
+@dataclass
+class OptimizationStats:
+    """Whole-run accounting returned alongside the optimized circuit."""
+
+    initial_gates: int = 0
+    final_gates: int = 0
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+    rounds: int = 0
+    oracle_calls: int = 0
+    oracle_accepted: int = 0
+    oracle_time: float = 0.0
+    admin_time: float = 0.0
+    total_time: float = 0.0
+    #: Sum of per-round simulated makespans (SimulatedParallelism only).
+    simulated_oracle_time: float = 0.0
+    #: Worker count of the executor used.
+    workers: int = 1
+    per_round: list[RoundStats] = field(default_factory=list)
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def gate_reduction(self) -> float:
+        """Fractional gate-count reduction, the paper's quality metric."""
+        if self.initial_gates == 0:
+            return 0.0
+        return 1.0 - self.final_gates / self.initial_gates
+
+    @property
+    def oracle_fraction(self) -> float:
+        """Fraction of total time spent inside the oracle (Fig. 8)."""
+        if self.total_time <= 0.0:
+            return 0.0
+        return self.oracle_time / self.total_time
+
+    @property
+    def total_fingers(self) -> int:
+        """Sum of finger-set sizes across rounds (Lemma 3's quantity)."""
+        return sum(r.fingers for r in self.per_round)
+
+    @property
+    def parallel_time(self) -> float:
+        """Estimated p-worker wall time.
+
+        Oracle work is charged at its per-round simulated makespan when
+        available; administrative work is charged serially (conservative
+        — see DESIGN.md).  Equals ``total_time`` for serial runs.
+        """
+        if self.simulated_oracle_time > 0.0:
+            return self.admin_time + self.simulated_oracle_time
+        return self.total_time
+
+    @property
+    def self_speedup(self) -> float:
+        """Serial-time / parallel-time ratio for this run."""
+        par = self.parallel_time
+        if par <= 0.0:
+            return 1.0
+        return self.total_time / par
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.initial_gates} -> {self.final_gates} gates "
+            f"({100.0 * self.gate_reduction:.1f}% reduction), "
+            f"{self.rounds} rounds, {self.oracle_calls} oracle calls, "
+            f"{self.total_time:.3f}s total ({100.0 * self.oracle_fraction:.0f}% oracle)"
+        )

@@ -1,0 +1,185 @@
+"""Round-by-round tracing of a POPQC run (Figure 2, as a tool).
+
+The paper's Figure 2 walks through two rounds of finger dynamics; this
+module makes that view available for any run: per round, the finger
+ranks, the selected (non-interfering) subset, the accepted regions and
+the shrinking live-gate count — plus an ASCII renderer that scales the
+circuit onto a fixed-width band so the optimization wave is visible in
+a terminal.
+
+Usage::
+
+    from repro.core.trace import popqc_traced, render_trace
+    result, trace = popqc_traced(circuit, oracle, omega=100)
+    print(render_trace(trace))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..circuits import Circuit, Gate
+from ..parallel import ParallelMap, SerialMap
+from .fingers import initial_fingers, select_fingers
+from .popqc import CostFn, OracleFn, PopqcResult, _OracleTask
+from .stats import OptimizationStats, RoundStats
+from .tombstone import TombstoneArray
+
+__all__ = ["RoundTrace", "popqc_traced", "render_trace"]
+
+
+@dataclass
+class RoundTrace:
+    """Observable state of one POPQC round."""
+
+    round_index: int
+    live_before: int
+    live_after: int
+    finger_ranks: list[int]
+    selected_ranks: list[int]
+    #: accepted regions as (rank_lo, rank_hi) in pre-round rank space
+    accepted_regions: list[tuple[int, int]]
+
+
+def popqc_traced(
+    circuit: Circuit | Sequence[Gate],
+    oracle: OracleFn,
+    omega: int,
+    *,
+    parmap: Optional[ParallelMap] = None,
+    cost: Optional[CostFn] = None,
+    max_rounds: Optional[int] = None,
+) -> tuple[PopqcResult, list[RoundTrace]]:
+    """Run POPQC while recording a :class:`RoundTrace` per round.
+
+    A transparent reimplementation of the driver loop (same round
+    semantics as :func:`repro.core.popqc.popqc`; the agreement is pinned
+    by tests) that additionally snapshots each round.
+    """
+    import time
+
+    if omega < 1:
+        raise ValueError("omega must be positive")
+    if isinstance(circuit, Circuit):
+        gates = list(circuit.gates)
+        num_qubits: Optional[int] = circuit.num_qubits
+    else:
+        gates = list(circuit)
+        num_qubits = None
+    pmap = parmap if parmap is not None else SerialMap()
+    cost_fn = cost if cost is not None else (lambda seg: float(len(seg)))
+
+    stats = OptimizationStats(
+        initial_gates=len(gates),
+        initial_cost=cost_fn(gates),
+        workers=getattr(pmap, "workers", 1),
+    )
+    t_start = time.perf_counter()
+    array: TombstoneArray[Gate] = TombstoneArray(gates)
+    fingers = initial_fingers(len(gates), omega)
+    task = _OracleTask(oracle)
+    trace: list[RoundTrace] = []
+
+    while fingers:
+        if max_rounds is not None and stats.rounds >= max_rounds:
+            break
+        stats.rounds += 1
+        rstats = RoundStats(fingers=len(fingers))
+        total_live = array.live_count
+        if total_live == 0:
+            break
+
+        ranks = [array.before(f) for f in fingers]
+        selected_pos, remaining_pos = select_fingers(ranks, omega)
+        kept_remaining = [fingers[p] for p in remaining_pos]
+
+        seg_slots, seg_gates, seg_bounds = [], [], []
+        for p in selected_pos:
+            rank = min(ranks[p], total_live)
+            lo = max(0, rank - omega)
+            hi = min(total_live, rank + omega)
+            slots, seg = array.segment(lo, hi)
+            seg_slots.append(slots)
+            seg_gates.append(seg)
+            seg_bounds.append((lo, hi))
+
+        t_oracle = time.perf_counter()
+        results = pmap.map(task, seg_gates)
+        rstats.oracle_time = time.perf_counter() - t_oracle
+        rstats.selected = len(seg_gates)
+
+        updates: list[tuple[int, Optional[Gate]]] = []
+        new_fingers: list[int] = []
+        accepted_regions: list[tuple[int, int]] = []
+        for slots, seg, (lo, hi), opt in zip(
+            seg_slots, seg_gates, seg_bounds, results
+        ):
+            if not slots:
+                continue
+            if len(opt) <= len(slots) and cost_fn(opt) < cost_fn(seg):
+                rstats.accepted += 1
+                accepted_regions.append((lo, hi))
+                for i, slot in enumerate(slots):
+                    updates.append((slot, opt[i] if i < len(opt) else None))
+                if lo > 0:
+                    new_fingers.append(slots[0])
+                if hi < total_live:
+                    new_fingers.append(array.index_of(hi))
+        if updates:
+            array.substitute(updates)
+
+        trace.append(
+            RoundTrace(
+                round_index=stats.rounds,
+                live_before=total_live,
+                live_after=array.live_count,
+                finger_ranks=list(ranks),
+                selected_ranks=[ranks[p] for p in selected_pos],
+                accepted_regions=accepted_regions,
+            )
+        )
+        stats.oracle_calls += rstats.selected
+        stats.oracle_accepted += rstats.accepted
+        stats.oracle_time += rstats.oracle_time
+        stats.per_round.append(rstats)
+        fingers = sorted(set(kept_remaining) | set(new_fingers))
+
+    final_gates = array.items()
+    stats.final_gates = len(final_gates)
+    stats.final_cost = cost_fn(final_gates)
+    stats.total_time = time.perf_counter() - t_start
+    stats.admin_time = max(0.0, stats.total_time - stats.oracle_time)
+    return PopqcResult(Circuit(final_gates, num_qubits), stats), trace
+
+
+def render_trace(trace: Sequence[RoundTrace], width: int = 72) -> str:
+    """Render the rounds as an ASCII band per round.
+
+    Legend: ``.`` untouched, ``|`` finger, ``#`` selected finger,
+    ``=`` region optimized this round.  Positions are ranks scaled onto
+    ``width`` columns of the pre-round live gate count.
+    """
+    if not trace:
+        return "(no rounds)"
+    lines = ["round  live   band"]
+    for rt in trace:
+        scale = max(1, rt.live_before)
+        band = ["."] * width
+
+        def col(rank: int) -> int:
+            return min(width - 1, rank * width // scale)
+
+        for lo, hi in rt.accepted_regions:
+            for c in range(col(lo), col(max(lo, hi - 1)) + 1):
+                band[c] = "="
+        for r in rt.finger_ranks:
+            band[col(min(r, scale - 1))] = "|"
+        for r in rt.selected_ranks:
+            band[col(min(r, scale - 1))] = "#"
+        lines.append(
+            f"{rt.round_index:5d} {rt.live_before:6d}   {''.join(band)}"
+        )
+    last = trace[-1]
+    lines.append(f"final  {last.live_after:6d}")
+    return "\n".join(lines)

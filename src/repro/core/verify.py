@@ -1,0 +1,121 @@
+"""Executable statements of the paper's guarantees.
+
+Theorem 7 says the output of POPQC is *locally optimal*: no Ω-segment of
+the result can be improved by another oracle call.  This module turns
+that theorem into a checkable predicate used throughout the test suite,
+plus a potential-function monitor for Lemma 2's oracle-call bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..circuits import Circuit, Gate
+from .popqc import CostFn, OracleFn
+
+__all__ = [
+    "LocalOptimalityViolation",
+    "find_local_optimality_violations",
+    "assert_locally_optimal",
+    "oracle_call_bound",
+]
+
+
+@dataclass
+class LocalOptimalityViolation:
+    """A window the oracle can still improve, refuting local optimality."""
+
+    start_rank: int
+    window: list[Gate]
+    optimized: list[Gate]
+    cost_before: float
+    cost_after: float
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics
+        return (
+            f"segment at rank {self.start_rank}: cost {self.cost_before} -> "
+            f"{self.cost_after} ({len(self.window)} -> {len(self.optimized)} gates)"
+        )
+
+
+def find_local_optimality_violations(
+    circuit: Circuit | Sequence[Gate],
+    oracle: OracleFn,
+    omega: int,
+    *,
+    cost: Optional[CostFn] = None,
+    stride: int = 1,
+    max_windows: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> list[LocalOptimalityViolation]:
+    """Scan every Ω-window of the circuit and report oracle improvements.
+
+    Parameters
+    ----------
+    stride:
+        Check windows starting at every ``stride``-th position (1 =
+        exhaustive, matching the definition in Section 6).
+    max_windows:
+        If given, check a random sample of this many windows instead of
+        all of them (for large circuits).
+    """
+    gates = list(circuit.gates) if isinstance(circuit, Circuit) else list(circuit)
+    cost_fn = cost if cost is not None else (lambda seg: float(len(seg)))
+    n = len(gates)
+    if n == 0:
+        return []
+    starts = list(range(0, max(1, n - omega + 1), stride))
+    if max_windows is not None and len(starts) > max_windows:
+        rng = random.Random(seed)
+        starts = sorted(rng.sample(starts, max_windows))
+    violations: list[LocalOptimalityViolation] = []
+    for s in starts:
+        window = gates[s : s + omega]
+        opt = oracle(window)
+        c0, c1 = cost_fn(window), cost_fn(opt)
+        if c1 < c0:
+            violations.append(
+                LocalOptimalityViolation(s, window, opt, c0, c1)
+            )
+    return violations
+
+
+def assert_locally_optimal(
+    circuit: Circuit | Sequence[Gate],
+    oracle: OracleFn,
+    omega: int,
+    *,
+    cost: Optional[CostFn] = None,
+    stride: int = 1,
+    max_windows: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> None:
+    """Raise AssertionError when any checked Ω-window is improvable."""
+    violations = find_local_optimality_violations(
+        circuit,
+        oracle,
+        omega,
+        cost=cost,
+        stride=stride,
+        max_windows=max_windows,
+        seed=seed,
+    )
+    if violations:
+        head = "\n  ".join(str(v) for v in violations[:5])
+        raise AssertionError(
+            f"{len(violations)} locally non-optimal window(s), e.g.:\n  {head}"
+        )
+
+
+def oracle_call_bound(num_gates: int, omega: int) -> int:
+    """Lemma 2's potential bound on total oracle calls.
+
+    The potential is ``L = |F| + 2|C|`` and decreases by >= 1 per call,
+    so calls are bounded by the initial potential
+    ``ceil(n / omega) + 2n``.
+    """
+    if num_gates <= 0:
+        return 0
+    return -(-num_gates // omega) + 2 * num_gates

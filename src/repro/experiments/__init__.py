@@ -1,0 +1,48 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .figures import (
+    DEFAULT_WORKER_LADDER,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+)
+from .report import format_series, format_table, to_csv_string, write_csv
+from .tables import (
+    DEFAULT_OMEGA,
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    Table4Row,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+__all__ = [
+    "DEFAULT_OMEGA",
+    "DEFAULT_WORKER_LADDER",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "Table4Row",
+    "format_series",
+    "format_table",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "to_csv_string",
+    "write_csv",
+]

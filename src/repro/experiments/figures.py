@@ -1,0 +1,328 @@
+"""Drivers for the paper's Figures 3-9.
+
+Each driver returns structured series plus a rendered text block.  The
+scaling figures (3 and 5) recompute makespans for every worker count
+from a single timed run (see
+:meth:`repro.parallel.SimulatedParallelism.makespan_for`), so the whole
+sweep costs one optimization per instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..benchgen import family_names, generate
+from ..circuits import Circuit
+from ..core import layered_popqc, mixed_cost, popqc
+from ..oracles import GateCount, MixedCost, NamOracle, SearchOracle
+from ..parallel import SerialMap, SimulatedParallelism
+from .report import format_series, format_table
+from .tables import DEFAULT_OMEGA
+
+__all__ = [
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "DEFAULT_WORKER_LADDER",
+]
+
+DEFAULT_WORKER_LADDER = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class SpeedupCurve:
+    """Self-speedup per worker count for one instance (Fig. 3)."""
+
+    family: str
+    gates: int
+    workers: tuple[int, ...]
+    speedups: tuple[float, ...]
+
+
+def _speedup_curve(
+    circuit: Circuit,
+    family: str,
+    omega: int,
+    workers: Sequence[int],
+    seed: int,
+) -> SpeedupCurve:
+    oracle = NamOracle()
+    pmap = SimulatedParallelism(1, record_durations=True)
+    res = popqc(circuit, oracle, omega, parmap=pmap)
+    admin = res.stats.admin_time
+    base = admin + pmap.makespan_for(1)
+    speedups = tuple(base / (admin + pmap.makespan_for(p)) for p in workers)
+    return SpeedupCurve(family, circuit.num_gates, tuple(workers), speedups)
+
+
+def run_figure3(
+    *,
+    families: Sequence[str] | None = None,
+    size_index: int = 3,
+    omega: int = DEFAULT_OMEGA,
+    workers: Sequence[int] = DEFAULT_WORKER_LADDER,
+    seed: int = 0,
+) -> tuple[list[SpeedupCurve], str]:
+    """Figure 3: self-speedup vs worker count, largest instances."""
+    curves = []
+    for fam in families or family_names():
+        circuit = generate(fam, size_index, seed=seed)
+        curves.append(_speedup_curve(circuit, fam, omega, workers, seed))
+    headers = ["benchmark", "gates"] + [f"p={p}" for p in workers]
+    rows = [
+        [c.family, c.gates] + [f"{s:.2f}" for s in c.speedups] for c in curves
+    ]
+    text = format_table(
+        headers, rows, title="Figure 3: self-speedup vs number of workers"
+    )
+    return curves, text
+
+
+@dataclass
+class RoundsPoint:
+    family: str
+    gates_small: int
+    rounds_small: int
+    gates_large: int
+    rounds_large: int
+
+
+def run_figure4(
+    *,
+    families: Sequence[str] | None = None,
+    omega: int = DEFAULT_OMEGA,
+    small_index: int = 0,
+    large_index: int = 3,
+    seed: int = 0,
+) -> tuple[list[RoundsPoint], str]:
+    """Figure 4: round counts for smallest vs largest instances."""
+    oracle = NamOracle()
+    points = []
+    for fam in families or family_names():
+        small = generate(fam, small_index, seed=seed)
+        large = generate(fam, large_index, seed=seed)
+        rs = popqc(small, oracle, omega, parmap=SerialMap()).stats.rounds
+        rl = popqc(large, oracle, omega, parmap=SerialMap()).stats.rounds
+        points.append(
+            RoundsPoint(fam, small.num_gates, rs, large.num_gates, rl)
+        )
+    text = format_table(
+        ["benchmark", "gates(small)", "rounds(small)", "gates(large)", "rounds(large)"],
+        [
+            [p.family, p.gates_small, p.rounds_small, p.gates_large, p.rounds_large]
+            for p in points
+        ],
+        title="Figure 4: number of rounds, smallest vs largest instance",
+    )
+    return points, text
+
+
+@dataclass
+class SpeedupPoint:
+    family: str
+    gates: int
+    speedup: float
+
+
+def run_figure5(
+    *,
+    families: Sequence[str] | None = None,
+    size_indices: Sequence[int] = (0, 1, 2, 3),
+    omega: int = DEFAULT_OMEGA,
+    workers: int = 64,
+    seed: int = 0,
+) -> tuple[list[SpeedupPoint], str]:
+    """Figure 5: self-speedup at ``workers`` workers vs circuit size."""
+    points = []
+    for fam in families or family_names():
+        for idx in size_indices:
+            circuit = generate(fam, idx, seed=seed)
+            curve = _speedup_curve(circuit, fam, omega, [workers], seed)
+            points.append(SpeedupPoint(fam, circuit.num_gates, curve.speedups[0]))
+    text = format_table(
+        ["benchmark", "gates", f"self-speedup (p={workers})"],
+        [[p.family, p.gates, f"{p.speedup:.2f}"] for p in points],
+        title="Figure 5: self-speedup vs number of gates",
+    )
+    return points, text
+
+
+@dataclass
+class Figure6Row:
+    family: str
+    gate_cost_gate_reduction: float
+    gate_cost_depth_reduction: float
+    mixed_cost_gate_reduction: float
+    mixed_cost_depth_reduction: float
+
+
+def run_figure6(
+    *,
+    families: Sequence[str] | None = None,
+    size_indices: Sequence[int] = (0, 1),
+    omega: int = 25,
+    seed: int = 0,
+) -> tuple[list[Figure6Row], str]:
+    """Figure 6: search oracle with gate-count vs mixed (depth-aware) cost.
+
+    Runs layered POPQC (Ω counted in layers) with the Quartz-like search
+    oracle under both objectives and reports average gate and depth
+    reductions, as the paper's paired bar charts do.
+    """
+    rows = []
+    for fam in families or family_names():
+        acc = [0.0, 0.0, 0.0, 0.0]
+        for idx in size_indices:
+            circuit = generate(fam, idx, seed=seed)
+            d0, g0 = circuit.depth(), circuit.num_gates
+            res_gate = layered_popqc(
+                circuit,
+                SearchOracle(GateCount()),
+                omega,
+                cost=lambda gs: float(len(gs)),
+            )
+            res_mixed = layered_popqc(
+                circuit,
+                SearchOracle(MixedCost(10.0)),
+                omega,
+                cost=mixed_cost(10.0),
+            )
+            acc[0] += 1.0 - res_gate.circuit.num_gates / g0
+            acc[1] += 1.0 - res_gate.circuit.depth() / d0
+            acc[2] += 1.0 - res_mixed.circuit.num_gates / g0
+            acc[3] += 1.0 - res_mixed.circuit.depth() / d0
+        k = len(size_indices)
+        rows.append(Figure6Row(fam, acc[0] / k, acc[1] / k, acc[2] / k, acc[3] / k))
+    text = format_table(
+        [
+            "benchmark",
+            "gate-cost: gate red",
+            "gate-cost: depth red",
+            "mixed-cost: gate red",
+            "mixed-cost: depth red",
+        ],
+        [
+            [
+                r.family,
+                f"{100 * r.gate_cost_gate_reduction:.1f}%",
+                f"{100 * r.gate_cost_depth_reduction:.1f}%",
+                f"{100 * r.mixed_cost_gate_reduction:.1f}%",
+                f"{100 * r.mixed_cost_depth_reduction:.1f}%",
+            ]
+            for r in rows
+        ],
+        title="Figure 6: search oracle, gate cost vs mixed (10*depth + gates) cost",
+    )
+    return rows, text
+
+
+@dataclass
+class WorkPoint:
+    family: str
+    gates: int
+    time_seconds: float
+    oracle_calls: int
+
+
+def run_figure7(
+    *,
+    families: Sequence[str] | None = None,
+    size_indices: Sequence[int] = (0, 1, 2, 3),
+    omega: int = DEFAULT_OMEGA,
+    seed: int = 0,
+) -> tuple[list[WorkPoint], str]:
+    """Figure 7: single-thread work and oracle calls vs circuit size."""
+    oracle = NamOracle()
+    points = []
+    for fam in families or family_names():
+        for idx in size_indices:
+            circuit = generate(fam, idx, seed=seed)
+            res = popqc(circuit, oracle, omega, parmap=SerialMap())
+            points.append(
+                WorkPoint(
+                    fam, circuit.num_gates, res.stats.total_time, res.stats.oracle_calls
+                )
+            )
+    text = format_table(
+        ["benchmark", "gates", "time (s)", "oracle calls", "calls/gate"],
+        [
+            [p.family, p.gates, p.time_seconds, p.oracle_calls,
+             f"{p.oracle_calls / p.gates:.4f}"]
+            for p in points
+        ],
+        title="Figure 7: work and oracle calls vs number of gates",
+    )
+    return points, text
+
+
+@dataclass
+class OracleFractionPoint:
+    family: str
+    gates: int
+    oracle_fraction: float
+
+
+def run_figure8(
+    *,
+    families: Sequence[str] | None = None,
+    size_indices: Sequence[int] = (0, 1, 2, 3),
+    omega: int = DEFAULT_OMEGA,
+    seed: int = 0,
+) -> tuple[list[OracleFractionPoint], str]:
+    """Figure 8: fraction of total time spent inside the oracle."""
+    oracle = NamOracle()
+    points = []
+    for fam in families or family_names():
+        for idx in size_indices:
+            circuit = generate(fam, idx, seed=seed)
+            res = popqc(circuit, oracle, omega, parmap=SerialMap())
+            points.append(
+                OracleFractionPoint(
+                    fam, circuit.num_gates, res.stats.oracle_fraction
+                )
+            )
+    text = format_table(
+        ["benchmark", "gates", "oracle fraction"],
+        [[p.family, p.gates, f"{100 * p.oracle_fraction:.1f}%"] for p in points],
+        title="Figure 8: fraction of time spent in oracle calls",
+    )
+    return points, text
+
+
+@dataclass
+class OmegaPoint:
+    omega: int
+    avg_reduction: float
+    avg_time: float
+
+
+def run_figure9(
+    *,
+    families: Sequence[str] | None = None,
+    size_index: int = 1,
+    omegas: Sequence[int] = (25, 50, 100, 200, 400),
+    seed: int = 0,
+) -> tuple[list[OmegaPoint], str]:
+    """Figure 9: impact of Ω on average quality and time."""
+    oracle = NamOracle()
+    fams = list(families or family_names())
+    circuits = [generate(f, size_index, seed=seed) for f in fams]
+    points = []
+    for omega in omegas:
+        red, t = 0.0, 0.0
+        for circuit in circuits:
+            res = popqc(circuit, oracle, omega, parmap=SerialMap())
+            red += res.stats.gate_reduction
+            t += res.stats.total_time
+        points.append(OmegaPoint(omega, red / len(circuits), t / len(circuits)))
+    text = format_table(
+        ["omega", "avg gate reduction", "avg time (s)"],
+        [[p.omega, f"{100 * p.avg_reduction:.2f}%", p.avg_time] for p in points],
+        title="Figure 9: impact of omega on quality and running time",
+    )
+    return points, text

@@ -1,0 +1,75 @@
+"""Plain-text table / series rendering and CSV export for experiments.
+
+Every experiment driver returns structured rows; these helpers print
+them the way the paper's tables and figures report them, and write CSV
+files so the data can be re-plotted.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Sequence
+
+__all__ = ["format_table", "write_csv", "format_series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "N.A."
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[Any], ys: Sequence[Any], x_label: str, y_label: str
+) -> str:
+    """Render an (x, y) series as the paper's figures report them."""
+    lines = [f"{name}: {x_label} -> {y_label}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x):>10s}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> None:
+    """Write rows to a CSV file."""
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def to_csv_string(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """CSV text for embedding in reports."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buf.getvalue()

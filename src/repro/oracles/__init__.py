@@ -1,0 +1,47 @@
+"""Oracle optimizers: rule-based (VOQC role) and search-based (Quartz role)."""
+
+from .base import ComposedOracle, IdentityOracle, Oracle, check_well_behaved
+from .commutation import commutes, commutes_through
+from .cost import DepthCost, FidelityCost, GateCount, MixedCost, TwoQubitCount
+from .hadamard_gadgets import hadamard_gadget_pass
+from .nam import BASELINE_PASSES, DEFAULT_PASSES, EXTENDED_PASSES, NamOracle
+from .resynth import resynthesis_pass, synthesize_1q
+from .rotation_merge import rotation_merge_pass
+from .rule_engine import (
+    cancellation_pass,
+    cnot_chain_pass,
+    hadamard_reduction_pass,
+    remove_identities,
+)
+from .rules import cnot_chain_triple, hadamard_triple, try_merge
+from .search import SearchOracle
+
+__all__ = [
+    "ComposedOracle",
+    "BASELINE_PASSES",
+    "DEFAULT_PASSES",
+    "EXTENDED_PASSES",
+    "DepthCost",
+    "FidelityCost",
+    "GateCount",
+    "IdentityOracle",
+    "MixedCost",
+    "NamOracle",
+    "Oracle",
+    "SearchOracle",
+    "TwoQubitCount",
+    "cancellation_pass",
+    "check_well_behaved",
+    "cnot_chain_pass",
+    "cnot_chain_triple",
+    "commutes",
+    "commutes_through",
+    "hadamard_gadget_pass",
+    "hadamard_reduction_pass",
+    "hadamard_triple",
+    "remove_identities",
+    "resynthesis_pass",
+    "rotation_merge_pass",
+    "synthesize_1q",
+    "try_merge",
+]

@@ -1,0 +1,92 @@
+"""Oracle protocol and well-behavedness checking (paper Section 6).
+
+An oracle is any callable from a gate list to an equivalent gate list.
+The local-optimality theorem requires oracles to be *well-behaved*:
+once the oracle has optimized a circuit, any segment of its output must
+itself be unimprovable by the oracle.  Fixpoint rule engines have this
+property by construction; :func:`check_well_behaved` tests it
+empirically for arbitrary oracles, which is how we validate third-party
+oracles plugged into POPQC.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol, Sequence
+
+from ..circuits import Gate
+
+__all__ = ["Oracle", "check_well_behaved", "IdentityOracle", "ComposedOracle"]
+
+
+class Oracle(Protocol):
+    """Any segment optimizer: gate list in, equivalent gate list out."""
+
+    def __call__(self, gates: Sequence[Gate]) -> list[Gate]: ...  # pragma: no cover
+
+
+class IdentityOracle:
+    """The trivial oracle: returns its input.  Useful as a baseline and
+    in tests (POPQC with this oracle must terminate after one pass over
+    the initial fingers with zero accepted optimizations)."""
+
+    def __call__(self, gates: Sequence[Gate]) -> list[Gate]:
+        return list(gates)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "IdentityOracle()"
+
+
+class ComposedOracle:
+    """Run several oracles in sequence, keeping the best (fewest-cost)
+    output.  Picklable as long as the components are."""
+
+    def __init__(self, *oracles, cost=None):
+        if not oracles:
+            raise ValueError("ComposedOracle needs at least one oracle")
+        self.oracles = oracles
+        self.cost = cost if cost is not None else (lambda g: float(len(g)))
+
+    def __call__(self, gates: Sequence[Gate]) -> list[Gate]:
+        best = list(gates)
+        best_cost = self.cost(best)
+        current = list(gates)
+        for oracle in self.oracles:
+            current = oracle(current)
+            c = self.cost(current)
+            if c < best_cost:
+                best, best_cost = list(current), c
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ComposedOracle({', '.join(repr(o) for o in self.oracles)})"
+
+
+def check_well_behaved(
+    oracle: Oracle,
+    gates: Sequence[Gate],
+    *,
+    samples: int = 20,
+    seed: Optional[int] = None,
+) -> list[tuple[int, int]]:
+    """Empirically test the well-behavedness property on one input.
+
+    Runs the oracle on ``gates``, then samples random subsegments of the
+    output and re-runs the oracle on each.  Returns the (start, stop)
+    ranges of subsegments the oracle still improved — an empty list
+    means no counterexample was found.
+    """
+    out = oracle(list(gates))
+    n = len(out)
+    if n == 0:
+        return []
+    rng = random.Random(seed)
+    bad: list[tuple[int, int]] = []
+    for _ in range(samples):
+        i = rng.randrange(n)
+        j = rng.randrange(i, n) + 1
+        sub = out[i:j]
+        opt = oracle(list(sub))
+        if len(opt) < len(sub):
+            bad.append((i, j))
+    return bad

@@ -1,0 +1,148 @@
+"""Cost functions for optimization objectives (paper Sections 2.3, 7.8).
+
+A cost function maps a gate sequence to a number; optimizers accept a
+rewrite only when it strictly decreases the cost.  ``GateCount`` is the
+paper's primary metric; ``MixedCost`` is the depth-aware objective
+``10*depth + gates`` used with the Quartz-like oracle in Section 7.8.
+
+All cost classes are stateless, hashable and picklable so they can cross
+process boundaries inside oracle closures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits import Gate, circuit_depth, gates_qubit_span
+
+__all__ = ["GateCount", "DepthCost", "MixedCost", "TwoQubitCount", "FidelityCost"]
+
+
+class GateCount:
+    """Total number of gates (Algorithm 3's ``|segment|``)."""
+
+    def __call__(self, gates: Sequence[Gate]) -> float:
+        return float(len(gates))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "GateCount()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GateCount)
+
+    def __hash__(self) -> int:
+        return hash("GateCount")
+
+
+class DepthCost:
+    """Circuit depth under greedy ASAP layering."""
+
+    def __call__(self, gates: Sequence[Gate]) -> float:
+        gates = list(gates)
+        if not gates:
+            return 0.0
+        return float(circuit_depth(gates, gates_qubit_span(gates)))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "DepthCost()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DepthCost)
+
+    def __hash__(self) -> int:
+        return hash("DepthCost")
+
+
+class MixedCost:
+    """The paper's Section 7.8 objective: ``depth_weight*depth + gates``."""
+
+    def __init__(self, depth_weight: float = 10.0):
+        self.depth_weight = depth_weight
+
+    def __call__(self, gates: Sequence[Gate]) -> float:
+        gates = list(gates)
+        if not gates:
+            return 0.0
+        depth = circuit_depth(gates, gates_qubit_span(gates))
+        return self.depth_weight * depth + len(gates)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MixedCost(depth_weight={self.depth_weight})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MixedCost) and other.depth_weight == self.depth_weight
+
+    def __hash__(self) -> int:
+        return hash(("MixedCost", self.depth_weight))
+
+
+class FidelityCost:
+    """Negative log-fidelity under a depolarizing per-gate error model.
+
+    The NISQ-era objective Section 8.1 motivates: each gate succeeds
+    with a type-dependent probability, the circuit's success probability
+    is the product, and minimizing ``-log(fidelity)`` is minimizing a
+    per-type weighted gate count.  Default error rates follow the usual
+    superconducting-hardware ballpark: two-qubit gates an order of
+    magnitude noisier than single-qubit ones.
+    """
+
+    def __init__(
+        self,
+        single_qubit_error: float = 1e-4,
+        two_qubit_error: float = 1e-3,
+    ):
+        if not 0 <= single_qubit_error < 1 or not 0 <= two_qubit_error < 1:
+            raise ValueError("error rates must be in [0, 1)")
+        self.single_qubit_error = single_qubit_error
+        self.two_qubit_error = two_qubit_error
+        import math
+
+        self._w1 = -math.log1p(-single_qubit_error)
+        self._w2 = -math.log1p(-two_qubit_error)
+
+    def __call__(self, gates: Sequence[Gate]) -> float:
+        cost = 0.0
+        for g in gates:
+            cost += self._w2 if g.arity > 1 else self._w1
+        return cost
+
+    def fidelity(self, gates: Sequence[Gate]) -> float:
+        """The modeled success probability of the circuit."""
+        import math
+
+        return math.exp(-self(gates))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FidelityCost(single={self.single_qubit_error}, "
+            f"two={self.two_qubit_error})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FidelityCost)
+            and other.single_qubit_error == self.single_qubit_error
+            and other.two_qubit_error == self.two_qubit_error
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            ("FidelityCost", self.single_qubit_error, self.two_qubit_error)
+        )
+
+
+class TwoQubitCount:
+    """Number of multi-qubit gates — a common NISQ fidelity proxy."""
+
+    def __call__(self, gates: Sequence[Gate]) -> float:
+        return float(sum(1 for g in gates if g.arity > 1))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "TwoQubitCount()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TwoQubitCount)
+
+    def __hash__(self) -> int:
+        return hash("TwoQubitCount")

@@ -1,0 +1,192 @@
+"""Nam-style Hadamard gate reduction (Nam et al. Section 4.3).
+
+Hadamards are the boundary markers of {CNOT, X, RZ} phase-polynomial
+regions: every H ends a region on its wire, so *fewer Hadamards means
+longer regions and more rotation merging*.  This pass applies the four
+verified identities (tests: ``tests/oracles/test_hadamard_gadgets.py``)
+
+1. ``H S H      -> Sdg H Sdg``                (count-neutral, -2 H)
+2. ``H Sdg H    -> S H S``                    (count-neutral, -2 H)
+3. ``H S CNOT Sdg H -> Sdg CNOT S``  (on the target wire; -2 gates)
+4. ``H(a) H(b) CNOT(a,b) H(a) H(b) -> CNOT(b,a)``        (-4 gates)
+
+with S = RZ(pi/2), all up to global phase.  Patterns are matched with
+per-wire adjacency (intervening gates touch other wires only, hence
+commute with the replaced single-wire gates), which is sound and cheap.
+
+Termination measure for fixpoint composition: every application strictly
+decreases the circuit's Hadamard count, so the pass cannot oscillate
+even though rules 1-2 preserve total gate count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..circuits import Gate, RZ
+from .rule_engine import WireIndex, _next_live
+
+__all__ = ["hadamard_gadget_pass"]
+
+_HALF_PI = math.pi / 2
+_NEG_HALF_PI = 3 * math.pi / 2  # normalized -pi/2
+
+
+def _is_s(g: Gate) -> bool:
+    return g.name == "rz" and abs(g.param - _HALF_PI) < 1e-9  # type: ignore[operator]
+
+
+def _is_sdg(g: Gate) -> bool:
+    return g.name == "rz" and abs(g.param - _NEG_HALF_PI) < 1e-9  # type: ignore[operator]
+
+
+def hadamard_gadget_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    """One sweep of the four Hadamard-reduction rules."""
+    arr: list[Optional[Gate]] = list(gates)
+    index = WireIndex(gates)
+    changed = False
+    n = len(arr)
+    for i in range(n):
+        a = arr[i]
+        if a is None or a.name != "h":
+            continue
+        q = a.qubits[0]
+
+        # --- rule 4: H(a) H(b) CNOT(a,b) H(a) H(b) -> CNOT(b,a) --------
+        j = _next_live(index, arr, i, (q,))
+        if j is None:
+            continue
+        b = arr[j]
+        assert b is not None
+        if b.name == "cnot" and _try_rule4(arr, index, i, j):
+            changed = True
+            continue
+
+        if b.arity != 1 or b.qubits[0] != q:
+            continue
+
+        # --- rule 3: H S CNOT Sdg H (target wire) -----------------------
+        if (_is_s(b) or _is_sdg(b)) and _try_rule3(arr, index, i, j, q, _is_s(b)):
+            changed = True
+            continue
+
+        # --- rules 1-2: H (S|Sdg) H -------------------------------------
+        if _is_s(b) or _is_sdg(b):
+            k = _next_live(index, arr, j, (q,))
+            if k is None:
+                continue
+            c = arr[k]
+            assert c is not None
+            if c.name != "h" or c.qubits[0] != q:
+                continue
+            flip = _NEG_HALF_PI if _is_s(b) else _HALF_PI
+            arr[i] = RZ(q, flip)
+            arr[j] = Gate("h", (q,))
+            arr[k] = RZ(q, flip)
+            changed = True
+    out = [g for g in arr if g is not None]
+    return out, changed
+
+
+def _try_rule3(
+    arr: list[Optional[Gate]],
+    index: WireIndex,
+    i: int,
+    j: int,
+    q: int,
+    middle_is_s: bool,
+) -> bool:
+    """Match H . (S|Sdg) . CNOT(c,q) . (Sdg|S) . H on wire ``q``."""
+    k = _next_live(index, arr, j, (q,))
+    if k is None:
+        return False
+    cnot = arr[k]
+    assert cnot is not None
+    if cnot.name != "cnot" or cnot.qubits[1] != q:
+        return False
+    m = _next_live(index, arr, k, (q,))
+    if m is None:
+        return False
+    d = arr[m]
+    assert d is not None
+    want_d = _is_sdg if middle_is_s else _is_s
+    if d.arity != 1 or d.qubits[0] != q or not want_d(d):
+        return False
+    p = _next_live(index, arr, m, (q,))
+    if p is None:
+        return False
+    e = arr[p]
+    assert e is not None
+    if e.name != "h" or e.qubits[0] != q:
+        return False
+    # H S CNOT Sdg H -> Sdg CNOT S   (and the mirrored variant)
+    first = _NEG_HALF_PI if middle_is_s else _HALF_PI
+    last = _HALF_PI if middle_is_s else _NEG_HALF_PI
+    arr[i] = RZ(q, first)
+    arr[j] = None
+    # cnot stays at k
+    arr[m] = RZ(q, last)
+    arr[p] = None
+    return True
+
+
+def _try_rule4(
+    arr: list[Optional[Gate]], index: WireIndex, i: int, j: int
+) -> bool:
+    """Match the HH-CNOT-HH sandwich around the CNOT at ``j``.
+
+    ``i`` holds an H on one of the CNOT's wires; require the H on the
+    other wire immediately before the CNOT (per-wire), and H's on both
+    wires immediately after.
+    """
+    cnot = arr[j]
+    assert cnot is not None and cnot.name == "cnot"
+    a_w, b_w = cnot.qubits
+    h_q = arr[i].qubits[0]  # type: ignore[union-attr]
+    other = b_w if h_q == a_w else a_w
+
+    # the partner H must be the previous gate on the other wire
+    partner = _prev_live_on_wire(arr, index, j, other)
+    if partner is None:
+        return False
+    pg = arr[partner]
+    assert pg is not None
+    if pg.name != "h" or pg.qubits[0] != other:
+        return False
+    # and the next gate on each wire after the CNOT must be an H
+    after_a = _next_live(index, arr, j, (a_w,))
+    after_b = _next_live(index, arr, j, (b_w,))
+    if after_a is None or after_b is None or after_a == after_b:
+        return False
+    ga, gb = arr[after_a], arr[after_b]
+    assert ga is not None and gb is not None
+    if ga.name != "h" or ga.qubits[0] != a_w:
+        return False
+    if gb.name != "h" or gb.qubits[0] != b_w:
+        return False
+    arr[i] = None
+    arr[partner] = None
+    arr[j] = Gate("cnot", (b_w, a_w))
+    arr[after_a] = None
+    arr[after_b] = None
+    return True
+
+
+def _prev_live_on_wire(
+    arr: list[Optional[Gate]], index: WireIndex, before: int, wire: int
+) -> Optional[int]:
+    """Index of the last live gate before ``before`` touching ``wire``."""
+    lst = index.wires.get(wire, [])
+    # binary search for position of `before` in the wire list
+    lo, hi = 0, len(lst)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if lst[mid] < before:
+            lo = mid + 1
+        else:
+            hi = mid
+    for p in range(lo - 1, -1, -1):
+        if arr[lst[p]] is not None:
+            return lst[p]
+    return None

@@ -1,0 +1,341 @@
+"""Nam-style rewrite engine on gate lists.
+
+Implements the optimization routines of Nam et al. (2018) — the rule set
+VOQC verifies — specialized to the {H, X, CNOT, RZ} set:
+
+* :func:`cancellation_pass` — gate cancellation and rotation merging
+  with commutation scans: each gate walks rightward past commuting gates
+  looking for a partner it cancels or merges with.
+* :func:`hadamard_reduction_pass` — per-wire ``H X H -> RZ(pi)`` and
+  ``H RZ(pi) H -> X`` triples (three gates become one).
+* :func:`cnot_chain_pass` — shared-wire CNOT chain reductions
+  (``CNOT(p,q) CNOT(q,r) CNOT(p,q) -> CNOT(q,r) CNOT(p,r)``).
+* :func:`repro.oracles.rotation_merge.rotation_merge_pass` — phase
+  polynomial rotation merging (separate module).
+
+Every pass takes and returns a plain ``list[Gate]`` and reports whether
+it changed anything, so passes compose into pipelines and fixpoints
+(see :mod:`repro.oracles.nam`).  All passes preserve the segment's
+unitary up to global phase (property-tested against the simulator).
+
+The scans are *wire-threaded*: each gate only visits later gates that
+share a qubit with it (gates on disjoint wires commute trivially, so
+skipping them never changes the outcome, only the constant factor).
+Worst-case cost remains O(L^2) in the segment length L, the bound Nam
+et al. give; POPQC feeds 2Ω-length segments here, so L is a few
+hundred gates, while the whole-circuit baseline pays the same scans at
+full circuit length.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..circuits import Gate, normalize_angle
+from .commutation import commutes
+from .rules import hadamard_triple, try_merge
+
+__all__ = [
+    "cancellation_pass",
+    "hadamard_reduction_pass",
+    "cnot_chain_pass",
+    "remove_identities",
+    "WireIndex",
+]
+
+
+def remove_identities(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    """Drop rz(0) identity rotations."""
+    out = [g for g in gates if not g.is_identity]
+    return out, len(out) != len(gates)
+
+
+class WireIndex:
+    """Per-wire occurrence lists for wire-threaded forward scans.
+
+    For each qubit, the (static) ordered list of gate indices touching
+    it, plus each gate's position within its wires' lists.  Tombstoned
+    entries are skipped at scan time, so passes can delete/replace gates
+    without rebuilding the index (replacements must keep the original
+    gate's qubits, which all our pair rules do).
+    """
+
+    __slots__ = ("wires", "pos")
+
+    def __init__(self, gates: Sequence[Gate]):
+        wires: dict[int, list[int]] = {}
+        pos: dict[tuple[int, int], int] = {}
+        for i, g in enumerate(gates):
+            for q in g.qubits:
+                lst = wires.setdefault(q, [])
+                pos[(q, i)] = len(lst)
+                lst.append(i)
+        self.wires = wires
+        self.pos = pos
+
+    def successors(self, arr: list[Optional[Gate]], i: int, qubits: tuple[int, ...]):
+        """Yield indices of live gates after ``i`` touching any of
+        ``qubits``, in global order, until the caller stops iterating."""
+        ptrs = {q: self.pos[(q, i)] + 1 if (q, i) in self.pos else 0 for q in qubits}
+        # For wires the start gate does not touch, begin after index i.
+        for q in qubits:
+            if (q, i) not in self.pos:
+                lst = self.wires.get(q, [])
+                lo, hi = 0, len(lst)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if lst[mid] <= i:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                ptrs[q] = lo
+        while True:
+            j: Optional[int] = None
+            for q in qubits:
+                lst = self.wires.get(q, [])
+                p = ptrs[q]
+                while p < len(lst) and arr[lst[p]] is None:
+                    p += 1
+                ptrs[q] = p
+                if p < len(lst):
+                    cand = lst[p]
+                    if j is None or cand < j:
+                        j = cand
+            if j is None:
+                return
+            yield j
+            for q in qubits:
+                lst = self.wires.get(q, [])
+                p = ptrs[q]
+                if p < len(lst) and lst[p] == j:
+                    ptrs[q] = p + 1
+
+
+def cancellation_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    """One sweep of cancellation/merging with commutation scans.
+
+    For each live gate ``g`` (left to right), walk the later gates that
+    overlap ``g``'s wires: skip those that commute with ``g``; on
+    meeting a gate ``h`` that ``g`` merges with, apply the pair rule
+    (cancel both, or write the merged rotation at ``h``'s position so it
+    stays behind everything ``g`` commuted past); on meeting a blocking
+    gate, stop and move on.
+
+    The single- and two-qubit walks are hand-inlined versions of
+    :func:`repro.oracles.commutation.commutes` restricted to overlapping
+    pairs plus :func:`repro.oracles.rules.try_merge` — this function is
+    the oracle's hot loop and runs millions of times per optimization.
+    Semantic equivalence with the generic predicates is pinned by
+    ``tests/oracles/test_rule_engine.py``.
+    """
+    arr: list[Optional[Gate]] = list(gates)
+    n = len(arr)
+    changed = False
+    # Per-wire occurrence lists + each gate's position in its wires' lists.
+    wires: dict[int, list[int]] = {}
+    pos: dict[tuple[int, int], int] = {}
+    for i, g in enumerate(gates):
+        for q in g.qubits:
+            lst = wires.setdefault(q, [])
+            pos[(q, i)] = len(lst)
+            lst.append(i)
+
+    for i in range(n):
+        g = arr[i]
+        if g is None:
+            continue
+        gname = g.name
+        if gname == "rz" and g.param == 0.0:
+            arr[i] = None
+            changed = True
+            continue
+        if gname != "cnot":
+            # --- single-qubit walk along the gate's wire -----------------
+            q = g.qubits[0]
+            lst = wires[q]
+            p = pos[(q, i)] + 1
+            length = len(lst)
+            while p < length:
+                j = lst[p]
+                h = arr[j]
+                if h is None:
+                    p += 1
+                    continue
+                hname = h.name
+                if hname == gname and h.qubits == g.qubits:
+                    # mergeable pair (hh/xx cancel, rz+rz merge)
+                    if gname == "rz":
+                        theta = normalize_angle(g.param + h.param)  # type: ignore[operator]
+                        arr[j] = None if theta == 0.0 else Gate("rz", h.qubits, theta)
+                    else:
+                        arr[j] = None
+                    arr[i] = None
+                    changed = True
+                    break
+                if hname == "cnot":
+                    hq = h.qubits
+                    if (gname == "rz" and q == hq[0]) or (
+                        gname == "x" and q == hq[1]
+                    ):
+                        p += 1
+                        continue
+                    break
+                break  # overlapping 1q gate of a different kind blocks
+        else:
+            # --- two-qubit walk merging both wires' lists -----------------
+            c0, t0 = g.qubits
+            lst_c = wires[c0]
+            lst_t = wires[t0]
+            pc = pos[(c0, i)] + 1
+            pt = pos[(t0, i)] + 1
+            len_c = len(lst_c)
+            len_t = len(lst_t)
+            while True:
+                while pc < len_c and arr[lst_c[pc]] is None:
+                    pc += 1
+                while pt < len_t and arr[lst_t[pt]] is None:
+                    pt += 1
+                if pc < len_c:
+                    j = lst_c[pc] if pt >= len_t or lst_c[pc] <= lst_t[pt] else lst_t[pt]
+                elif pt < len_t:
+                    j = lst_t[pt]
+                else:
+                    break
+                h = arr[j]
+                assert h is not None
+                if h.name == "cnot":
+                    hc, ht = h.qubits
+                    if hc == c0 and ht == t0:
+                        arr[i] = None
+                        arr[j] = None
+                        changed = True
+                        break
+                    if hc == t0 or ht == c0:
+                        break  # control/target collision blocks
+                    # shares only a control and/or only a target: commutes
+                else:
+                    hq = h.qubits[0]
+                    if not (
+                        (h.name == "rz" and hq == c0)
+                        or (h.name == "x" and hq == t0)
+                    ):
+                        break
+                if pc < len_c and lst_c[pc] == j:
+                    pc += 1
+                if pt < len_t and lst_t[pt] == j:
+                    pt += 1
+    out = [g for g in arr if g is not None]
+    return out, changed
+
+
+def hadamard_reduction_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    """Rewrite per-wire-adjacent H·(X|RZ(pi))·H triples to a single gate.
+
+    Adjacency is per wire: the three gates are single-qubit gates on the
+    same qubit and no gate in between touches that qubit, so everything
+    in between commutes with the whole triple and the replacement can be
+    written at the first gate's position.
+    """
+    arr: list[Optional[Gate]] = list(gates)
+    index = WireIndex(gates)
+    changed = False
+    for i in range(len(arr)):
+        a = arr[i]
+        if a is None or a.name != "h":
+            continue
+        q = a.qubits[0]
+        j = _next_live(index, arr, i, (q,))
+        if j is None:
+            continue
+        b = arr[j]
+        assert b is not None
+        if b.arity != 1:
+            continue
+        k = _next_live(index, arr, j, (q,))
+        if k is None:
+            continue
+        c = arr[k]
+        assert c is not None
+        replacement = hadamard_triple(a, b, c)
+        if replacement is None:
+            continue
+        arr[i] = replacement[0]
+        arr[j] = None
+        arr[k] = None
+        changed = True
+    out = [g for g in arr if g is not None]
+    return out, changed
+
+
+def cnot_chain_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    """Shared-wire CNOT chain reduction (3 CNOTs -> 2).
+
+    Pattern: ``a = CNOT(p,q)``, then (past gates disjoint from {p,q}) a
+    middle CNOT ``b`` sharing exactly one wire with ``a`` in the
+    control-of-one-is-target-of-the-other configuration, then (past
+    gates disjoint from {p,q,r}) ``c == a``.  The two replacement CNOTs
+    are written at ``b``'s and ``c``'s positions, which is sound because
+    ``a`` commutes past everything before ``b``.
+    """
+    current = list(gates)
+    changed = False
+    # The replacement written at position k changes that gate's qubit
+    # set, which would stale a static wire index; apply one rewrite per
+    # scan and restart (chain rewrites are rare, so the restarts are
+    # cheap in practice).
+    while True:
+        applied = _cnot_chain_once(current)
+        if applied is None:
+            return current, changed
+        current = applied
+        changed = True
+
+
+def _cnot_chain_once(gates: list[Gate]) -> Optional[list[Gate]]:
+    """Apply the first applicable chain rewrite, or None if none fits."""
+    arr: list[Optional[Gate]] = list(gates)
+    index = WireIndex(gates)
+    for i in range(len(arr)):
+        a = arr[i]
+        if a is None or a.name != "cnot":
+            continue
+        p, q = a.qubits
+        j = _next_live(index, arr, i, (p, q))
+        if j is None:
+            continue
+        b = arr[j]
+        assert b is not None
+        if b.name != "cnot":
+            continue
+        bc, bt = b.qubits
+        if not ((bc == q and bt != p) or (bt == p and bc != q)):
+            continue
+        union = tuple({p, q, bc, bt})
+        k = _next_live(index, arr, j, union)
+        if k is None:
+            continue
+        c = arr[k]
+        assert c is not None
+        if c.name != "cnot" or c.qubits != a.qubits:
+            continue
+        if bc == q:
+            first, second = Gate("cnot", (q, bt)), Gate("cnot", (p, bt))
+        else:
+            first, second = Gate("cnot", (bc, p)), Gate("cnot", (bc, q))
+        arr[i] = None
+        arr[j] = first
+        arr[k] = second
+        return [g for g in arr if g is not None]
+    return None
+
+
+def _next_live(
+    index: WireIndex,
+    arr: list[Optional[Gate]],
+    start: int,
+    qubits: tuple[int, ...],
+) -> Optional[int]:
+    """Index of the first live gate after ``start`` touching ``qubits``."""
+    for j in index.successors(arr, start, qubits):
+        return j
+    return None

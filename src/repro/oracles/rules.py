@@ -1,0 +1,110 @@
+"""Local rewrite rules on the {H, X, CNOT, RZ} gate set.
+
+Each rule maps a short gate pattern to an equivalent (up to global
+phase) replacement.  ``try_merge`` covers the pair rules used by the
+cancellation engine; the triple rules (Hadamard reductions) are listed
+separately because they need per-wire adjacency rather than general
+commutation scans.  All rules are unitary-verified in
+``tests/oracles/test_rules.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..circuits import CNOT, RZ, Gate, X, is_zero_angle, normalize_angle
+
+__all__ = [
+    "try_merge",
+    "hadamard_triple",
+    "cnot_chain_triple",
+    "PAIR_RULE_NAMES",
+]
+
+PAIR_RULE_NAMES = (
+    "hh_cancel",
+    "xx_cancel",
+    "cnot_cancel",
+    "rz_merge",
+)
+
+_PI = math.pi
+
+
+def try_merge(g: Gate, h: Gate) -> Optional[list[Gate]]:
+    """Replacement for the adjacent pair ``g; h``, or None if no rule fits.
+
+    Returns ``[]`` for a full cancellation and ``[merged]`` for a
+    rotation merge.  Only called by the engine when ``g`` has commuted
+    all the way up to ``h``.
+    """
+    if g.name != h.name or g.qubits != h.qubits:
+        return None
+    if g.name in ("h", "x"):
+        return []  # self-inverse pair
+    if g.name == "cnot":
+        return []  # same control and target: self-inverse
+    if g.name == "rz":
+        assert g.param is not None and h.param is not None
+        theta = normalize_angle(g.param + h.param)
+        if is_zero_angle(theta):
+            return []
+        return [RZ(g.qubits[0], theta)]
+    return None
+
+
+def hadamard_triple(a: Gate, b: Gate, c: Gate) -> Optional[list[Gate]]:
+    """Hadamard-reduction rules on a per-wire-adjacent triple ``a; b; c``.
+
+    * ``H X H -> RZ(pi)``  (since H X H = Z, and RZ(pi) = Z)
+    * ``H RZ(pi) H -> X``  (the reverse direction)
+
+    Both reduce three gates to one.  Requires all three gates to be
+    single-qubit gates on the same wire and adjacent in that wire's
+    gate subsequence (gates in between touch other qubits only, hence
+    commute with all three).
+    """
+    if not (a.arity == b.arity == c.arity == 1):
+        return None
+    q = a.qubits[0]
+    if b.qubits[0] != q or c.qubits[0] != q:
+        return None
+    if a.name != "h" or c.name != "h":
+        return None
+    if b.name == "x":
+        return [RZ(q, _PI)]
+    if b.name == "rz" and b.param is not None:
+        if abs(normalize_angle(b.param) - _PI) < 1e-9:
+            return [X(q)]
+    return None
+
+
+def cnot_chain_triple(a: Gate, b: Gate, c: Gate) -> Optional[list[Gate]]:
+    """CNOT chain reduction: ``CNOT(p,q); CNOT(q,r); CNOT(p,q)`` -> 2 CNOTs.
+
+    The identity (verified by simulation in the tests) is::
+
+        CNOT(p,q) CNOT(q,r) CNOT(p,q)  =  CNOT(q,r) CNOT(p,r)
+
+    and symmetrically for the shared-target chain::
+
+        CNOT(p,q) CNOT(r,p) CNOT(p,q)  =  CNOT(r,p) CNOT(r,q)
+
+    Requires the three gates to be adjacent up to commutation on all
+    involved wires; the engine only calls this on globally adjacent
+    windows, which is sufficient (conservative).
+    """
+    if not (a.name == b.name == c.name == "cnot"):
+        return None
+    if a.qubits != c.qubits:
+        return None
+    p, q = a.qubits
+    bc, bt = b.qubits
+    if bc == q and bt != p:
+        # shared wire: middle's control is outer's target
+        return [CNOT(q, bt), CNOT(p, bt)]
+    if bt == p and bc != q:
+        # middle's target is outer's control
+        return [CNOT(bc, p), CNOT(bc, q)]
+    return None

@@ -1,0 +1,17 @@
+"""Parallelism substrate: the parmap protocol, executors and scheduling."""
+
+from .executor import ParallelMap, ProcessMap, SerialMap, ThreadMap, default_workers
+from .scheduling import greedy_makespan, ideal_makespan, lpt_makespan
+from .simulated import SimulatedParallelism
+
+__all__ = [
+    "ParallelMap",
+    "ProcessMap",
+    "SerialMap",
+    "SimulatedParallelism",
+    "ThreadMap",
+    "default_workers",
+    "greedy_makespan",
+    "ideal_makespan",
+    "lpt_makespan",
+]

@@ -1,0 +1,135 @@
+"""The ``parmap`` primitive (paper Section 2.4).
+
+POPQC exposes parallelism only through a parallel map over a collection.
+The paper implements it with Rust/Rayon fork-join; here the primitive is
+an abstract :class:`ParallelMap` with four implementations:
+
+* :class:`SerialMap` — plain sequential map (the 1-thread configuration).
+* :class:`ThreadMap` — ``concurrent.futures.ThreadPoolExecutor``.  Under
+  CPython's GIL this gives little speedup for pure-Python oracles but is
+  useful when the oracle releases the GIL (numpy-heavy cost functions).
+* :class:`ProcessMap` — ``ProcessPoolExecutor``; real multicore speedups
+  at the cost of pickling segments to workers.  Oracle callables must be
+  picklable (all oracles in :mod:`repro.oracles` are).
+* :class:`~repro.parallel.simulated.SimulatedParallelism` — executes
+  serially, times each task, and reports the *makespan* a p-worker
+  machine would achieve.  This is the executor the scaling experiments
+  use (see DESIGN.md, substitution table).
+
+All implementations preserve input order in the result list, which the
+POPQC driver relies on.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Protocol, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["ParallelMap", "SerialMap", "ThreadMap", "ProcessMap", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count used when none is given (``os.cpu_count()``)."""
+    return os.cpu_count() or 1
+
+
+class ParallelMap(Protocol):
+    """Order-preserving parallel map protocol.
+
+    Implementations may run tasks in any order but must return results in
+    input order.  ``workers`` reports the parallelism the executor aims
+    to provide (used by instrumentation only).
+    """
+
+    workers: int
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every element of ``items``."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for stateless executors)."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialMap:
+    """Sequential map; the reference executor and the 1-thread setting."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "SerialMap()"
+
+
+class ThreadMap:
+    """Thread-pool map.
+
+    A shared pool is kept alive across calls so repeated rounds of the
+    POPQC loop do not pay thread startup costs.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers or default_workers()
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ThreadMap(workers={self.workers})"
+
+
+class ProcessMap:
+    """Process-pool map for genuine multicore execution.
+
+    Tasks and results cross process boundaries, so ``fn`` and the items
+    must be picklable.  Small batches fall back to serial execution to
+    avoid paying IPC costs for trivial rounds (the same adaptive idea as
+    Rayon's loop splitting, which the paper relies on).
+    """
+
+    def __init__(self, workers: int | None = None, serial_cutoff: int = 2):
+        self.workers = workers or default_workers()
+        self.serial_cutoff = serial_cutoff
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if len(items) <= self.serial_cutoff:
+            return [fn(item) for item in items]
+        chunk = max(1, len(items) // (4 * self.workers))
+        return list(self._ensure().map(fn, items, chunksize=chunk))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ProcessMap(workers={self.workers})"

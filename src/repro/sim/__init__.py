@@ -1,0 +1,26 @@
+"""Simulation substrate: statevector simulator, unitary builder, equivalence."""
+
+from .equivalence import (
+    allclose_up_to_phase,
+    circuits_equivalent,
+    segments_equivalent,
+    statevectors_equivalent,
+)
+from .probe import probe_equivalent
+from .statevector import apply_gate, apply_gates, basis_state, run, zero_state
+from .unitary import circuit_unitary, gates_unitary
+
+__all__ = [
+    "allclose_up_to_phase",
+    "apply_gate",
+    "apply_gates",
+    "basis_state",
+    "circuit_unitary",
+    "circuits_equivalent",
+    "gates_unitary",
+    "probe_equivalent",
+    "run",
+    "segments_equivalent",
+    "statevectors_equivalent",
+    "zero_state",
+]

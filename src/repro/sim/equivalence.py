@@ -1,0 +1,114 @@
+"""Equivalence checking up to global phase.
+
+The fundamental property the optimizers must preserve (paper Section 2.2):
+any subcircuit may be replaced by a subcircuit implementing the same
+unitary.  Global phase is irrelevant for quantum computation, and several
+of our rewrite rules (e.g. ``H X H -> RZ(pi)``) change it, so all checks
+here mod out the phase.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits import Circuit, Gate
+from .unitary import circuit_unitary, gates_unitary
+
+__all__ = [
+    "allclose_up_to_phase",
+    "circuits_equivalent",
+    "segments_equivalent",
+    "statevectors_equivalent",
+]
+
+_DEFAULT_ATOL = 1e-8
+
+
+def allclose_up_to_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = _DEFAULT_ATOL
+) -> bool:
+    """True when ``a == exp(i phi) * b`` for some real ``phi``.
+
+    Works for both matrices and vectors.  The phase is estimated from the
+    largest-magnitude entry of ``b`` to avoid dividing by near-zeros.
+    """
+    if a.shape != b.shape:
+        return False
+    flat_b = b.reshape(-1)
+    idx = int(np.argmax(np.abs(flat_b)))
+    pivot = flat_b[idx]
+    if abs(pivot) < atol:
+        # b is (numerically) zero; a must be too.
+        return bool(np.all(np.abs(a) <= atol))
+    phase = a.reshape(-1)[idx] / pivot
+    mag = abs(phase)
+    if abs(mag - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def statevectors_equivalent(
+    a: np.ndarray, b: np.ndarray, atol: float = _DEFAULT_ATOL
+) -> bool:
+    """Statevector equality up to global phase."""
+    return allclose_up_to_phase(a, b, atol=atol)
+
+
+def circuits_equivalent(
+    a: Circuit | Sequence[Gate],
+    b: Circuit | Sequence[Gate],
+    atol: float = _DEFAULT_ATOL,
+) -> bool:
+    """Unitary equality up to global phase for whole circuits.
+
+    Both operands are evaluated on the larger of the two qubit counts so
+    that circuits differing only in trailing idle qubits compare equal.
+    """
+    ca = a if isinstance(a, Circuit) else Circuit(a)
+    cb = b if isinstance(b, Circuit) else Circuit(b)
+    n = max(ca.num_qubits, cb.num_qubits)
+    ua = gates_unitary(ca.gates, n)
+    ub = gates_unitary(cb.gates, n)
+    return allclose_up_to_phase(ua, ub, atol=atol)
+
+
+def segments_equivalent(
+    before: Sequence[Gate],
+    after: Sequence[Gate],
+    atol: float = _DEFAULT_ATOL,
+    max_qubits: int = 12,
+) -> bool:
+    """Equivalence check for circuit *segments* with sparse qubit support.
+
+    Segments cut out of a large circuit may touch high-numbered qubits;
+    comparing them directly would require a huge unitary.  Both segments
+    are first compacted onto the union of their supports.
+
+    Raises ``ValueError`` when the union support exceeds ``max_qubits``
+    (the caller should then fall back to structural checks or sampling).
+    """
+    support: set[int] = set()
+    for g in before:
+        support.update(g.qubits)
+    for g in after:
+        support.update(g.qubits)
+    if not support:
+        return True
+    if len(support) > max_qubits:
+        raise ValueError(
+            f"segment support {len(support)} exceeds max_qubits={max_qubits}"
+        )
+    order = sorted(support)
+    relabel = {q: i for i, q in enumerate(order)}
+
+    def compact(gates: Sequence[Gate]) -> list[Gate]:
+        return [
+            Gate(g.name, tuple(relabel[q] for q in g.qubits), g.param) for g in gates
+        ]
+
+    n = len(order)
+    ua = gates_unitary(compact(before), n)
+    ub = gates_unitary(compact(after), n)
+    return allclose_up_to_phase(ua, ub, atol=atol)

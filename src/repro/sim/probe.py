@@ -1,0 +1,74 @@
+"""Randomized equivalence probing for circuits too wide for unitaries.
+
+Full unitary comparison costs 4^n memory; statevector probing costs
+2^n per trial and distinguishes inequivalent unitaries with
+overwhelming probability: for random product inputs |psi>, two distinct
+unitaries agree on |psi> (up to phase) only on a measure-zero set, and
+numerically the failure probability per trial is bounded by the overlap
+structure of U†V (a handful of trials suffices in practice; the tests
+use it up to ~14 qubits).
+
+This is a *probabilistic* check: ``True`` means "no counterexample
+found", not a proof.  The deterministic check for narrow supports is
+:func:`repro.sim.equivalence.segments_equivalent`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence
+
+from ..circuits import Circuit, Gate, H, RZ
+from .equivalence import statevectors_equivalent
+from .statevector import run
+
+__all__ = ["probe_equivalent"]
+
+
+def _random_product_prep(
+    num_qubits: int, rng: random.Random
+) -> list[Gate]:
+    """A random product-state preparation layer."""
+    prep: list[Gate] = []
+    for q in range(num_qubits):
+        if rng.random() < 0.5:
+            prep.append(H(q))
+        prep.append(RZ(q, rng.uniform(0.0, 2.0 * math.pi)))
+        if rng.random() < 0.5:
+            prep.append(H(q))
+    return prep
+
+
+def probe_equivalent(
+    a: Circuit | Sequence[Gate],
+    b: Circuit | Sequence[Gate],
+    *,
+    trials: int = 4,
+    seed: Optional[int] = None,
+    atol: float = 1e-7,
+    max_qubits: int = 18,
+) -> bool:
+    """Compare two circuits on random product input states.
+
+    Returns False as soon as one probe distinguishes them; True when
+    all ``trials`` probes agree up to global phase.
+
+    Raises ``ValueError`` if the joint register exceeds ``max_qubits``
+    (statevector memory limit: 2^n amplitudes).
+    """
+    ca = a if isinstance(a, Circuit) else Circuit(a)
+    cb = b if isinstance(b, Circuit) else Circuit(b)
+    n = max(ca.num_qubits, cb.num_qubits)
+    if n > max_qubits:
+        raise ValueError(f"{n} qubits exceeds max_qubits={max_qubits}")
+    if n == 0:
+        return True
+    rng = random.Random(seed)
+    for _ in range(max(1, trials)):
+        prep = _random_product_prep(n, rng)
+        va = run(prep + list(ca.gates), num_qubits=n)
+        vb = run(prep + list(cb.gates), num_qubits=n)
+        if not statevectors_equivalent(va, vb, atol=atol):
+            return False
+    return True

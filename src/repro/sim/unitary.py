@@ -1,0 +1,45 @@
+"""Unitary construction for small circuits.
+
+Builds the full 2^n x 2^n matrix of a circuit by applying it to each
+basis column.  Practical up to n ~ 10 qubits, which covers the segment
+widths used in the equivalence tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, gates_qubit_span
+from .statevector import apply_gates
+
+__all__ = ["circuit_unitary", "gates_unitary"]
+
+
+def gates_unitary(gates: Sequence[Gate], num_qubits: int) -> np.ndarray:
+    """The unitary implemented by ``gates`` on ``num_qubits`` qubits.
+
+    Qubit 0 is the most-significant bit of the matrix index, matching
+    :mod:`repro.sim.statevector`.
+    """
+    dim = 1 << num_qubits
+    if num_qubits > 14:
+        raise ValueError(f"unitary too large for {num_qubits} qubits")
+    cols = np.eye(dim, dtype=np.complex128).reshape((2,) * num_qubits + (dim,))
+    # Apply the gate list to all basis columns at once by treating the
+    # column index as a spectator axis.
+    state = cols
+    for g in gates:
+        k = g.arity
+        mat = g.matrix().reshape((2,) * (2 * k))
+        state = np.tensordot(mat, state, axes=(tuple(range(k, 2 * k)), g.qubits))
+        state = np.moveaxis(state, tuple(range(k)), g.qubits)
+    return state.reshape(dim, dim)
+
+
+def circuit_unitary(circuit: Circuit | Sequence[Gate]) -> np.ndarray:
+    """Unitary of a :class:`Circuit` or a raw gate sequence."""
+    if isinstance(circuit, Circuit):
+        return gates_unitary(circuit.gates, circuit.num_qubits)
+    return gates_unitary(circuit, gates_qubit_span(circuit))

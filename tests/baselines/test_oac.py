@@ -1,0 +1,73 @@
+"""Tests for the OAC sequential baseline (Arora et al.)."""
+
+import pytest
+
+from repro.baselines import oac_optimize
+from repro.circuits import Circuit, H, random_redundant_circuit
+from repro.core import popqc
+from repro.oracles import NamOracle
+from repro.sim import circuits_equivalent
+
+
+class TestOptimization:
+    def test_omega_validation(self):
+        with pytest.raises(ValueError):
+            oac_optimize(Circuit([H(0)]), NamOracle(), 0)
+
+    def test_reduces_redundancy(self):
+        c = random_redundant_circuit(4, 200, seed=1, redundancy=0.7)
+        res = oac_optimize(c, NamOracle(), 16)
+        assert res.num_gates < c.num_gates
+
+    def test_preserves_semantics(self):
+        c = random_redundant_circuit(4, 120, seed=2)
+        res = oac_optimize(c, NamOracle(), 16)
+        assert circuits_equivalent(c, res.circuit)
+
+    def test_compress_false_still_correct(self):
+        c = random_redundant_circuit(4, 120, seed=3)
+        res = oac_optimize(c, NamOracle(), 16, compress=False)
+        assert circuits_equivalent(c, res.circuit)
+
+    def test_converges(self):
+        c = random_redundant_circuit(4, 150, seed=4)
+        res = oac_optimize(c, NamOracle(), 16)
+        # rerunning on its own output must find nothing more
+        again = oac_optimize(res.circuit, NamOracle(), 16)
+        assert again.num_gates == res.num_gates
+
+    def test_max_rounds(self):
+        c = random_redundant_circuit(4, 200, seed=5, redundancy=0.8)
+        res = oac_optimize(c, NamOracle(), 8, max_rounds=1)
+        assert res.rounds == 1
+
+
+class TestAccounting:
+    def test_phase_times_recorded(self):
+        c = random_redundant_circuit(4, 150, seed=6)
+        res = oac_optimize(c, NamOracle(), 16)
+        assert set(res.phase_times) == {"cut", "optimize", "meld", "compress"}
+        assert res.oracle_calls > 0
+        assert res.oracle_time > 0
+        assert res.time_seconds >= res.oracle_time * 0.5
+
+    def test_oracle_calls_linear_in_segments(self):
+        c = random_redundant_circuit(4, 200, seed=7)
+        res = oac_optimize(c, NamOracle(), 20, max_rounds=1)
+        segments = -(-c.num_gates // 20)
+        # one call per segment plus one per seam
+        assert res.oracle_calls == segments + (segments - 1)
+
+
+class TestQualityParity:
+    """OAC and POPQC both guarantee local optimality; with the same
+    oracle and omega their quality should be comparable (paper Table 3:
+    within 0.1-0.3%)."""
+
+    def test_matches_popqc_quality(self):
+        c = random_redundant_circuit(4, 300, seed=8, redundancy=0.6)
+        oracle = NamOracle()
+        oac = oac_optimize(c, oracle, 20)
+        pop = popqc(c, oracle, 20)
+        rel_gap = abs(oac.num_gates - pop.circuit.num_gates) / c.num_gates
+        assert rel_gap < 0.05

@@ -1,0 +1,57 @@
+"""Tests for the whole-circuit (VOQC-role) baseline."""
+
+from repro.baselines import optimize_whole_circuit
+from repro.circuits import Circuit, H, X, random_redundant_circuit
+from repro.oracles import NamOracle
+from repro.sim import circuits_equivalent
+
+
+class TestOptimization:
+    def test_reduces_redundant_circuit(self):
+        c = random_redundant_circuit(4, 150, seed=1, redundancy=0.7)
+        res = optimize_whole_circuit(c)
+        assert res.num_gates < c.num_gates
+
+    def test_preserves_semantics(self):
+        c = random_redundant_circuit(4, 100, seed=2)
+        res = optimize_whole_circuit(c)
+        assert circuits_equivalent(c, res.circuit)
+
+    def test_preserves_qubit_count(self):
+        c = Circuit([H(0), H(0)], num_qubits=6)
+        res = optimize_whole_circuit(c)
+        assert res.circuit.num_qubits == 6
+
+    def test_time_recorded(self):
+        c = random_redundant_circuit(4, 50, seed=3)
+        res = optimize_whole_circuit(c)
+        assert res.time_seconds > 0
+
+
+class TestSweeps:
+    def test_single_sweep_by_default(self):
+        c = random_redundant_circuit(4, 80, seed=4)
+        res = optimize_whole_circuit(c)
+        assert res.sweeps_run == 1
+
+    def test_multi_sweep_at_least_as_good(self):
+        c = random_redundant_circuit(4, 200, seed=5, redundancy=0.7)
+        one = optimize_whole_circuit(c, sweeps=1)
+        many = optimize_whole_circuit(c, sweeps=8)
+        assert many.num_gates <= one.num_gates
+
+    def test_multi_sweep_stops_at_fixpoint(self):
+        c = Circuit([H(0), H(0)], 1)
+        res = optimize_whole_circuit(c, sweeps=50)
+        # one productive sweep, one confirming sweep, then stop
+        assert res.sweeps_run <= 3
+
+    def test_custom_oracle(self):
+        c = Circuit([X(0), X(0)], 1)
+        res = optimize_whole_circuit(c, oracle=NamOracle())
+        assert res.num_gates == 0
+
+    def test_timeout_returns_partial(self):
+        c = random_redundant_circuit(4, 100, seed=6)
+        res = optimize_whole_circuit(c, sweeps=100, timeout_seconds=0.0)
+        assert res.sweeps_run == 1  # aborted after the first sweep

@@ -1,0 +1,143 @@
+"""Unitary verification of every decomposition in the shared library."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.benchgen import decompose as dec
+from repro.sim import allclose_up_to_phase, gates_unitary
+
+
+class TestSingleQubit:
+    def test_z(self):
+        assert allclose_up_to_phase(
+            gates_unitary(dec.z(0), 1), np.diag([1, -1]).astype(complex)
+        )
+
+    def test_s_and_sdg_inverse(self):
+        u = gates_unitary(dec.s(0) + dec.sdg(0), 1)
+        assert allclose_up_to_phase(u, np.eye(2))
+
+    def test_t_fourth_power_is_z(self):
+        u = gates_unitary(dec.t(0) * 4, 1)
+        assert allclose_up_to_phase(u, np.diag([1, -1]).astype(complex))
+
+    @pytest.mark.parametrize("theta", [0.3, math.pi / 2, 1.7])
+    def test_rx(self, theta):
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        ref = np.array([[c, -1j * s], [-1j * s, c]])
+        assert allclose_up_to_phase(gates_unitary(dec.rx(0, theta), 1), ref)
+
+    @pytest.mark.parametrize("theta", [0.3, math.pi / 2, 1.7])
+    def test_ry(self, theta):
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        ref = np.array([[c, -s], [s, c]])
+        assert allclose_up_to_phase(gates_unitary(dec.ry(0, theta), 1), ref)
+
+
+class TestTwoQubit:
+    def test_cz(self):
+        ref = np.diag([1, 1, 1, -1]).astype(complex)
+        assert allclose_up_to_phase(gates_unitary(dec.cz(0, 1), 2), ref)
+
+    def test_cz_symmetric(self):
+        a = gates_unitary(dec.cz(0, 1), 2)
+        b = gates_unitary(dec.cz(1, 0), 2)
+        assert allclose_up_to_phase(a, b)
+
+    def test_swap(self):
+        ref = np.eye(4)[[0, 2, 1, 3]].astype(complex)
+        assert allclose_up_to_phase(gates_unitary(dec.swap(0, 1), 2), ref)
+
+    @pytest.mark.parametrize("theta", [0.4, math.pi / 2, 2.5])
+    def test_controlled_phase(self, theta):
+        ref = np.diag([1, 1, 1, np.exp(1j * theta)])
+        assert allclose_up_to_phase(
+            gates_unitary(dec.controlled_phase(theta, 0, 1), 2), ref
+        )
+
+    def test_controlled_phase_control_roles(self):
+        # CP is symmetric in control/target
+        theta = 0.9
+        a = gates_unitary(dec.controlled_phase(theta, 0, 1), 2)
+        b = gates_unitary(dec.controlled_phase(theta, 1, 0), 2)
+        assert allclose_up_to_phase(a, b)
+
+
+class TestThreeQubit:
+    def test_toffoli(self):
+        ref = np.eye(8)
+        ref[6:8, 6:8] = [[0, 1], [1, 0]]
+        assert allclose_up_to_phase(
+            gates_unitary(dec.toffoli(0, 1, 2), 3), ref.astype(complex)
+        )
+
+    def test_toffoli_gate_budget(self):
+        assert len(dec.toffoli(0, 1, 2)) == 15
+
+    def test_ccz(self):
+        ref = np.diag([1, 1, 1, 1, 1, 1, 1, -1]).astype(complex)
+        assert allclose_up_to_phase(gates_unitary(dec.ccz(0, 1, 2), 3), ref)
+
+    def test_base_gate_set_only(self):
+        names = {g.name for g in dec.toffoli(0, 1, 2)}
+        assert names <= {"h", "x", "cnot", "rz"}
+
+
+class TestMcx:
+    def test_zero_controls_is_x(self):
+        assert [g.name for g in dec.mcx([], 0, [])] == ["x"]
+
+    def test_one_control_is_cnot(self):
+        assert [g.name for g in dec.mcx([0], 1, [])] == ["cnot"]
+
+    def test_two_controls_is_toffoli(self):
+        assert len(dec.mcx([0, 1], 2, [])) == 15
+
+    def test_insufficient_ancillas_rejected(self):
+        with pytest.raises(ValueError):
+            dec.mcx([0, 1, 2, 3], 4, [])
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_truth_table(self, k):
+        controls = list(range(k))
+        target = k
+        ancillas = list(range(k + 1, k + 1 + max(0, k - 2)))
+        n = k + 1 + len(ancillas)
+        u = gates_unitary(dec.mcx(controls, target, ancillas), n)
+        for bits in itertools.product([0, 1], repeat=k + 1):
+            idx = 0
+            for q, b in enumerate(bits):
+                idx |= b << (n - 1 - q)
+            out = u[:, idx]
+            expected = list(bits)
+            if all(bits[:k]):
+                expected[k] ^= 1
+            eidx = 0
+            for q, b in enumerate(expected):
+                eidx |= b << (n - 1 - q)
+            assert abs(out[eidx]) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestQft:
+    def test_qft_with_swaps_is_dft(self):
+        n = 3
+        dim = 1 << n
+        w = np.exp(2j * math.pi / dim)
+        dft = np.array([[w ** (i * j) for j in range(dim)] for i in range(dim)])
+        dft /= math.sqrt(dim)
+        u = gates_unitary(dec.qft(list(range(n)), with_swaps=True), n)
+        assert allclose_up_to_phase(u, dft)
+
+    def test_qft_inverse_is_adjoint(self):
+        n = 3
+        u = gates_unitary(dec.qft(list(range(n))), n)
+        ui = gates_unitary(dec.qft_inverse(list(range(n))), n)
+        assert allclose_up_to_phase(ui, u.conj().T)
+
+    def test_inverse_helper(self):
+        gates = dec.toffoli(0, 1, 2)
+        u = gates_unitary(gates + dec.inverse(gates), 3)
+        assert allclose_up_to_phase(u, np.eye(8))

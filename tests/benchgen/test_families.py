@@ -1,0 +1,150 @@
+"""Structural tests for the eight benchmark families."""
+
+import pytest
+
+from repro.benchgen import (
+    FAMILIES,
+    boolsat,
+    bwt,
+    family_names,
+    generate,
+    generate_params,
+    grover,
+    hhl,
+    shor,
+    sqrt_circuit,
+    statevec,
+    vqe,
+)
+from repro.circuits import GATE_NAMES
+
+BASE = set(GATE_NAMES)
+
+
+class TestRegistry:
+    def test_eight_families_in_paper_order(self):
+        assert family_names() == [
+            "BoolSat",
+            "BWT",
+            "Grover",
+            "HHL",
+            "Shor",
+            "Sqrt",
+            "StateVec",
+            "VQE",
+        ]
+
+    def test_paper_metadata_recorded(self):
+        for fam in FAMILIES.values():
+            assert len(fam.paper_qubits) == 4
+            assert len(fam.default_params) == 4
+            assert 0 < fam.paper_reduction < 1
+
+    def test_size_index_validation(self):
+        with pytest.raises(ValueError):
+            generate("Grover", 4)
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            generate("Nope", 0)
+
+    @pytest.mark.parametrize("fam", family_names())
+    def test_smallest_instances_build(self, fam):
+        c = generate(fam, 0)
+        assert c.num_gates > 100
+        assert set(g.name for g in c.gates) <= BASE
+
+    @pytest.mark.parametrize("fam", family_names())
+    def test_sizes_grow_monotonically(self, fam):
+        # sizes 0 and 1 suffice to check growth without long builds
+        a, b = generate(fam, 0), generate(fam, 1)
+        assert b.num_gates > a.num_gates
+
+    @pytest.mark.parametrize("fam", family_names())
+    def test_deterministic_by_seed(self, fam):
+        assert generate(fam, 0, seed=3).gates == generate(fam, 0, seed=3).gates
+
+    def test_generate_params(self):
+        c = generate_params("BWT", num_qubits=6, steps=5)
+        assert c.num_qubits == 6
+
+
+class TestIndividualGenerators:
+    def test_grover_validation(self):
+        with pytest.raises(ValueError):
+            grover(1)
+
+    def test_grover_iterations_scale(self):
+        a = grover(5, iterations=2)
+        b = grover(5, iterations=4)
+        assert b.num_gates > a.num_gates
+
+    def test_boolsat_validation(self):
+        with pytest.raises(ValueError):
+            boolsat(2)
+
+    def test_bwt_validation(self):
+        with pytest.raises(ValueError):
+            bwt(3)
+
+    def test_bwt_steps_scale(self):
+        assert bwt(6, steps=10).num_gates < bwt(6, steps=20).num_gates
+
+    def test_hhl_validation(self):
+        with pytest.raises(ValueError):
+            hhl(3)
+        with pytest.raises(ValueError):
+            hhl(6, depth=0)
+
+    def test_hhl_has_adjoint_structure(self):
+        c = hhl(6)
+        # QPE + QPE^dagger means gate counts are nearly symmetric
+        names = [g.name for g in c.gates]
+        assert names.count("h") % 2 == 0 or names.count("h") > 0
+
+    def test_shor_validation(self):
+        with pytest.raises(ValueError):
+            shor(4)
+        with pytest.raises(ValueError):
+            shor(8, passes=0)
+
+    def test_sqrt_validation(self):
+        with pytest.raises(ValueError):
+            sqrt_circuit(4)
+        with pytest.raises(ValueError):
+            sqrt_circuit(8, rounds=0)
+
+    def test_statevec_validation(self):
+        with pytest.raises(ValueError):
+            statevec(1)
+
+    def test_statevec_exponential_scaling(self):
+        a = statevec(4, reps=1)
+        b = statevec(5, reps=1)
+        # one more qubit roughly doubles the multiplexor sizes
+        assert b.num_gates > 1.5 * a.num_gates
+
+    def test_vqe_validation(self):
+        with pytest.raises(ValueError):
+            vqe(3)
+
+    def test_vqe_layers_scale(self):
+        assert vqe(6, layers=2).num_gates < vqe(6, layers=6).num_gates
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: grover(4, iterations=1),
+            lambda: boolsat(4, iterations=1),
+            lambda: bwt(5, steps=2),
+            lambda: hhl(5),
+            lambda: shor(6),
+            lambda: sqrt_circuit(7),
+            lambda: statevec(3),
+            lambda: vqe(4, layers=1),
+        ],
+        ids=["grover", "boolsat", "bwt", "hhl", "shor", "sqrt", "statevec", "vqe"],
+    )
+    def test_gates_fit_declared_registers(self, build):
+        c = build()
+        assert all(q < c.num_qubits for g in c.gates for q in g.qubits)

@@ -1,0 +1,34 @@
+"""Tests for the QASM suite exporter."""
+
+import csv
+import os
+
+from repro.benchgen import write_suite
+from repro.circuits import read_qasm
+
+
+class TestWriteSuite:
+    def test_files_and_manifest(self, tmp_path):
+        out = str(tmp_path / "suite")
+        entries = write_suite(out, families=["HHL", "VQE"], size_indices=(0,))
+        assert len(entries) == 2
+        for e in entries:
+            assert os.path.exists(e.path)
+        manifest = os.path.join(out, "manifest.csv")
+        with open(manifest) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert {r["family"] for r in rows} == {"HHL", "VQE"}
+
+    def test_round_trip(self, tmp_path):
+        out = str(tmp_path / "suite")
+        (entry,) = write_suite(out, families=["Grover"], size_indices=(0,))
+        circuit = read_qasm(entry.path)
+        assert circuit.num_gates == entry.num_gates
+        assert circuit.num_qubits == entry.num_qubits
+
+    def test_metrics_recorded(self, tmp_path):
+        out = str(tmp_path / "suite")
+        (entry,) = write_suite(out, families=["VQE"], size_indices=(0,))
+        assert entry.depth > 0
+        assert entry.two_qubit_gates > 0

@@ -1,0 +1,138 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+from hypothesis import given
+
+from repro.circuits import CNOT, RZ, Circuit, H, X
+from repro.sim import circuits_equivalent
+
+from ..conftest import circuit_strategy
+
+
+class TestConstruction:
+    def test_empty(self):
+        c = Circuit()
+        assert c.num_gates == 0 and c.num_qubits == 0
+
+    def test_infers_qubits(self):
+        c = Circuit([CNOT(0, 4)])
+        assert c.num_qubits == 5
+
+    def test_explicit_qubits(self):
+        c = Circuit([H(0)], num_qubits=10)
+        assert c.num_qubits == 10
+
+    def test_rejects_too_small_qubit_count(self):
+        with pytest.raises(ValueError):
+            Circuit([H(5)], num_qubits=3)
+
+    def test_gates_are_immutable_tuple(self):
+        c = Circuit([H(0)])
+        assert isinstance(c.gates, tuple)
+
+
+class TestSequenceProtocol:
+    def test_len_and_iter(self):
+        gates = [H(0), X(1), CNOT(0, 1)]
+        c = Circuit(gates, 2)
+        assert len(c) == 3
+        assert list(c) == gates
+
+    def test_getitem_gate(self):
+        c = Circuit([H(0), X(1)], 2)
+        assert c[1] == X(1)
+
+    def test_getitem_slice_returns_circuit(self):
+        c = Circuit([H(0), X(1), CNOT(0, 1)], 2)
+        sub = c[1:]
+        assert isinstance(sub, Circuit)
+        assert sub.num_gates == 2
+        assert sub.num_qubits == 2  # qubit count preserved
+
+    def test_equality(self):
+        a = Circuit([H(0)], 2)
+        b = Circuit([H(0)], 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != Circuit([H(0)], 3)
+        assert a != Circuit([X(0)], 2)
+
+
+class TestMetrics:
+    def test_count_and_histogram(self):
+        c = Circuit([H(0), H(1), X(0), CNOT(0, 1)], 2)
+        assert c.count("h") == 2
+        assert c.gate_histogram() == {"h": 2, "x": 1, "cnot": 1}
+
+    def test_two_qubit_count(self):
+        c = Circuit([H(0), CNOT(0, 1), CNOT(1, 2)], 3)
+        assert c.two_qubit_count() == 2
+
+    def test_depth_empty(self):
+        assert Circuit().depth() == 0
+
+    def test_depth_parallel_gates(self):
+        # H(0) and H(1) fit in one layer
+        assert Circuit([H(0), H(1)], 2).depth() == 1
+
+    def test_depth_serial_chain(self):
+        c = Circuit([H(0), X(0), H(0)], 1)
+        assert c.depth() == 3
+
+    def test_depth_cnot_blocks_both_wires(self):
+        c = Circuit([CNOT(0, 1), H(0), H(1)], 2)
+        assert c.depth() == 2
+
+
+class TestComposition:
+    def test_extended(self):
+        c = Circuit([H(0)], 2).extended([X(1)])
+        assert c.num_gates == 2
+
+    def test_concat_takes_max_qubits(self):
+        a = Circuit([H(0)], 2)
+        b = Circuit([H(4)], 5)
+        assert a.concat(b).num_qubits == 5
+
+    def test_inverse_reverses_and_inverts(self):
+        c = Circuit([H(0), RZ(0, 0.5), CNOT(0, 1)], 2)
+        inv = c.inverse()
+        assert inv.gates[0] == CNOT(0, 1)
+        assert inv.gates[2] == H(0)
+        assert inv.gates[1].param == pytest.approx(2 * 3.141592653589793 - 0.5)
+
+    @given(circuit_strategy(num_qubits=3, max_gates=12))
+    def test_inverse_is_actual_inverse(self, c):
+        combined = c.concat(c.inverse())
+        assert circuits_equivalent(combined, Circuit([], c.num_qubits))
+
+    def test_map_gates(self):
+        c = Circuit([H(0), H(1)], 2)
+        mapped = c.map_gates(lambda g: X(g.qubits[0]))
+        assert all(g.name == "x" for g in mapped)
+
+    def test_remapped(self):
+        c = Circuit([CNOT(0, 1)], 2)
+        r = c.remapped([3, 1])
+        assert r.gates[0] == CNOT(3, 1)
+
+
+class TestSupport:
+    def test_support(self):
+        c = Circuit([H(5), CNOT(2, 7)], 8)
+        assert c.support() == (2, 5, 7)
+
+    def test_compacted(self):
+        c = Circuit([CNOT(2, 7), H(5)], 8)
+        compact, labels = c.compacted()
+        assert labels == (2, 5, 7)
+        assert compact.num_qubits == 3
+        assert compact.gates[0] == CNOT(0, 2)
+        assert compact.gates[1] == H(1)
+
+    def test_compacted_preserves_semantics(self):
+        c = Circuit([CNOT(1, 3), RZ(3, 0.5)], 4)
+        compact, labels = c.compacted()
+        # re-expand and compare
+        inverse_map = {i: q for i, q in enumerate(labels)}
+        restored = compact.remapped([inverse_map[i] for i in range(len(labels))])
+        assert circuits_equivalent(c, Circuit(restored.gates, c.num_qubits))

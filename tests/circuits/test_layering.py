@@ -1,0 +1,106 @@
+"""Tests for layering, depth and justification (Sections 2.2, A.4)."""
+
+from collections import Counter
+
+from hypothesis import given
+
+from repro.circuits import (
+    CNOT,
+    Circuit,
+    H,
+    X,
+    circuit_depth,
+    flatten_layers,
+    layers_alap,
+    layers_asap,
+    left_justified,
+    right_justified,
+)
+from repro.sim import circuits_equivalent
+
+from ..conftest import circuit_strategy
+
+
+class TestAsapLayers:
+    def test_empty(self):
+        assert layers_asap([], 3) == []
+
+    def test_independent_gates_share_layer(self):
+        layers = layers_asap([H(0), H(1), H(2)], 3)
+        assert len(layers) == 1 and len(layers[0]) == 3
+
+    def test_dependent_gates_stack(self):
+        layers = layers_asap([H(0), X(0)], 1)
+        assert len(layers) == 2
+
+    def test_cnot_dependency(self):
+        layers = layers_asap([CNOT(0, 1), H(1), H(2)], 3)
+        assert layers[0] == [CNOT(0, 1), H(2)]
+        assert layers[1] == [H(1)]
+
+    def test_matches_circuit_depth(self):
+        gates = [H(0), CNOT(0, 1), X(1), H(2), CNOT(1, 2)]
+        assert len(layers_asap(gates, 3)) == circuit_depth(gates, 3)
+
+
+class TestAlapLayers:
+    def test_gate_pushed_late(self):
+        # H(1) can wait until the layer of the CNOT that needs qubit 1
+        layers = layers_alap([H(1), CNOT(0, 1)], 2)
+        assert len(layers) == 2
+        assert layers[0] == [H(1)]
+
+    def test_same_depth_as_asap(self):
+        gates = [H(0), CNOT(0, 1), X(1), H(2), CNOT(1, 2), H(0)]
+        assert len(layers_alap(gates, 3)) == len(layers_asap(gates, 3))
+
+
+class TestJustification:
+    def test_left_justified_preserves_gate_multiset(self):
+        c = Circuit([H(2), H(2), CNOT(0, 1), X(2)], 3)
+        lj = left_justified(c)
+        assert Counter(lj.gates) == Counter(c.gates)
+
+    def test_left_justified_preserves_depth(self):
+        c = Circuit([H(0), CNOT(0, 1), H(1), X(0), CNOT(1, 2)], 3)
+        assert left_justified(c).depth() == c.depth()
+
+    def test_right_justified_preserves_depth(self):
+        c = Circuit([H(0), CNOT(0, 1), H(1), X(0), CNOT(1, 2)], 3)
+        assert right_justified(c).depth() == c.depth()
+
+    @given(circuit_strategy(num_qubits=3, max_gates=15))
+    def test_left_justified_equivalent(self, c):
+        assert circuits_equivalent(c, left_justified(c))
+
+    @given(circuit_strategy(num_qubits=3, max_gates=15))
+    def test_right_justified_equivalent(self, c):
+        assert circuits_equivalent(c, right_justified(c))
+
+    @given(circuit_strategy(num_qubits=4, max_gates=20))
+    def test_justification_idempotent(self, c):
+        lj = left_justified(c)
+        assert left_justified(lj).gates == lj.gates
+
+
+class TestFlatten:
+    def test_flatten_round_trip(self):
+        gates = [H(0), CNOT(0, 1), X(1)]
+        layers = layers_asap(gates, 2)
+        flat = flatten_layers(layers)
+        assert Counter(flat) == Counter(gates)
+
+    def test_flatten_empty(self):
+        assert flatten_layers([]) == []
+
+
+class TestCircuitDepthHelper:
+    def test_zero_for_empty(self):
+        assert circuit_depth([], 4) == 0
+
+    def test_single_gate(self):
+        assert circuit_depth([CNOT(0, 1)], 2) == 1
+
+    @given(circuit_strategy(num_qubits=4, max_gates=20))
+    def test_agrees_with_circuit_method(self, c):
+        assert circuit_depth(list(c.gates), c.num_qubits) == c.depth()

@@ -1,0 +1,129 @@
+"""Tests for the OpenQASM 2.0 reader/writer."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.circuits import CNOT, RZ, Circuit, H, QasmError, X, parse_qasm, to_qasm
+from repro.sim import circuits_equivalent
+
+from ..conftest import circuit_strategy
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[4];\n'
+
+
+class TestParsing:
+    def test_basic_gates(self):
+        c = parse_qasm(HEADER + "h q[0];\nx q[1];\ncx q[0],q[1];\nrz(0.5) q[2];")
+        assert c.gates == (H(0), X(1), CNOT(0, 1), RZ(2, 0.5))
+        assert c.num_qubits == 4
+
+    def test_cnot_alias(self):
+        c = parse_qasm(HEADER + "cnot q[0],q[1];")
+        assert c.gates == (CNOT(0, 1),)
+
+    def test_angle_expressions(self):
+        c = parse_qasm(HEADER + "rz(pi/4) q[0]; rz(-3*pi/4) q[1]; rz(2*(1+1)) q[2];")
+        assert c.gates[0].param == pytest.approx(math.pi / 4)
+        assert c.gates[1].param == pytest.approx(2 * math.pi - 3 * math.pi / 4)
+        assert c.gates[2].param == pytest.approx(4.0)
+
+    def test_comments_stripped(self):
+        c = parse_qasm(HEADER + "// a comment\nh q[0]; // trailing\n")
+        assert c.num_gates == 1
+
+    def test_multiple_registers_concatenated(self):
+        text = "qreg a[2];\nqreg b[3];\nh a[1];\nh b[0];"
+        c = parse_qasm(text)
+        assert c.num_qubits == 5
+        assert c.gates == (H(1), H(2))
+
+    def test_creg_barrier_measure_ignored(self):
+        c = parse_qasm(HEADER + "creg c[4];\nbarrier q;\nh q[0];\nmeasure q[0] -> c[0];")
+        assert c.num_gates == 1
+
+    def test_phase_aliases_decompose_to_rz(self):
+        c = parse_qasm(HEADER + "z q[0]; s q[0]; sdg q[0]; t q[0]; tdg q[0]; p(0.3) q[0];")
+        assert all(g.name == "rz" for g in c.gates)
+        assert c.gates[0].param == pytest.approx(math.pi)
+
+    def test_aliased_two_qubit_gates_preserve_semantics(self):
+        import numpy as np
+
+        c = parse_qasm("qreg q[2];\ncz q[0],q[1];")
+        from repro.sim import circuit_unitary, allclose_up_to_phase
+
+        assert allclose_up_to_phase(
+            circuit_unitary(c), np.diag([1, 1, 1, -1]).astype(complex)
+        )
+
+    def test_ccx_decomposes(self):
+        c = parse_qasm("qreg q[3];\nccx q[0],q[1],q[2];")
+        assert c.num_gates > 10
+        assert set(g.name for g in c.gates) <= {"h", "x", "cnot", "rz"}
+
+    def test_swap_decomposes_to_cnots(self):
+        c = parse_qasm("qreg q[2];\nswap q[0],q[1];")
+        assert [g.name for g in c.gates] == ["cnot"] * 3
+
+
+class TestParseErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "u3(1,2,3) q[0];")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "h r[0];")
+
+    def test_bad_qubit_argument(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "h q;")
+
+    def test_bad_angle(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "rz(import) q[0];")
+
+    def test_malicious_angle_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "rz(__import__) q[0];")
+
+    def test_bad_qreg(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q;")
+
+
+class TestSerialization:
+    def test_round_trip_exact(self):
+        c = Circuit([H(0), X(1), CNOT(0, 1), RZ(2, 0.5)], 4)
+        again = parse_qasm(to_qasm(c))
+        assert again.gates == c.gates
+        assert again.num_qubits == c.num_qubits
+
+    def test_rz_angle_full_precision(self):
+        c = Circuit([RZ(0, 0.1234567890123456)], 1)
+        again = parse_qasm(to_qasm(c))
+        assert again.gates[0].param == pytest.approx(c.gates[0].param, abs=1e-15)
+
+    def test_non_base_gate_rejected(self):
+        from repro.circuits import Gate
+
+        # construct a circuit that bypasses the base set via Gate directly
+        with pytest.raises(QasmError):
+            to_qasm(Circuit([Gate("swap", (0, 1))], 2))
+
+    @given(circuit_strategy(num_qubits=3, max_gates=15))
+    def test_round_trip_equivalent(self, c):
+        again = parse_qasm(to_qasm(c))
+        assert circuits_equivalent(c, again)
+
+
+class TestFileIO:
+    def test_write_and_read(self, tmp_path):
+        from repro.circuits import read_qasm, write_qasm
+
+        c = Circuit([H(0), CNOT(0, 1)], 2)
+        path = str(tmp_path / "bell.qasm")
+        write_qasm(c, path)
+        assert read_qasm(path).gates == c.gates

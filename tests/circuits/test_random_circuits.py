@@ -1,0 +1,55 @@
+"""Tests for the random circuit generators used by the property tests."""
+
+import pytest
+
+from repro.circuits import (
+    GATE_NAMES,
+    random_circuit,
+    random_redundant_circuit,
+    random_segment,
+)
+
+
+class TestRandomCircuit:
+    def test_size_and_qubits(self):
+        c = random_circuit(4, 50, seed=1)
+        assert c.num_gates == 50
+        assert c.num_qubits == 4
+
+    def test_deterministic_by_seed(self):
+        assert random_circuit(4, 30, seed=7) == random_circuit(4, 30, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert random_circuit(4, 30, seed=1) != random_circuit(4, 30, seed=2)
+
+    def test_only_base_gates(self):
+        c = random_circuit(5, 100, seed=3)
+        assert set(g.name for g in c.gates) <= set(GATE_NAMES)
+
+    def test_needs_two_qubits(self):
+        with pytest.raises(ValueError):
+            random_circuit(1, 10)
+
+
+class TestRandomRedundantCircuit:
+    def test_size(self):
+        c = random_redundant_circuit(4, 80, seed=1)
+        assert c.num_gates == 80
+
+    def test_redundancy_is_removable(self):
+        from repro.oracles import NamOracle
+
+        c = random_redundant_circuit(4, 200, seed=2, redundancy=0.8)
+        out = NamOracle()(list(c.gates))
+        # High-redundancy circuits should shrink substantially.
+        assert len(out) < 0.7 * c.num_gates
+
+    def test_needs_three_qubits(self):
+        with pytest.raises(ValueError):
+            random_redundant_circuit(2, 10)
+
+
+class TestRandomSegment:
+    def test_returns_list(self):
+        seg = random_segment(3, 20, seed=1)
+        assert isinstance(seg, list) and len(seg) == 20

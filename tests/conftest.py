@@ -1,0 +1,84 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.circuits import CNOT, RZ, Circuit, Gate, H, X
+
+# Global hypothesis profile: modest example counts, no deadline (the
+# simulator-backed properties are not microsecond-fast).
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+ANGLES = (
+    math.pi / 4,
+    -math.pi / 4,
+    math.pi / 2,
+    -math.pi / 2,
+    math.pi,
+    0.3,
+    1.7,
+)
+
+
+@st.composite
+def gate_strategy(draw, num_qubits: int = 4):
+    """A random base-set gate over ``num_qubits`` qubits."""
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return H(draw(st.integers(0, num_qubits - 1)))
+    if kind == 1:
+        return X(draw(st.integers(0, num_qubits - 1)))
+    if kind == 2:
+        q = draw(st.integers(0, num_qubits - 1))
+        return RZ(q, draw(st.sampled_from(ANGLES)))
+    a = draw(st.integers(0, num_qubits - 1))
+    b = draw(st.integers(0, num_qubits - 2))
+    if b >= a:
+        b += 1
+    return CNOT(a, b)
+
+
+@st.composite
+def gate_list_strategy(draw, num_qubits: int = 4, max_gates: int = 30):
+    """A random gate list (possibly empty)."""
+    length = draw(st.integers(0, max_gates))
+    return [draw(gate_strategy(num_qubits)) for _ in range(length)]
+
+
+@st.composite
+def circuit_strategy(draw, num_qubits: int = 4, max_gates: int = 30):
+    """A random circuit with a fixed qubit count."""
+    return Circuit(draw(gate_list_strategy(num_qubits, max_gates)), num_qubits)
+
+
+@pytest.fixture
+def nam_oracle():
+    """The default fixpoint rule-based oracle."""
+    from repro.oracles import NamOracle
+
+    return NamOracle()
+
+
+@pytest.fixture
+def bell_circuit() -> Circuit:
+    """H(0); CNOT(0,1) — the Bell-pair preparation."""
+    return Circuit([H(0), CNOT(0, 1)], 2)
+
+
+@pytest.fixture
+def cancelable_circuit() -> Circuit:
+    """A circuit with obvious redundancy: every gate cancels."""
+    return Circuit(
+        [H(0), H(0), X(1), X(1), CNOT(0, 1), CNOT(0, 1), RZ(2, 1.0), RZ(2, -1.0)],
+        3,
+    )

@@ -1,0 +1,85 @@
+"""Tests for the adaptive-Ω heuristic (paper Section A.4 future work)."""
+
+import pytest
+
+from repro.circuits import CNOT, Circuit, H, X, random_redundant_circuit
+from repro.core import (
+    popqc,
+    popqc_adaptive,
+    sliding_distances,
+    suggest_omega,
+)
+from repro.oracles import NamOracle
+from repro.sim import circuits_equivalent
+
+
+class TestSlidingDistances:
+    def test_empty(self):
+        assert sliding_distances(Circuit([], 2)) == []
+
+    def test_fully_serial_chain_has_no_slack(self):
+        # every gate depends on the previous: ASAP == ALAP ordering
+        c = Circuit([H(0), X(0), H(0), X(0)], 1)
+        assert sliding_distances(c) == [0, 0, 0, 0]
+
+    def test_independent_gates_can_slide(self):
+        # H(1) has no dependencies: it can sit anywhere among the chain,
+        # so its slide dominates the (small) positional shifts it causes
+        c = Circuit([H(1), X(0), X(0), X(0), X(0)], 2)
+        dists = sliding_distances(c)
+        assert dists[0] == max(dists)
+        assert dists[0] >= 3
+
+    def test_lengths_match(self):
+        c = random_redundant_circuit(4, 60, seed=1)
+        assert len(sliding_distances(c)) == c.num_gates
+
+
+class TestSuggestOmega:
+    def test_clamped_to_bounds(self):
+        c = Circuit([H(0), X(0)], 1)  # no slack at all
+        p = suggest_omega(c, omega_min=50, omega_max=800)
+        assert p.suggested_omega == 50
+
+    def test_quantile_validation(self):
+        c = Circuit([H(0)], 1)
+        with pytest.raises(ValueError):
+            suggest_omega(c, quantile=0.0)
+
+    def test_empty_circuit(self):
+        p = suggest_omega(Circuit([], 2))
+        assert p.suggested_omega == 50
+        assert p.max_distance == 0
+
+    def test_slack_heavy_circuit_gets_larger_omega(self):
+        # >5% of gates float freely against a long chain (the Sqrt
+        # situation of Section A.4): slack shows up in the quantile
+        floaters = [H(q + 1) for q in range(30)]
+        chain = [X(0)] * 120
+        slack_heavy = Circuit(floaters + chain, 31)
+        narrow = Circuit([H(0), X(0)] * 200, 1)
+        pw = suggest_omega(slack_heavy)
+        pn = suggest_omega(narrow)
+        assert pw.suggested_omega > pn.suggested_omega
+
+    def test_profile_fields_consistent(self):
+        c = random_redundant_circuit(4, 100, seed=2)
+        p = suggest_omega(c)
+        assert p.quantile_distance <= p.max_distance
+        assert 0.0 <= p.fraction_over_omega <= 1.0
+        assert 50 <= p.suggested_omega <= 800
+
+
+class TestPopqcAdaptive:
+    def test_equivalence_and_reduction(self):
+        c = random_redundant_circuit(4, 150, seed=3, redundancy=0.7)
+        res, profile = popqc_adaptive(c, NamOracle())
+        assert circuits_equivalent(c, res.circuit)
+        assert res.circuit.num_gates < c.num_gates
+        assert profile.suggested_omega >= 50
+
+    def test_matches_manual_omega(self):
+        c = random_redundant_circuit(4, 120, seed=4)
+        res_a, profile = popqc_adaptive(c, NamOracle())
+        res_m = popqc(c, NamOracle(), profile.suggested_omega)
+        assert res_a.circuit.gates == res_m.circuit.gates

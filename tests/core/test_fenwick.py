@@ -1,0 +1,59 @@
+"""Tests for the Fenwick-tree alternative index structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import FenwickTree, IndexTree
+
+
+class TestInterfaceParity:
+    """FenwickTree must behave identically to IndexTree."""
+
+    def test_basics(self):
+        f = FenwickTree([1, 0, 1, 1])
+        assert f.total == 3
+        assert f.before(2) == 1
+        assert f.select(1) == 2
+        assert not f.is_live(1)
+
+    def test_empty(self):
+        f = FenwickTree([])
+        assert f.total == 0 and len(f) == 0
+
+    def test_bounds(self):
+        f = FenwickTree([1, 1])
+        with pytest.raises(IndexError):
+            f.select(2)
+        with pytest.raises(IndexError):
+            f.before(3)
+
+    def test_set_live(self):
+        f = FenwickTree([1, 1, 1])
+        f.set_live(1, False)
+        assert f.total == 2 and f.select(1) == 2
+        f.set_live(1, True)
+        assert f.select(1) == 1
+
+    def test_next_live(self):
+        f = FenwickTree([0, 0, 1])
+        assert f.next_live(0) == 2
+        assert f.next_live(3) is None
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=1, max_size=48),
+    st.lists(st.tuples(st.integers(0, 47), st.booleans()), max_size=24),
+)
+def test_fenwick_matches_index_tree(flags, updates):
+    fen = FenwickTree(flags)
+    tree = IndexTree(flags)
+    for idx, live in updates:
+        if idx < len(flags):
+            fen.set_live(idx, live)
+            tree.set_live(idx, live)
+    assert fen.total == tree.total
+    for i in range(len(flags) + 1):
+        assert fen.before(i) == tree.before(i)
+    for r in range(tree.total):
+        assert fen.select(r) == tree.select(r)
+    assert list(fen.live_indices()) == list(tree.live_indices())

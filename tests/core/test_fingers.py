@@ -1,0 +1,94 @@
+"""Tests for finger selection (Algorithm 4, Lemmas 1 and 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import initial_fingers, select_fingers
+
+
+class TestInitialFingers:
+    def test_multiples_of_omega(self):
+        assert initial_fingers(10, 3) == [0, 3, 6, 9]
+
+    def test_exact_multiple_excludes_length(self):
+        # a finger at index == num_gates would be out of range
+        assert initial_fingers(9, 3) == [0, 3, 6]
+
+    def test_empty_circuit(self):
+        assert initial_fingers(0, 5) == []
+
+    def test_omega_larger_than_circuit(self):
+        assert initial_fingers(3, 100) == [0]
+
+    def test_omega_validation(self):
+        with pytest.raises(ValueError):
+            initial_fingers(10, 0)
+
+
+class TestSelectFingers:
+    def test_empty(self):
+        assert select_fingers([], 2) == ([], [])
+
+    def test_single_finger_selected(self):
+        sel, rem = select_fingers([0], 2)
+        assert sel == [0] and rem == []
+
+    def test_partition_is_complete(self):
+        ranks = [0, 1, 4, 8, 9, 12, 17]
+        sel, rem = select_fingers(ranks, 2)
+        assert sorted(sel + rem) == list(range(len(ranks)))
+
+    def test_first_of_each_group_eligible(self):
+        # omega=2 -> groups of 4: ranks 0,1 in g0; 4 in g1; 8,9 in g2
+        sel, rem = select_fingers([0, 1, 4, 8, 9], 2)
+        # even groups g0, g2 have firsts 0 and 8 (positions 0, 3)
+        # odd group g1 has first 4 (position 2); even set is larger
+        assert sel == [0, 3]
+
+    def test_tie_goes_to_odd(self):
+        # one even-group finger, one odd-group finger: tie -> odd per
+        # the paper's strict '>' comparison
+        sel, rem = select_fingers([0, 4], 2)
+        assert sel == [1]
+        assert rem == [0]
+
+    def test_unsorted_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            select_fingers([5, 1], 2)
+
+    def test_omega_validation(self):
+        with pytest.raises(ValueError):
+            select_fingers([0], 0)
+
+
+@given(
+    st.lists(st.integers(0, 500), min_size=1, max_size=60).map(sorted),
+    st.integers(1, 10),
+)
+def test_selected_fingers_non_interfering(ranks, omega):
+    """Lemma 5: any two selected fingers are >= 2*omega apart in rank."""
+    sel, _ = select_fingers(ranks, omega)
+    chosen = [ranks[i] for i in sel]
+    for a, b in zip(chosen, chosen[1:]):
+        assert b - a >= 2 * omega
+
+
+@given(
+    st.lists(st.integers(0, 500), min_size=1, max_size=60).map(sorted),
+    st.integers(1, 10),
+)
+def test_selection_fraction(ranks, omega):
+    """Lemma 1: at least |F| / (4*omega) fingers are selected."""
+    sel, _ = select_fingers(ranks, omega)
+    assert len(sel) >= len(ranks) / (4 * omega)
+    assert len(sel) >= 1  # progress is always made
+
+
+@given(
+    st.lists(st.integers(0, 300), min_size=1, max_size=40).map(sorted),
+    st.integers(1, 8),
+)
+def test_partition_disjoint_and_complete(ranks, omega):
+    sel, rem = select_fingers(ranks, omega)
+    assert set(sel).isdisjoint(rem)
+    assert sorted(sel + rem) == list(range(len(ranks)))

@@ -1,0 +1,74 @@
+"""Tests for the round-free greedy variant (rounds ablation)."""
+
+import pytest
+
+from repro.circuits import Circuit, H, random_redundant_circuit
+from repro.core import (
+    assert_locally_optimal,
+    oracle_call_bound,
+    popqc,
+    popqc_greedy,
+)
+from repro.oracles import IdentityOracle, NamOracle
+from repro.sim import circuits_equivalent
+
+
+class TestBasics:
+    def test_omega_validation(self):
+        with pytest.raises(ValueError):
+            popqc_greedy(Circuit([H(0)]), NamOracle(), 0)
+
+    def test_empty_circuit(self):
+        res = popqc_greedy(Circuit([], 2), NamOracle(), 4)
+        assert res.circuit.num_gates == 0
+
+    def test_identity_oracle_one_call_per_initial_finger(self):
+        c = Circuit([H(i % 3) for i in range(20)], 3)
+        res = popqc_greedy(c, IdentityOracle(), 5)
+        assert res.stats.oracle_calls == 4
+        assert res.circuit.gates == c.gates
+
+    def test_max_steps(self):
+        c = random_redundant_circuit(4, 200, seed=1, redundancy=0.8)
+        res = popqc_greedy(c, NamOracle(), 5, max_steps=3)
+        assert res.stats.rounds == 3
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_equivalence(self, seed):
+        c = random_redundant_circuit(4, 150, seed=seed)
+        res = popqc_greedy(c, NamOracle(), 10)
+        assert circuits_equivalent(c, res.circuit)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_local_optimality(self, seed):
+        oracle = NamOracle()
+        c = random_redundant_circuit(4, 150, seed=seed)
+        res = popqc_greedy(c, oracle, 8)
+        assert_locally_optimal(res.circuit, oracle, 8)
+
+    def test_call_bound(self):
+        c = random_redundant_circuit(4, 200, seed=5)
+        res = popqc_greedy(c, NamOracle(), 10)
+        assert res.stats.oracle_calls <= oracle_call_bound(c.num_gates, 10)
+
+
+class TestAgainstRoundedPopqc:
+    """The ablation must match POPQC's quality (both locally optimal)."""
+
+    @pytest.mark.parametrize("seed", [6, 7, 8])
+    def test_same_final_gate_count_region(self, seed):
+        c = random_redundant_circuit(4, 250, seed=seed, redundancy=0.6)
+        oracle = NamOracle()
+        greedy = popqc_greedy(c, oracle, 12)
+        rounds = popqc(c, oracle, 12)
+        gap = abs(greedy.circuit.num_gates - rounds.circuit.num_gates)
+        assert gap <= 0.03 * c.num_gates
+
+    def test_comparable_oracle_calls(self):
+        c = random_redundant_circuit(4, 250, seed=9, redundancy=0.6)
+        oracle = NamOracle()
+        greedy = popqc_greedy(c, oracle, 12)
+        rounds = popqc(c, oracle, 12)
+        assert greedy.stats.oracle_calls <= 2 * rounds.stats.oracle_calls + 5

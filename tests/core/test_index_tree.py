@@ -1,0 +1,160 @@
+"""Tests for the index tree (paper Section 3, Figure 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import IndexTree
+
+
+class NaiveIndex:
+    """Reference implementation: plain list of flags."""
+
+    def __init__(self, flags):
+        self.flags = list(flags)
+
+    def before(self, i):
+        return sum(self.flags[:i])
+
+    def select(self, r):
+        seen = 0
+        for i, f in enumerate(self.flags):
+            if f:
+                if seen == r:
+                    return i
+                seen += 1
+        raise IndexError(r)
+
+    @property
+    def total(self):
+        return sum(self.flags)
+
+
+class TestPaperFigure1:
+    """The 5-gate example of Figure 1: H, X, CNOT, X, gate."""
+
+    def test_initial_weights(self):
+        tree = IndexTree([1, 1, 1, 1, 1])
+        assert tree.total == 5
+        # two non-tombstone gates before the CNOT at index 2
+        assert tree.before(2) == 2
+
+    def test_after_removing_the_two_x_gates(self):
+        tree = IndexTree([1, 1, 1, 1, 1])
+        tree.set_live(1, False)
+        tree.set_live(3, False)
+        assert tree.total == 3
+        # the CNOT (index 2) now has exactly 1 live gate before it
+        assert tree.before(2) == 1
+        # ranks: 0 -> H at 0, 1 -> CNOT at 2, 2 -> gate at 4
+        assert tree.select(0) == 0
+        assert tree.select(1) == 2
+        assert tree.select(2) == 4
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = IndexTree([])
+        assert len(tree) == 0
+        assert tree.total == 0
+
+    def test_single(self):
+        tree = IndexTree([1])
+        assert tree.select(0) == 0
+        assert tree.before(1) == 1
+
+    def test_non_power_of_two_size(self):
+        tree = IndexTree([1] * 5)
+        assert tree.total == 5
+        assert tree.before(5) == 5
+
+    def test_is_live(self):
+        tree = IndexTree([1, 0, 1])
+        assert tree.is_live(0) and not tree.is_live(1) and tree.is_live(2)
+
+    def test_before_bounds(self):
+        tree = IndexTree([1, 1])
+        with pytest.raises(IndexError):
+            tree.before(-1)
+        with pytest.raises(IndexError):
+            tree.before(3)
+        assert tree.before(2) == 2  # == len is allowed
+
+    def test_select_bounds(self):
+        tree = IndexTree([1, 0])
+        with pytest.raises(IndexError):
+            tree.select(1)
+        with pytest.raises(IndexError):
+            tree.select(-1)
+
+    def test_set_live_idempotent(self):
+        tree = IndexTree([1, 1])
+        tree.set_live(0, True)
+        assert tree.total == 2
+        tree.set_live(0, False)
+        tree.set_live(0, False)
+        assert tree.total == 1
+
+    def test_set_live_revival(self):
+        tree = IndexTree([1, 1])
+        tree.set_live(0, False)
+        tree.set_live(0, True)
+        assert tree.before(1) == 1
+
+    def test_batch_update(self):
+        tree = IndexTree([1] * 8)
+        tree.set_live_batch([(i, False) for i in range(0, 8, 2)])
+        assert tree.total == 4
+        assert tree.select(0) == 1
+
+    def test_live_indices(self):
+        tree = IndexTree([1, 0, 1, 0, 1])
+        assert list(tree.live_indices()) == [0, 2, 4]
+
+
+class TestNextLive:
+    def test_on_live_slot(self):
+        tree = IndexTree([1, 0, 1])
+        assert tree.next_live(0) == 0
+
+    def test_skips_tombstones(self):
+        tree = IndexTree([1, 0, 0, 1])
+        assert tree.next_live(1) == 3
+
+    def test_none_past_end(self):
+        tree = IndexTree([1, 0])
+        assert tree.next_live(1) is None
+        assert tree.next_live(5) is None
+
+    def test_negative_clamped(self):
+        tree = IndexTree([0, 1])
+        assert tree.next_live(-3) == 1
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+def test_matches_naive_reference(flags):
+    tree = IndexTree(flags)
+    naive = NaiveIndex(flags)
+    assert tree.total == naive.total
+    for i in range(len(flags) + 1):
+        assert tree.before(i) == naive.before(i)
+    for r in range(naive.total):
+        assert tree.select(r) == naive.select(r)
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=1, max_size=32),
+    st.lists(st.tuples(st.integers(0, 31), st.booleans()), max_size=20),
+)
+def test_updates_match_naive(flags, updates):
+    tree = IndexTree(flags)
+    naive = NaiveIndex(flags)
+    for idx, live in updates:
+        if idx < len(flags):
+            tree.set_live(idx, live)
+            naive.flags[idx] = int(live)
+    assert tree.total == naive.total
+    for i in range(len(flags) + 1):
+        assert tree.before(i) == naive.before(i)
+    for r in range(naive.total):
+        assert tree.select(r) == naive.select(r)

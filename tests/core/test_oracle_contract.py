@@ -1,0 +1,86 @@
+"""Failure-injection tests: buggy oracles against validation mode.
+
+The paper assumes the oracle returns an equivalent circuit.  These
+tests inject oracles that violate the contract in different ways and
+check that ``validate_oracle=True`` catches each one — and that the
+honest oracle sails through.
+"""
+
+import pytest
+
+from repro.circuits import CNOT, RZ, Circuit, Gate, H, X, random_redundant_circuit
+from repro.core import popqc
+from repro.core.popqc import OracleContractViolation
+from repro.oracles import NamOracle
+
+
+class GateDroppingOracle:
+    """Claims optimization by discarding the last gate — not equivalent."""
+
+    def __call__(self, gates):
+        gates = list(gates)
+        if len(gates) >= 2:
+            return gates[:-1]
+        return gates
+
+
+class WrongGateOracle:
+    """Rewrites an H into an X: shorter nowhere, wrong everywhere."""
+
+    def __call__(self, gates):
+        gates = list(gates)
+        for i, g in enumerate(gates):
+            if g.name == "h":
+                # replace H plus its neighbour by a single X: count drops
+                out = gates[:i] + [X(g.qubits[0])] + gates[i + 2 :]
+                if len(out) < len(gates):
+                    return out
+        return gates
+
+
+class ForeignQubitOracle:
+    """Moves work onto a qubit the segment never touched."""
+
+    def __call__(self, gates):
+        gates = list(gates)
+        if len(gates) >= 2:
+            return [Gate("h", (997,))] + gates[2:]
+        return gates
+
+
+class TestViolationsCaught:
+    @pytest.mark.parametrize(
+        "oracle_cls",
+        [GateDroppingOracle, WrongGateOracle],
+        ids=["drops-gate", "wrong-gate"],
+    )
+    def test_semantic_violations(self, oracle_cls):
+        c = random_redundant_circuit(4, 60, seed=1)
+        with pytest.raises(OracleContractViolation, match="not equivalent"):
+            popqc(c, oracle_cls(), 8, validate_oracle=True)
+
+    def test_foreign_qubit_violation(self):
+        c = random_redundant_circuit(4, 60, seed=2)
+        with pytest.raises(OracleContractViolation, match="outside the segment"):
+            popqc(c, ForeignQubitOracle(), 8, validate_oracle=True)
+
+    def test_without_validation_corruption_is_silent(self):
+        # documents the trust assumption: no validation, no error
+        c = random_redundant_circuit(4, 60, seed=3)
+        res = popqc(c, GateDroppingOracle(), 8)
+        assert res.circuit.num_gates < c.num_gates  # silently wrong
+
+
+class TestHonestOraclePasses:
+    def test_nam_oracle_validates_clean(self):
+        c = random_redundant_circuit(4, 100, seed=4, redundancy=0.7)
+        res = popqc(c, NamOracle(), 8, validate_oracle=True)
+        assert res.circuit.num_gates < c.num_gates
+
+    def test_wide_segments_fall_back_to_structural_check(self):
+        # support wider than validation_max_qubits: only the structural
+        # check runs; the honest oracle still passes
+        gates = [H(q) for q in range(20)] + [H(q) for q in range(20)]
+        c = Circuit(gates, 20)
+        res = popqc(c, NamOracle(), 25, validate_oracle=True, validation_max_qubits=8)
+        assert res.circuit.num_gates == 0

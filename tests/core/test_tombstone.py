@@ -1,0 +1,100 @@
+"""Tests for the TombstoneArray (Algorithm 1's Circuit interface)."""
+
+import pytest
+
+from repro.circuits import CNOT, H, X
+from repro.core import FenwickTree, TombstoneArray
+
+
+class TestBasics:
+    def test_create(self):
+        arr = TombstoneArray(["a", "b", "c"])
+        assert len(arr) == 3
+        assert arr.live_count == 3
+        assert arr.items() == ["a", "b", "c"]
+
+    def test_get_by_rank(self):
+        arr = TombstoneArray(["a", "b", "c"])
+        arr.substitute([(1, None)])
+        assert arr.get(0) == "a"
+        assert arr.get(1) == "c"
+
+    def test_index_of(self):
+        arr = TombstoneArray(["a", "b", "c"])
+        arr.substitute([(0, None)])
+        assert arr.index_of(0) == 1
+
+    def test_before(self):
+        arr = TombstoneArray(["a", "b", "c", "d"])
+        arr.substitute([(1, None)])
+        assert arr.before(0) == 0
+        assert arr.before(2) == 1
+        assert arr.before(4) == 3
+
+    def test_peek_and_is_live(self):
+        arr = TombstoneArray(["a", "b"])
+        arr.substitute([(0, None)])
+        assert arr.peek(0) is None
+        assert not arr.is_live(0)
+        assert arr.peek(1) == "b"
+
+    def test_substitute_replacement(self):
+        arr = TombstoneArray(["a", "b"])
+        arr.substitute([(0, "z")])
+        assert arr.items() == ["z", "b"]
+        assert arr.live_count == 2
+
+    def test_substitute_revives_tombstone(self):
+        arr = TombstoneArray(["a", "b"])
+        arr.substitute([(0, None)])
+        arr.substitute([(0, "again")])
+        assert arr.items() == ["again", "b"]
+
+    def test_fenwick_factory(self):
+        arr = TombstoneArray(["a", "b", "c"], tree_factory=FenwickTree)
+        arr.substitute([(1, None)])
+        assert arr.items() == ["a", "c"]
+        assert arr.index_of(1) == 2
+
+
+class TestSegments:
+    def _make(self):
+        arr = TombstoneArray(list("abcdefgh"))
+        arr.substitute([(1, None), (4, None), (5, None)])
+        # live: a(0) c(2) d(3) g(6) h(7); ranks 0..4
+        return arr
+
+    def test_full_segment(self):
+        arr = self._make()
+        indices, items = arr.segment(0, 5)
+        assert items == ["a", "c", "d", "g", "h"]
+        assert indices == [0, 2, 3, 6, 7]
+
+    def test_middle_segment(self):
+        arr = self._make()
+        indices, items = arr.segment(1, 4)
+        assert items == ["c", "d", "g"]
+        assert indices == [2, 3, 6]
+
+    def test_clipped_bounds(self):
+        arr = self._make()
+        indices, items = arr.segment(-5, 100)
+        assert len(items) == 5
+
+    def test_empty_range(self):
+        arr = self._make()
+        assert arr.segment(3, 3) == ([], [])
+        assert arr.segment(4, 2) == ([], [])
+
+    def test_segment_over_long_tombstone_run(self):
+        arr = TombstoneArray(list(range(100)))
+        arr.substitute([(i, None) for i in range(1, 99)])
+        indices, items = arr.segment(0, 2)
+        assert indices == [0, 99]
+        assert items == [0, 99]
+
+    def test_gates_with_gate_items(self):
+        gates = [H(0), X(1), CNOT(0, 1)]
+        arr = TombstoneArray(gates)
+        arr.substitute([(1, None)])
+        assert arr.items() == [H(0), CNOT(0, 1)]

@@ -1,0 +1,86 @@
+"""Stateful property test: TombstoneArray against a model.
+
+Hypothesis drives random interleavings of substitutions (writes,
+deletions, revivals) and queries against a plain-list model; every
+invariant of Algorithm 1's interface is checked after every step.
+This is the strongest evidence that the index-tree bookkeeping stays
+consistent under arbitrary optimizer behaviour.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import TombstoneArray
+
+
+class TombstoneModel(RuleBasedStateMachine):
+    @initialize(items=st.lists(st.integers(0, 99), min_size=1, max_size=40))
+    def setup(self, items):
+        self.model: list = list(items)  # None marks a tombstone
+        self.array = TombstoneArray(list(items))
+
+    def _live(self):
+        return [x for x in self.model if x is not None]
+
+    @rule(data=st.data())
+    def substitute_one(self, data):
+        idx = data.draw(st.integers(0, len(self.model) - 1))
+        value = data.draw(st.one_of(st.none(), st.integers(0, 99)))
+        self.model[idx] = value
+        self.array.substitute([(idx, value)])
+
+    @rule(data=st.data())
+    def substitute_batch(self, data):
+        k = data.draw(st.integers(1, 5))
+        updates = []
+        for _ in range(k):
+            idx = data.draw(st.integers(0, len(self.model) - 1))
+            value = data.draw(st.one_of(st.none(), st.integers(0, 99)))
+            updates.append((idx, value))
+        for idx, value in updates:
+            self.model[idx] = value
+        self.array.substitute(updates)
+
+    @rule(data=st.data())
+    def query_before(self, data):
+        idx = data.draw(st.integers(0, len(self.model)))
+        expected = sum(1 for x in self.model[:idx] if x is not None)
+        assert self.array.before(idx) == expected
+
+    @rule(data=st.data())
+    def query_get(self, data):
+        live = self._live()
+        if not live:
+            return
+        rank = data.draw(st.integers(0, len(live) - 1))
+        assert self.array.get(rank) == live[rank]
+
+    @rule(data=st.data())
+    def query_segment(self, data):
+        live = self._live()
+        lo = data.draw(st.integers(-2, len(live) + 2))
+        hi = data.draw(st.integers(-2, len(live) + 2))
+        indices, items = self.array.segment(lo, hi)
+        clamped_lo, clamped_hi = max(lo, 0), min(hi, len(live))
+        expected = live[clamped_lo:clamped_hi] if clamped_lo < clamped_hi else []
+        assert items == expected
+        assert len(indices) == len(items)
+
+    @invariant()
+    def items_match(self):
+        if not hasattr(self, "model"):
+            return
+        assert self.array.items() == self._live()
+        assert self.array.live_count == len(self._live())
+
+
+TestTombstoneStateful = TombstoneModel.TestCase
+TestTombstoneStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,68 @@
+"""Tests for the local-optimality verifier."""
+
+import pytest
+
+from repro.circuits import CNOT, Circuit, H, X
+from repro.core import (
+    assert_locally_optimal,
+    find_local_optimality_violations,
+    oracle_call_bound,
+)
+from repro.oracles import IdentityOracle, NamOracle
+
+
+class TestViolationDetection:
+    def test_unoptimized_circuit_has_violations(self):
+        c = Circuit([H(0), H(0), X(1), X(1)], 2)
+        violations = find_local_optimality_violations(c, NamOracle(), 4)
+        assert violations
+        v = violations[0]
+        assert v.cost_after < v.cost_before
+
+    def test_optimal_circuit_clean(self):
+        c = Circuit([H(0), CNOT(0, 1), X(1)], 2)
+        assert find_local_optimality_violations(c, NamOracle(), 3) == []
+
+    def test_identity_oracle_never_violates(self):
+        c = Circuit([H(0), H(0)] * 5, 1)
+        assert find_local_optimality_violations(c, IdentityOracle(), 4) == []
+
+    def test_empty_circuit(self):
+        assert find_local_optimality_violations(Circuit(), NamOracle(), 4) == []
+
+    def test_stride_still_finds_adjacent_pair(self):
+        c = Circuit([X(0)] * 8, 1)
+        violations = find_local_optimality_violations(c, NamOracle(), 4, stride=2)
+        assert violations
+
+    def test_max_windows_sampling(self):
+        c = Circuit([H(0), H(0)] * 20, 1)
+        violations = find_local_optimality_violations(
+            c, NamOracle(), 4, max_windows=3, seed=0
+        )
+        assert len(violations) <= 3
+
+    def test_violation_str(self):
+        c = Circuit([H(0), H(0)], 1)
+        (v,) = find_local_optimality_violations(c, NamOracle(), 2)
+        assert "segment at rank 0" in str(v)
+
+
+class TestAssertion:
+    def test_raises_on_violation(self):
+        c = Circuit([X(0), X(0)], 1)
+        with pytest.raises(AssertionError, match="locally non-optimal"):
+            assert_locally_optimal(c, NamOracle(), 2)
+
+    def test_passes_on_optimal(self):
+        c = Circuit([H(0), CNOT(0, 1)], 2)
+        assert_locally_optimal(c, NamOracle(), 2)
+
+
+class TestBound:
+    def test_zero_gates(self):
+        assert oracle_call_bound(0, 5) == 0
+
+    def test_formula(self):
+        # ceil(10/3) + 2*10 = 4 + 20
+        assert oracle_call_bound(10, 3) == 24

@@ -1,0 +1,48 @@
+"""Tests for table/series rendering and CSV export."""
+
+import math
+
+from repro.experiments import format_series, format_table, to_csv_string, write_csv
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["name", "value"], [["abc", 1.5], ["d", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_nan_renders_as_na(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "N.A." in text
+
+    def test_float_formats(self):
+        text = format_table(["x"], [[12345.6], [42.0], [0.123456]])
+        assert "12346" in text
+        assert "42.0" in text
+        assert "0.123" in text
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        text = format_series("fig", [1, 2], [10.0, 20.0], "x", "y")
+        assert "fig" in text
+        assert text.count("\n") == 2
+
+
+class TestCsv:
+    def test_to_csv_string(self):
+        s = to_csv_string(["a", "b"], [[1, 2], [3, 4]])
+        assert s.splitlines()[0] == "a,b"
+        assert s.splitlines()[2] == "3,4"
+
+    def test_write_csv(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv(path, ["h"], [[5]])
+        with open(path) as fh:
+            assert fh.read().splitlines() == ["h", "5"]

@@ -1,0 +1,83 @@
+"""Smoke + shape tests for the table drivers (tiny workloads)."""
+
+import math
+
+import pytest
+
+from repro.experiments import run_table1, run_table2, run_table3, run_table4
+
+TINY = dict(size_indices=(0,), families=["HHL", "VQE"])
+
+
+class TestTable1:
+    def test_rows_and_rendering(self):
+        rows, text = run_table1(workers=8, **TINY)
+        assert len(rows) == 2
+        assert "Table 1" in text
+        for r in rows:
+            assert r.gates > 0
+            assert 0 <= r.popqc_reduction <= 1
+            assert r.popqc_time > 0
+            assert not math.isnan(r.speedup)
+
+    def test_quality_comparable_to_baseline(self):
+        rows, _ = run_table1(workers=8, **TINY)
+        for r in rows:
+            # POPQC runs the same rules to a fixpoint: quality is within
+            # a few points of (usually above) the single-sweep baseline
+            assert r.popqc_reduction >= r.baseline_reduction - 0.05
+
+
+class TestTable2:
+    def test_rows(self):
+        rows, text = run_table2(**TINY)
+        assert len(rows) == 2
+        assert "Table 2" in text
+        for r in rows:
+            assert r.popqc_time > 0 and r.baseline_time > 0
+
+
+class TestTable3:
+    def test_rows(self):
+        rows, text = run_table3(**TINY)
+        assert len(rows) == 2
+        assert "Table 3" in text
+        for r in rows:
+            # both optimizers enforce local optimality with the same
+            # oracle: quality must agree closely (paper: within 0.3%)
+            assert abs(r.oac_reduction - r.popqc_reduction) < 0.05
+
+
+class TestTable4:
+    def test_rows(self):
+        rows, text = run_table4(size_indices=(0,), families=["VQE"])
+        assert len(rows) == 1
+        assert "Table 4" in text
+        r = rows[0]
+        # orderings shift quality only slightly (paper: < 0.2% for most)
+        spread = max(
+            r.left_justified_reduction,
+            r.right_justified_reduction,
+            r.default_reduction,
+        ) - min(
+            r.left_justified_reduction,
+            r.right_justified_reduction,
+            r.default_reduction,
+        )
+        assert spread < 0.10
+
+
+class TestTable1Timeout:
+    def test_timeout_marks_na_rows(self):
+        # a zero timeout forces every baseline row into the N.A. state
+        rows, text = run_table1(
+            size_indices=(0,), families=["VQE"], workers=8, baseline_timeout=0.0
+        )
+        (r,) = rows
+        assert r.baseline_timed_out
+        assert math.isnan(r.baseline_reduction)
+        assert "N.A." in text
+
+    def test_no_timeout_by_default(self):
+        rows, _ = run_table1(size_indices=(0,), families=["VQE"], workers=8)
+        assert not rows[0].baseline_timed_out

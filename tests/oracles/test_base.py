@@ -1,0 +1,74 @@
+"""Tests for the oracle protocol helpers."""
+
+import pytest
+
+from repro.circuits import CNOT, H, X, random_redundant_circuit
+from repro.oracles import (
+    ComposedOracle,
+    IdentityOracle,
+    NamOracle,
+    check_well_behaved,
+)
+
+
+class TestIdentityOracle:
+    def test_returns_input(self):
+        gates = [H(0), X(1)]
+        assert IdentityOracle()(gates) == gates
+
+    def test_returns_fresh_list(self):
+        gates = [H(0)]
+        out = IdentityOracle()(gates)
+        assert out is not gates
+
+
+class TestComposedOracle:
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            ComposedOracle()
+
+    def test_runs_in_sequence(self):
+        composed = ComposedOracle(IdentityOracle(), NamOracle())
+        assert composed([H(0), H(0)]) == []
+
+    def test_keeps_best(self):
+        class Worsener:
+            def __call__(self, gates):
+                return list(gates) + [H(0), H(0)]
+
+        composed = ComposedOracle(NamOracle(), Worsener())
+        # The worsener's output costs more, so the Nam result is kept.
+        assert composed([X(0), X(0)]) == []
+
+    def test_custom_cost(self):
+        composed = ComposedOracle(
+            IdentityOracle(), cost=lambda g: -float(len(g))
+        )
+        gates = [H(0), X(1)]
+        assert composed(gates) == gates
+
+
+class TestCheckWellBehaved:
+    def test_identity_trivially_well_behaved(self):
+        gates = list(random_redundant_circuit(4, 50, seed=1).gates)
+        assert check_well_behaved(IdentityOracle(), gates, seed=0) == []
+
+    def test_detects_badly_behaved_oracle(self):
+        class FirstPairOnly:
+            """Only cancels when the pair is at the very start —
+            subsegments starting elsewhere stay improvable."""
+
+            def __call__(self, gates):
+                gates = list(gates)
+                if len(gates) >= 2 and gates[0] == gates[1] and gates[0].name == "h":
+                    return gates[2:]
+                return gates
+
+        # Output contains an internal H,H pair the oracle would remove
+        # when handed that subsegment directly.
+        gates = [X(0), H(1), H(1), X(0)]
+        bad = check_well_behaved(FirstPairOnly(), gates, samples=200, seed=1)
+        assert bad  # counterexample found
+
+    def test_empty_input(self):
+        assert check_well_behaved(NamOracle(), [], seed=0) == []

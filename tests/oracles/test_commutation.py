@@ -1,0 +1,108 @@
+"""Exhaustive verification of the commutation predicate.
+
+``commutes(g, h)`` must return True only when [g, h] = 0 as operators.
+We verify this against the unitary simulator for *every* gate pair over
+a 3-qubit register — including the negative cases, so the predicate is
+neither unsound (claiming commutation that doesn't hold) nor overly
+permissive.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import CNOT, RZ, Gate, H, X
+from repro.oracles import commutes, commutes_through
+from repro.sim import gates_unitary
+
+QUBITS = 3
+
+
+def all_gates():
+    gates = []
+    for q in range(QUBITS):
+        gates.append(H(q))
+        gates.append(X(q))
+        gates.append(RZ(q, 0.7))
+        gates.append(RZ(q, math.pi))
+    for a, b in itertools.permutations(range(QUBITS), 2):
+        gates.append(CNOT(a, b))
+    return gates
+
+
+def truly_commute(g: Gate, h: Gate) -> bool:
+    ug = gates_unitary([g], QUBITS)
+    uh = gates_unitary([h], QUBITS)
+    return np.allclose(ug @ uh, uh @ ug, atol=1e-10)
+
+
+@pytest.mark.parametrize(
+    "g,h", list(itertools.product(all_gates(), repeat=2)), ids=lambda x: str(x)
+)
+def test_predicate_sound(g, h):
+    """commutes() must never claim a non-commuting pair commutes."""
+    if commutes(g, h):
+        assert truly_commute(g, h), f"unsound: {g} vs {h}"
+
+
+def test_predicate_completeness_on_disjoint():
+    """All disjoint-support pairs must be recognized."""
+    assert commutes(H(0), X(1))
+    assert commutes(CNOT(0, 1), CNOT(2, 0) if False else RZ(2, 0.5))
+
+
+class TestKnownPositiveCases:
+    def test_rz_on_control(self):
+        assert commutes(RZ(0, 0.5), CNOT(0, 1))
+
+    def test_x_on_target(self):
+        assert commutes(X(1), CNOT(0, 1))
+
+    def test_cnots_shared_control(self):
+        assert commutes(CNOT(0, 1), CNOT(0, 2))
+
+    def test_cnots_shared_target(self):
+        assert commutes(CNOT(0, 2), CNOT(1, 2))
+
+    def test_equal_name_single_qubit(self):
+        assert commutes(RZ(0, 0.3), RZ(0, 0.9))
+        assert commutes(H(0), H(0))
+        assert commutes(X(0), X(0))
+
+    def test_symmetry_of_swapped_args(self):
+        assert commutes(CNOT(0, 1), RZ(0, 0.5))
+        assert commutes(CNOT(0, 1), X(1))
+
+
+class TestKnownNegativeCases:
+    def test_rz_on_target_blocks(self):
+        assert not commutes(RZ(1, 0.5), CNOT(0, 1))
+
+    def test_x_on_control_blocks(self):
+        assert not commutes(X(0), CNOT(0, 1))
+
+    def test_h_blocks_cnot(self):
+        assert not commutes(H(0), CNOT(0, 1))
+        assert not commutes(H(1), CNOT(0, 1))
+
+    def test_cnot_control_target_collision(self):
+        assert not commutes(CNOT(0, 1), CNOT(1, 2))
+        assert not commutes(CNOT(1, 2), CNOT(0, 1))
+
+    def test_mixed_single_qubit(self):
+        assert not commutes(H(0), X(0))
+        assert not commutes(H(0), RZ(0, 0.5))
+        assert not commutes(X(0), RZ(0, 0.5))
+
+
+class TestCommutesThrough:
+    def test_empty_between(self):
+        assert commutes_through(H(0), [])
+
+    def test_all_commuting(self):
+        assert commutes_through(RZ(0, 0.5), [CNOT(0, 1), RZ(0, 0.2), H(2)])
+
+    def test_one_blocker(self):
+        assert not commutes_through(RZ(0, 0.5), [CNOT(0, 1), H(0)])

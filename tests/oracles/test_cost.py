@@ -1,0 +1,109 @@
+"""Tests for cost functions."""
+
+import pickle
+
+import pytest
+
+from repro.circuits import CNOT, RZ, H, X
+from repro.oracles import DepthCost, GateCount, MixedCost, TwoQubitCount
+
+
+class TestGateCount:
+    def test_counts(self):
+        assert GateCount()([H(0), X(1)]) == 2.0
+        assert GateCount()([]) == 0.0
+
+    def test_equality_hash_pickle(self):
+        assert GateCount() == GateCount()
+        assert hash(GateCount()) == hash(GateCount())
+        assert pickle.loads(pickle.dumps(GateCount())) == GateCount()
+
+
+class TestDepthCost:
+    def test_depth(self):
+        assert DepthCost()([H(0), H(1)]) == 1.0
+        assert DepthCost()([H(0), X(0)]) == 2.0
+        assert DepthCost()([]) == 0.0
+
+    def test_cnot_depth(self):
+        assert DepthCost()([CNOT(0, 1), H(0), H(1)]) == 2.0
+
+    def test_equality(self):
+        assert DepthCost() == DepthCost()
+
+
+class TestMixedCost:
+    def test_formula(self):
+        gates = [H(0), X(0)]  # depth 2, 2 gates
+        assert MixedCost(10.0)(gates) == 22.0
+
+    def test_weight_matters(self):
+        gates = [H(0)]
+        assert MixedCost(5.0)(gates) == 6.0
+        assert MixedCost(5.0) != MixedCost(10.0)
+
+    def test_pickle(self):
+        c = pickle.loads(pickle.dumps(MixedCost(7.0)))
+        assert c == MixedCost(7.0)
+
+    def test_empty(self):
+        assert MixedCost()([]) == 0.0
+
+
+class TestTwoQubitCount:
+    def test_counts_only_multiqubit(self):
+        assert TwoQubitCount()([H(0), CNOT(0, 1), CNOT(1, 2), RZ(0, 1.0)]) == 2.0
+
+    def test_equality(self):
+        assert TwoQubitCount() == TwoQubitCount()
+
+
+class TestFidelityCost:
+    def test_two_qubit_gates_cost_more(self):
+        from repro.oracles import FidelityCost
+
+        c = FidelityCost()
+        assert c([CNOT(0, 1)]) > c([H(0)])
+
+    def test_fidelity_of_empty_circuit(self):
+        from repro.oracles import FidelityCost
+
+        assert FidelityCost().fidelity([]) == 1.0
+
+    def test_fidelity_decreases_with_gates(self):
+        from repro.oracles import FidelityCost
+
+        c = FidelityCost()
+        f1 = c.fidelity([CNOT(0, 1)])
+        f2 = c.fidelity([CNOT(0, 1), CNOT(1, 2)])
+        assert 0 < f2 < f1 < 1
+
+    def test_cost_additive(self):
+        from repro.oracles import FidelityCost
+
+        c = FidelityCost()
+        assert c([H(0), CNOT(0, 1)]) == pytest.approx(c([H(0)]) + c([CNOT(0, 1)]))
+
+    def test_error_rate_validation(self):
+        from repro.oracles import FidelityCost
+
+        with pytest.raises(ValueError):
+            FidelityCost(single_qubit_error=1.5)
+
+    def test_equality_and_pickle(self):
+        from repro.oracles import FidelityCost
+
+        a = FidelityCost(1e-4, 1e-3)
+        assert a == FidelityCost(1e-4, 1e-3)
+        assert a != FidelityCost(1e-4, 2e-3)
+        assert pickle.loads(pickle.dumps(a)) == a
+
+    def test_usable_as_popqc_cost(self):
+        from repro.circuits import random_redundant_circuit
+        from repro.core import popqc
+        from repro.oracles import FidelityCost, NamOracle
+
+        cost = FidelityCost()
+        c = random_redundant_circuit(4, 100, seed=1, redundancy=0.7)
+        res = popqc(c, NamOracle(), 10, cost=cost)
+        assert cost.fidelity(list(res.circuit.gates)) > cost.fidelity(list(c.gates))

@@ -1,0 +1,76 @@
+"""Tests for the Nam-style oracle (VOQC role)."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits import CNOT, RZ, Circuit, H, X, random_redundant_circuit
+from repro.oracles import BASELINE_PASSES, NamOracle, check_well_behaved
+from repro.sim import circuits_equivalent, segments_equivalent
+
+from ..conftest import gate_list_strategy
+
+
+class TestConstruction:
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ValueError, match="unknown passes"):
+            NamOracle(["cancellation", "bogus"])
+
+    def test_repr_shows_mode(self):
+        assert "fixpoint" in repr(NamOracle())
+        assert "single-sweep" in repr(NamOracle(fixpoint=False))
+
+    def test_equality_and_hash(self):
+        assert NamOracle() == NamOracle()
+        assert NamOracle(fixpoint=False) != NamOracle()
+        assert hash(NamOracle()) == hash(NamOracle())
+
+    def test_picklable(self):
+        oracle = NamOracle()
+        clone = pickle.loads(pickle.dumps(oracle))
+        assert clone == oracle
+        assert clone([H(0), H(0)]) == []
+
+
+class TestOptimization:
+    def test_cancels_redundancy(self):
+        out = NamOracle()([H(0), H(0), X(1), X(1)])
+        assert out == []
+
+    def test_combined_passes_cascade(self):
+        # H X H -> RZ(pi), which then merges with an adjacent RZ(pi) to
+        # the identity: requires hadamard reduction *and* rz merging.
+        import math
+
+        gates = [H(0), X(0), H(0), RZ(0, math.pi)]
+        out = NamOracle()(gates)
+        assert out == []
+
+    def test_single_sweep_weaker_or_equal(self):
+        c = random_redundant_circuit(4, 150, seed=0, redundancy=0.7)
+        fix = NamOracle()(list(c.gates))
+        single = NamOracle(BASELINE_PASSES, fixpoint=False)(list(c.gates))
+        assert len(fix) <= len(single)
+
+    @given(gate_list_strategy(num_qubits=4, max_gates=25))
+    @settings(max_examples=25)
+    def test_preserves_unitary(self, gates):
+        out = NamOracle()(list(gates))
+        assert segments_equivalent(gates, out)
+
+
+class TestWellBehavedness:
+    """Section 6: subsegments of oracle output must be unimprovable."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fixpoint_oracle_well_behaved(self, seed):
+        oracle = NamOracle()
+        gates = list(random_redundant_circuit(4, 80, seed=seed).gates)
+        assert check_well_behaved(oracle, gates, samples=30, seed=seed) == []
+
+    def test_fixpoint_idempotent(self):
+        oracle = NamOracle()
+        gates = list(random_redundant_circuit(4, 100, seed=7).gates)
+        once = oracle(gates)
+        assert oracle(list(once)) == once

@@ -1,0 +1,130 @@
+"""Tests for single-qubit run resynthesis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import CNOT, RZ, Circuit, Gate, H, X
+from repro.oracles import EXTENDED_PASSES, NamOracle, resynthesis_pass, synthesize_1q
+from repro.sim import allclose_up_to_phase, gates_unitary, segments_equivalent
+
+from ..conftest import gate_list_strategy
+
+
+def random_unitary_2x2(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    z = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, r = np.linalg.qr(z)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+class TestSynthesize1q:
+    def test_identity_is_empty(self):
+        assert synthesize_1q(np.eye(2, dtype=complex), 0) == []
+
+    def test_phase_only_identity(self):
+        assert synthesize_1q(np.exp(0.3j) * np.eye(2), 0) == []
+
+    def test_diagonal_single_rz(self):
+        gates = synthesize_1q(np.diag([1.0, np.exp(0.7j)]), 3)
+        assert gates == [RZ(3, 0.7)]
+
+    def test_x_matrix_single_gate(self):
+        gates = synthesize_1q(np.array([[0, 1], [1, 0]], dtype=complex), 0)
+        assert gates == [X(0)]
+
+    def test_antidiagonal_two_gates(self):
+        u = np.array([[0, np.exp(0.9j)], [1, 0]], dtype=complex)
+        gates = synthesize_1q(u, 0)
+        assert len(gates) == 2
+        assert allclose_up_to_phase(gates_unitary(gates, 1), u)
+
+    def test_hadamard_three_gates(self):
+        u = H(0).matrix()
+        gates = synthesize_1q(u, 0)
+        assert len(gates) <= 5
+        assert allclose_up_to_phase(gates_unitary(gates, 1), u)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_unitaries(self, seed):
+        u = random_unitary_2x2(seed)
+        gates = synthesize_1q(u, 2)
+        assert len(gates) <= 5
+        assert all(g.qubits == (2,) for g in gates)
+        # remap to qubit 0 for the unitary check
+        compact = [Gate(g.name, (0,), g.param) for g in gates]
+        assert allclose_up_to_phase(gates_unitary(compact, 1), u, atol=1e-7)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            synthesize_1q(np.eye(4, dtype=complex), 0)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            synthesize_1q(np.array([[1, 1], [0, 1]], dtype=complex), 0)
+
+
+class TestResynthesisPass:
+    def test_collapses_long_run(self):
+        # T S T H X T S on one wire: 7 gates -> at most 5
+        run = [
+            RZ(0, math.pi / 4),
+            RZ(0, math.pi / 2),
+            RZ(0, math.pi / 4),
+            H(0),
+            X(0),
+            RZ(0, math.pi / 4),
+            RZ(0, math.pi / 2),
+        ]
+        out, changed = resynthesis_pass(list(run))
+        assert changed
+        assert len(out) <= 5
+        assert segments_equivalent(run, out)
+
+    def test_run_interrupted_by_cnot(self):
+        gates = [RZ(0, 0.3), H(0), CNOT(0, 1), RZ(0, 0.4), H(0)]
+        out, changed = resynthesis_pass(list(gates))
+        assert segments_equivalent(gates, out)
+
+    def test_runs_on_multiple_wires(self):
+        gates = [H(0), X(0), H(0), H(1), X(1), H(1)]
+        out, changed = resynthesis_pass(list(gates))
+        assert changed
+        assert len(out) == 2  # each HXH run collapses to one RZ(pi)
+        assert segments_equivalent(gates, out)
+
+    def test_short_runs_untouched_when_not_shorter(self):
+        gates = [H(0), RZ(0, 0.3)]  # already minimal (generic ZXZ is 3+)
+        out, changed = resynthesis_pass(list(gates))
+        assert not changed and out == gates
+
+    @given(gate_list_strategy(num_qubits=4, max_gates=25))
+    @settings(max_examples=30)
+    def test_preserves_unitary(self, gates):
+        out, _ = resynthesis_pass(list(gates))
+        assert segments_equivalent(gates, out, atol=1e-6)
+
+    @given(gate_list_strategy(num_qubits=4, max_gates=25))
+    @settings(max_examples=30)
+    def test_never_grows(self, gates):
+        out, _ = resynthesis_pass(list(gates))
+        assert len(out) <= len(gates)
+
+
+class TestExtendedOracle:
+    def test_at_least_as_good_as_default(self):
+        from repro.circuits import random_redundant_circuit
+
+        c = random_redundant_circuit(4, 150, seed=1, redundancy=0.6)
+        default = NamOracle()(list(c.gates))
+        extended = NamOracle(EXTENDED_PASSES)(list(c.gates))
+        assert len(extended) <= len(default)
+
+    def test_collapses_what_rules_miss(self):
+        # a run whose product is diagonal but that no pattern rule matches
+        run = [H(0), RZ(0, 0.3), H(0), H(0), RZ(0, -0.3), H(0)]
+        oracle = NamOracle(EXTENDED_PASSES)
+        out = oracle(list(run))
+        assert len(out) == 0  # product is the identity

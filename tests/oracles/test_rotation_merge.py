@@ -1,0 +1,85 @@
+"""Tests for phase-polynomial rotation merging."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.circuits import CNOT, RZ, Circuit, H, X
+from repro.oracles import rotation_merge_pass
+from repro.sim import segments_equivalent
+
+from ..conftest import gate_list_strategy
+
+
+class TestBasicMerges:
+    def test_adjacent_rz_merge(self):
+        out, changed = rotation_merge_pass([RZ(0, 0.3), RZ(0, 0.4)])
+        assert changed and len(out) == 1
+        assert out[0].param == pytest.approx(0.7)
+
+    def test_merge_through_cnot_conjugation(self):
+        # RZ(1,a) CNOT(0,1) RZ(1,b) CNOT(0,1) RZ(1,c): the outer two act
+        # on the same parity (wire 1's original value) and merge even
+        # though a commutation-based scan is blocked by the CNOT target.
+        gates = [RZ(1, 0.3), CNOT(0, 1), RZ(1, 0.5), CNOT(0, 1), RZ(1, 0.4)]
+        out, changed = rotation_merge_pass(gates)
+        assert changed
+        assert sum(1 for g in out if g.name == "rz") == 2
+        assert segments_equivalent(gates, out)
+
+    def test_merge_across_wires_with_same_parity(self):
+        # CNOT(0,1) copies wire 0's parity onto wire 1 (xor), so RZ on a
+        # restored parity merges across different physical wires.
+        gates = [RZ(0, 0.2), CNOT(1, 0), CNOT(1, 0), RZ(0, 0.3)]
+        out, changed = rotation_merge_pass(gates)
+        assert changed
+        assert segments_equivalent(gates, out)
+
+    def test_x_flips_sign_of_merge(self):
+        # X conjugation: RZ(a) X RZ(b) X == RZ(a - b) up to global phase
+        gates = [RZ(0, 0.5), X(0), RZ(0, 0.3), X(0)]
+        out, changed = rotation_merge_pass(gates)
+        assert changed
+        assert segments_equivalent(gates, out)
+        rz = [g for g in out if g.name == "rz"]
+        assert len(rz) == 1
+        assert rz[0].param == pytest.approx(0.2)
+
+    def test_cancel_to_zero_removes_both(self):
+        gates = [RZ(0, 1.0), H(1), RZ(0, -1.0)]
+        out, changed = rotation_merge_pass(gates)
+        assert changed
+        assert all(g.name != "rz" for g in out)
+
+    def test_h_breaks_merging(self):
+        gates = [RZ(0, 0.3), H(0), RZ(0, 0.4)]
+        out, changed = rotation_merge_pass(gates)
+        assert not changed and out == gates
+
+    def test_no_rz_no_change(self):
+        gates = [H(0), CNOT(0, 1), X(1)]
+        out, changed = rotation_merge_pass(gates)
+        assert not changed and out == gates
+
+    def test_empty(self):
+        assert rotation_merge_pass([]) == ([], False)
+
+
+class TestProperties:
+    @given(gate_list_strategy(num_qubits=4, max_gates=30))
+    def test_preserves_unitary(self, gates):
+        out, _ = rotation_merge_pass(list(gates))
+        assert segments_equivalent(gates, out)
+
+    @given(gate_list_strategy(num_qubits=4, max_gates=30))
+    def test_never_grows(self, gates):
+        out, _ = rotation_merge_pass(list(gates))
+        assert len(out) <= len(gates)
+
+    @given(gate_list_strategy(num_qubits=3, max_gates=25))
+    def test_idempotent(self, gates):
+        once, _ = rotation_merge_pass(list(gates))
+        twice, changed = rotation_merge_pass(list(once))
+        assert not changed
+        assert twice == once

@@ -1,0 +1,186 @@
+"""Tests for the rewrite-engine passes.
+
+Every pass is property-tested for unitary preservation, and the
+wire-threaded cancellation scan is cross-checked against a naive
+reference implementation that scans all gates with the generic
+commutation predicate — pinning the hand-inlined hot loop to the
+specification.
+"""
+
+import math
+from typing import Optional
+
+from hypothesis import given, settings
+
+from repro.circuits import CNOT, RZ, Circuit, Gate, H, X
+from repro.oracles import (
+    cancellation_pass,
+    cnot_chain_pass,
+    commutes,
+    hadamard_reduction_pass,
+    remove_identities,
+    try_merge,
+)
+from repro.sim import circuits_equivalent, segments_equivalent
+
+from ..conftest import gate_list_strategy
+
+
+def naive_cancellation_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    """Reference implementation: full scans with the generic predicates."""
+    arr: list[Optional[Gate]] = list(gates)
+    changed = False
+    for i in range(len(arr)):
+        g = arr[i]
+        if g is None:
+            continue
+        if g.is_identity:
+            arr[i] = None
+            changed = True
+            continue
+        for j in range(i + 1, len(arr)):
+            h = arr[j]
+            if h is None:
+                continue
+            if not g.overlaps(h):
+                continue
+            merged = try_merge(g, h)
+            if merged is not None:
+                arr[i] = None
+                arr[j] = merged[0] if merged else None
+                changed = True
+                break
+            if commutes(g, h):
+                continue
+            break
+    return [g for g in arr if g is not None], changed
+
+
+class TestRemoveIdentities:
+    def test_drops_zero_rotations(self):
+        out, changed = remove_identities([H(0), RZ(1, 0.0), X(0)])
+        assert out == [H(0), X(0)] and changed
+
+    def test_no_change(self):
+        gates = [H(0), X(1)]
+        out, changed = remove_identities(gates)
+        assert out == gates and not changed
+
+
+class TestCancellationExamples:
+    def test_adjacent_hh(self):
+        out, changed = cancellation_pass([H(0), H(0)])
+        assert out == [] and changed
+
+    def test_cancellation_through_commuting_spacer(self):
+        # X(1) commutes with the pair on qubit 0
+        out, _ = cancellation_pass([H(0), X(1), H(0)])
+        assert out == [X(1)]
+
+    def test_rz_merge_through_cnot_control(self):
+        out, _ = cancellation_pass([RZ(0, 0.3), CNOT(0, 1), RZ(0, 0.4)])
+        assert len(out) == 2
+        rz = [g for g in out if g.name == "rz"][0]
+        assert abs(rz.param - 0.7) < 1e-9
+
+    def test_x_cancels_through_cnot_target(self):
+        out, _ = cancellation_pass([X(1), CNOT(0, 1), X(1)])
+        assert out == [CNOT(0, 1)]
+
+    def test_blocked_by_h(self):
+        gates = [X(0), H(0), X(0)]
+        out, changed = cancellation_pass(gates)
+        assert out == gates and not changed
+
+    def test_rz_blocked_by_cnot_target(self):
+        gates = [RZ(1, 0.5), CNOT(0, 1), RZ(1, 0.5)]
+        out, changed = cancellation_pass(gates)
+        assert out == gates and not changed
+
+    def test_cnot_cancels_through_shared_control(self):
+        out, _ = cancellation_pass([CNOT(0, 1), CNOT(0, 2), CNOT(0, 1)])
+        assert out == [CNOT(0, 2)]
+
+    def test_cnot_blocked_by_collision(self):
+        gates = [CNOT(0, 1), CNOT(1, 2), CNOT(0, 1)]
+        out, changed = cancellation_pass(gates)
+        assert out == gates and not changed  # that's the chain pass's job
+
+    def test_identity_rz_dropped(self):
+        out, changed = cancellation_pass([RZ(0, 0.0), H(1)])
+        assert out == [H(1)] and changed
+
+
+class TestCancellationProperties:
+    @given(gate_list_strategy(num_qubits=4, max_gates=25))
+    def test_preserves_unitary(self, gates):
+        out, _ = cancellation_pass(list(gates))
+        assert segments_equivalent(gates, out)
+
+    @given(gate_list_strategy(num_qubits=4, max_gates=25))
+    def test_matches_naive_reference(self, gates):
+        fast, fch = cancellation_pass(list(gates))
+        slow, sch = naive_cancellation_pass(list(gates))
+        assert fast == slow
+        assert fch == sch
+
+    @given(gate_list_strategy(num_qubits=4, max_gates=25))
+    def test_never_grows(self, gates):
+        out, _ = cancellation_pass(list(gates))
+        assert len(out) <= len(gates)
+
+
+class TestHadamardReduction:
+    def test_hxh(self):
+        out, changed = hadamard_reduction_pass([H(0), X(0), H(0)])
+        assert out == [RZ(0, math.pi)] and changed
+
+    def test_hzh(self):
+        out, changed = hadamard_reduction_pass([H(0), RZ(0, math.pi), H(0)])
+        assert out == [X(0)] and changed
+
+    def test_with_spectator_gates_between(self):
+        gates = [H(0), CNOT(1, 2), X(0), H(1), H(0)]
+        out, changed = hadamard_reduction_pass(gates)
+        assert changed
+        assert RZ(0, math.pi) in out
+        assert CNOT(1, 2) in out and H(1) in out
+
+    def test_blocked_by_gate_on_same_wire(self):
+        gates = [H(0), CNOT(0, 1), X(0), H(0)]
+        out, changed = hadamard_reduction_pass(gates)
+        assert not changed and out == gates
+
+    @given(gate_list_strategy(num_qubits=4, max_gates=25))
+    def test_preserves_unitary(self, gates):
+        out, _ = hadamard_reduction_pass(list(gates))
+        assert segments_equivalent(gates, out)
+
+
+class TestCnotChain:
+    def test_basic_chain(self):
+        gates = [CNOT(0, 1), CNOT(1, 2), CNOT(0, 1)]
+        out, changed = cnot_chain_pass(gates)
+        assert changed and len(out) == 2
+        assert segments_equivalent(gates, out)
+
+    def test_chain_with_spectators(self):
+        gates = [CNOT(0, 1), H(3), CNOT(1, 2), X(3), CNOT(0, 1)]
+        out, changed = cnot_chain_pass(gates)
+        assert changed
+        assert segments_equivalent(gates, out)
+
+    def test_no_false_positive(self):
+        gates = [CNOT(0, 1), CNOT(0, 2), CNOT(0, 1)]
+        out, changed = cnot_chain_pass(gates)
+        assert not changed
+
+    @given(gate_list_strategy(num_qubits=4, max_gates=20))
+    def test_preserves_unitary(self, gates):
+        out, _ = cnot_chain_pass(list(gates))
+        assert segments_equivalent(gates, out)
+
+    @given(gate_list_strategy(num_qubits=4, max_gates=20))
+    def test_never_grows(self, gates):
+        out, _ = cnot_chain_pass(list(gates))
+        assert len(out) <= len(gates)

@@ -1,0 +1,103 @@
+"""Unit tests for the local rewrite rules, each verified by simulation."""
+
+import math
+
+import pytest
+
+from repro.circuits import CNOT, RZ, Gate, H, X
+from repro.oracles import cnot_chain_triple, hadamard_triple, try_merge
+from repro.sim import segments_equivalent
+
+
+class TestTryMerge:
+    def test_hh_cancels(self):
+        assert try_merge(H(0), H(0)) == []
+
+    def test_xx_cancels(self):
+        assert try_merge(X(2), X(2)) == []
+
+    def test_cnot_cancels(self):
+        assert try_merge(CNOT(0, 1), CNOT(0, 1)) == []
+
+    def test_cnot_reversed_does_not_cancel(self):
+        assert try_merge(CNOT(0, 1), CNOT(1, 0)) is None
+
+    def test_rz_merges(self):
+        (merged,) = try_merge(RZ(0, 0.3), RZ(0, 0.4))
+        assert merged.param == pytest.approx(0.7)
+
+    def test_rz_opposite_angles_cancel(self):
+        assert try_merge(RZ(0, 1.0), RZ(0, -1.0)) == []
+
+    def test_different_qubits_no_merge(self):
+        assert try_merge(H(0), H(1)) is None
+
+    def test_different_names_no_merge(self):
+        assert try_merge(H(0), X(0)) is None
+
+    @pytest.mark.parametrize(
+        "g,h",
+        [
+            (H(0), H(0)),
+            (X(1), X(1)),
+            (CNOT(0, 1), CNOT(0, 1)),
+            (RZ(0, 0.3), RZ(0, 1.1)),
+            (RZ(0, math.pi), RZ(0, math.pi)),
+        ],
+    )
+    def test_merge_preserves_unitary(self, g, h):
+        merged = try_merge(g, h)
+        assert merged is not None
+        assert segments_equivalent([g, h], merged)
+
+
+class TestHadamardTriple:
+    def test_hxh_to_z(self):
+        rep = hadamard_triple(H(0), X(0), H(0))
+        assert rep == [RZ(0, math.pi)]
+        assert segments_equivalent([H(0), X(0), H(0)], rep)
+
+    def test_hzh_to_x(self):
+        rep = hadamard_triple(H(0), RZ(0, math.pi), H(0))
+        assert rep == [X(0)]
+        assert segments_equivalent([H(0), RZ(0, math.pi), H(0)], rep)
+
+    def test_non_pi_rz_not_rewritten(self):
+        assert hadamard_triple(H(0), RZ(0, 0.5), H(0)) is None
+
+    def test_wrong_wires_rejected(self):
+        assert hadamard_triple(H(0), X(1), H(0)) is None
+
+    def test_outer_gates_must_be_h(self):
+        assert hadamard_triple(X(0), X(0), H(0)) is None
+
+    def test_multi_qubit_middle_rejected(self):
+        assert hadamard_triple(H(0), CNOT(0, 1), H(0)) is None
+
+
+class TestCnotChainTriple:
+    def test_shared_middle_wire(self):
+        # CNOT(0,1) CNOT(1,2) CNOT(0,1) == CNOT(1,2) CNOT(0,2)
+        rep = cnot_chain_triple(CNOT(0, 1), CNOT(1, 2), CNOT(0, 1))
+        assert rep == [CNOT(1, 2), CNOT(0, 2)]
+        assert segments_equivalent(
+            [CNOT(0, 1), CNOT(1, 2), CNOT(0, 1)], rep
+        )
+
+    def test_target_feeds_control(self):
+        # CNOT(1,2) CNOT(0,1) CNOT(1,2) == CNOT(0,1) CNOT(0,2)
+        rep = cnot_chain_triple(CNOT(1, 2), CNOT(0, 1), CNOT(1, 2))
+        assert rep is not None
+        assert segments_equivalent(
+            [CNOT(1, 2), CNOT(0, 1), CNOT(1, 2)], rep
+        )
+
+    def test_outer_gates_must_match(self):
+        assert cnot_chain_triple(CNOT(0, 1), CNOT(1, 2), CNOT(0, 2)) is None
+
+    def test_non_cnot_rejected(self):
+        assert cnot_chain_triple(CNOT(0, 1), H(1), CNOT(0, 1)) is None
+
+    def test_commuting_middle_not_rewritten(self):
+        # middle shares only the control: commutes, no chain identity
+        assert cnot_chain_triple(CNOT(0, 1), CNOT(0, 2), CNOT(0, 1)) is None

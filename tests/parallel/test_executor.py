@@ -1,0 +1,94 @@
+"""Tests for the parmap executors."""
+
+import pickle
+
+import pytest
+
+from repro.parallel import ProcessMap, SerialMap, ThreadMap, default_workers
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestSerialMap:
+    def test_order_preserved(self):
+        assert SerialMap().map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SerialMap().map(square, []) == []
+
+    def test_workers_is_one(self):
+        assert SerialMap().workers == 1
+
+    def test_close_noop(self):
+        SerialMap().close()
+
+
+class TestThreadMap:
+    def test_order_preserved(self):
+        tm = ThreadMap(4)
+        try:
+            assert tm.map(square, list(range(20))) == [i * i for i in range(20)]
+        finally:
+            tm.close()
+
+    def test_single_item_serial_path(self):
+        tm = ThreadMap(4)
+        assert tm.map(square, [5]) == [25]
+        tm.close()
+
+    def test_pool_reused_across_calls(self):
+        tm = ThreadMap(2)
+        try:
+            tm.map(square, [1, 2, 3])
+            pool = tm._pool
+            tm.map(square, [4, 5, 6])
+            assert tm._pool is pool
+        finally:
+            tm.close()
+
+    def test_close_and_reopen(self):
+        tm = ThreadMap(2)
+        tm.map(square, [1, 2, 3])
+        tm.close()
+        assert tm._pool is None
+        assert tm.map(square, [1, 2, 3]) == [1, 4, 9]
+        tm.close()
+
+    def test_default_worker_count(self):
+        tm = ThreadMap()
+        assert tm.workers == default_workers()
+        tm.close()
+
+
+class TestProcessMap:
+    def test_small_batches_run_serial(self):
+        pm = ProcessMap(2, serial_cutoff=4)
+        try:
+            # below cutoff: no pool is spawned
+            assert pm.map(square, [1, 2]) == [1, 4]
+            assert pm._pool is None
+        finally:
+            pm.close()
+
+    def test_parallel_path(self):
+        pm = ProcessMap(2, serial_cutoff=1)
+        try:
+            assert pm.map(square, list(range(10))) == [i * i for i in range(10)]
+        finally:
+            pm.close()
+
+    def test_picklable_oracle_roundtrip(self):
+        # the actual POPQC use case: a NamOracle crossing process bounds
+        from repro.circuits import H
+        from repro.core.popqc import _OracleTask
+        from repro.oracles import NamOracle
+
+        task = _OracleTask(NamOracle())
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone([H(0), H(0)]) == []
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1

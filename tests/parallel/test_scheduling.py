@@ -1,0 +1,65 @@
+"""Tests for list-scheduling makespan computation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel import greedy_makespan, ideal_makespan, lpt_makespan
+
+DURATIONS = st.lists(st.floats(0.0, 10.0, allow_nan=False), max_size=40)
+WORKERS = st.integers(1, 16)
+
+
+class TestKnownCases:
+    def test_empty(self):
+        assert greedy_makespan([], 4) == 0.0
+        assert ideal_makespan([], 4) == 0.0
+
+    def test_single_worker_is_serial(self):
+        assert greedy_makespan([1, 2, 3], 1) == 6.0
+
+    def test_enough_workers_is_max(self):
+        assert greedy_makespan([1, 2, 3], 3) == 3.0
+
+    def test_two_workers(self):
+        # arrival order: w1 gets 3 (busy to 3), w2 gets 2 (busy to 2),
+        # then 2 goes to w2 (busy to 4)
+        assert greedy_makespan([3, 2, 2], 2) == 4.0
+
+    def test_lpt_at_least_as_good(self):
+        durations = [5, 4, 3, 3, 3]
+        assert lpt_makespan(durations, 2) <= greedy_makespan(durations, 2)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_makespan([-1.0], 2)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_makespan([1.0], 0)
+
+
+class TestBounds:
+    @given(DURATIONS, WORKERS)
+    def test_greedy_between_ideal_and_serial(self, durations, workers):
+        serial = sum(durations)
+        greedy = greedy_makespan(durations, workers)
+        ideal = ideal_makespan(durations, workers)
+        assert ideal <= greedy + 1e-9
+        assert greedy <= serial + 1e-9
+
+    @given(DURATIONS, WORKERS)
+    def test_graham_two_approximation(self, durations, workers):
+        # Graham's bound: greedy <= (2 - 1/p) * optimal <= 2 * ideal
+        greedy = greedy_makespan(durations, workers)
+        ideal = ideal_makespan(durations, workers)
+        assert greedy <= 2 * ideal + 1e-9
+
+    @given(DURATIONS)
+    def test_one_worker_exact(self, durations):
+        assert greedy_makespan(durations, 1) == pytest.approx(sum(durations))
+
+    @given(DURATIONS, WORKERS)
+    def test_more_workers_never_hurts(self, durations, workers):
+        assert greedy_makespan(durations, workers + 1) <= (
+            greedy_makespan(durations, workers) + 1e-9
+        )

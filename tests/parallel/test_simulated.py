@@ -1,0 +1,92 @@
+"""Tests for the simulated-parallelism executor."""
+
+import itertools
+
+import pytest
+
+from repro.parallel import SimulatedParallelism, greedy_makespan
+
+
+def make_fake_timer(durations):
+    """A timer replaying ``durations``: the executor reads the clock twice
+    per task (start and end), so ticks advance by each duration within a
+    task and by zero between tasks."""
+    ticks = [0.0]
+    for d in durations:
+        ticks.append(ticks[-1] + d)  # end of task
+        ticks.append(ticks[-1])  # start of next task
+    it = iter(ticks)
+    return lambda: next(it)
+
+
+class TestAccounting:
+    def test_serial_and_simulated_elapsed(self):
+        durations = [1.0, 2.0, 3.0, 4.0]
+        pmap = SimulatedParallelism(2, timer=make_fake_timer(durations))
+        out = pmap.map(lambda x: x, list(range(4)))
+        assert out == [0, 1, 2, 3]
+        assert pmap.serial_elapsed == pytest.approx(10.0)
+        assert pmap.simulated_elapsed == pytest.approx(
+            greedy_makespan(durations, 2)
+        )
+
+    def test_round_log(self):
+        pmap = SimulatedParallelism(4, timer=make_fake_timer([1.0, 1.0]))
+        pmap.map(lambda x: x, [1, 2])
+        assert len(pmap.round_log) == 1
+        count, serial, makespan = pmap.round_log[0]
+        assert count == 2
+        assert serial == pytest.approx(2.0)
+        assert makespan == pytest.approx(1.0)
+
+    def test_speedup_property(self):
+        pmap = SimulatedParallelism(2, timer=make_fake_timer([1.0] * 4))
+        pmap.map(lambda x: x, list(range(4)))
+        assert pmap.speedup == pytest.approx(2.0)
+
+    def test_speedup_with_no_work(self):
+        assert SimulatedParallelism(4).speedup == 1.0
+
+    def test_reset(self):
+        pmap = SimulatedParallelism(2, timer=make_fake_timer([1.0]))
+        pmap.map(lambda x: x, [1])
+        pmap.reset()
+        assert pmap.simulated_elapsed == 0.0
+        assert pmap.round_log == []
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedParallelism(0)
+
+
+class TestMakespanFor:
+    def test_requires_recording(self):
+        pmap = SimulatedParallelism(2)
+        with pytest.raises(ValueError):
+            pmap.makespan_for(4)
+
+    def test_recomputes_any_worker_count(self):
+        durations = [3.0, 1.0, 1.0, 1.0]
+        pmap = SimulatedParallelism(
+            1, timer=make_fake_timer(durations), record_durations=True
+        )
+        pmap.map(lambda x: x, list(range(4)))
+        assert pmap.makespan_for(1) == pytest.approx(6.0)
+        assert pmap.makespan_for(2) == pytest.approx(greedy_makespan(durations, 2))
+        assert pmap.makespan_for(100) == pytest.approx(3.0)
+
+    def test_accumulates_over_rounds(self):
+        pmap = SimulatedParallelism(
+            1, timer=make_fake_timer([1.0, 1.0, 2.0, 2.0]), record_durations=True
+        )
+        pmap.map(lambda x: x, [1, 2])
+        pmap.map(lambda x: x, [3, 4])
+        assert pmap.makespan_for(2) == pytest.approx(1.0 + 2.0)
+
+
+class TestRealClock:
+    def test_orders_results_and_measures(self):
+        pmap = SimulatedParallelism(8)
+        out = pmap.map(lambda x: x * 2, list(range(10)))
+        assert out == [0, 2, 4, 6, 8, 10, 12, 14, 16, 18]
+        assert pmap.simulated_elapsed <= pmap.serial_elapsed + 1e-9

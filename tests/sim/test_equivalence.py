@@ -1,0 +1,93 @@
+"""Tests for equivalence checking up to global phase."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import CNOT, RZ, Circuit, H, X
+from repro.sim import (
+    allclose_up_to_phase,
+    circuits_equivalent,
+    segments_equivalent,
+    statevectors_equivalent,
+)
+
+
+class TestPhaseInvariance:
+    def test_equal_matrices(self):
+        m = np.eye(4)
+        assert allclose_up_to_phase(m, m)
+
+    def test_global_phase_ignored(self):
+        m = H(0).matrix()
+        assert allclose_up_to_phase(np.exp(0.7j) * m, m)
+
+    def test_different_magnitude_rejected(self):
+        m = np.eye(2)
+        assert not allclose_up_to_phase(2 * m, m)
+
+    def test_shape_mismatch(self):
+        assert not allclose_up_to_phase(np.eye(2), np.eye(4))
+
+    def test_zero_vs_zero(self):
+        z = np.zeros((2, 2), dtype=complex)
+        assert allclose_up_to_phase(z, z)
+
+    def test_zero_vs_nonzero(self):
+        assert not allclose_up_to_phase(np.eye(2), np.zeros((2, 2)))
+
+    def test_relative_phase_not_ignored(self):
+        a = np.diag([1.0, 1.0]).astype(complex)
+        b = np.diag([1.0, np.exp(0.3j)])
+        assert not allclose_up_to_phase(a, b)
+
+
+class TestCircuitsEquivalent:
+    def test_hh_is_identity(self):
+        assert circuits_equivalent(Circuit([H(0), H(0)], 1), Circuit([], 1))
+
+    def test_hxh_is_z(self):
+        assert circuits_equivalent(
+            Circuit([H(0), X(0), H(0)], 1), Circuit([RZ(0, math.pi)], 1)
+        )
+
+    def test_different_circuits_not_equivalent(self):
+        assert not circuits_equivalent(Circuit([H(0)], 1), Circuit([X(0)], 1))
+
+    def test_padding_to_common_qubits(self):
+        a = Circuit([H(0)], 1)
+        b = Circuit([H(0)], 3)  # extra idle qubits
+        assert circuits_equivalent(a, b)
+
+    def test_gate_lists_accepted(self):
+        assert circuits_equivalent([H(0), H(0)], [])
+
+
+class TestSegmentsEquivalent:
+    def test_sparse_support_compacted(self):
+        # gates on qubits 100 and 200: naive unitary would be impossible
+        before = [CNOT(100, 200), CNOT(100, 200)]
+        assert segments_equivalent(before, [])
+
+    def test_detects_difference_on_sparse_support(self):
+        assert not segments_equivalent([H(50)], [X(50)])
+
+    def test_empty_segments(self):
+        assert segments_equivalent([], [])
+
+    def test_support_limit_enforced(self):
+        gates = [H(q) for q in range(20)]
+        with pytest.raises(ValueError):
+            segments_equivalent(gates, gates, max_qubits=12)
+
+
+class TestStatevectors:
+    def test_phase_equal(self):
+        a = np.array([1.0, 0.0], dtype=complex)
+        assert statevectors_equivalent(a, np.exp(1j) * a)
+
+    def test_orthogonal_not_equal(self):
+        a = np.array([1.0, 0.0], dtype=complex)
+        b = np.array([0.0, 1.0], dtype=complex)
+        assert not statevectors_equivalent(a, b)

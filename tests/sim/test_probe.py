@@ -1,0 +1,58 @@
+"""Tests for randomized equivalence probing."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits import CNOT, Circuit, H, X, random_circuit
+from repro.oracles import NamOracle
+from repro.sim import circuits_equivalent, probe_equivalent
+
+from ..conftest import circuit_strategy
+
+
+class TestProbe:
+    def test_identical_circuits(self):
+        c = Circuit([H(0), CNOT(0, 1)], 2)
+        assert probe_equivalent(c, c, seed=0)
+
+    def test_known_equivalent(self):
+        assert probe_equivalent(Circuit([H(0), H(0)], 2), Circuit([], 2), seed=0)
+
+    def test_detects_difference(self):
+        assert not probe_equivalent(Circuit([H(0)], 1), Circuit([X(0)], 1), seed=0)
+
+    def test_empty_register(self):
+        assert probe_equivalent(Circuit(), Circuit(), seed=0)
+
+    def test_qubit_limit(self):
+        big = Circuit([H(q) for q in range(20)], 20)
+        with pytest.raises(ValueError):
+            probe_equivalent(big, big, max_qubits=18)
+
+    def test_gate_lists_accepted(self):
+        assert probe_equivalent([H(0), H(0)], [], seed=1)
+
+    def test_wide_circuit_beyond_unitary_reach(self):
+        # 14 qubits: 4^14 unitary is infeasible, 2^14 probes are cheap
+        c = random_circuit(14, 60, seed=2)
+        opt = Circuit(NamOracle()(list(c.gates)), c.num_qubits)
+        assert probe_equivalent(c, opt, trials=2, seed=3)
+
+
+class TestAgreementWithExactCheck:
+    @given(circuit_strategy(num_qubits=3, max_gates=12))
+    @settings(max_examples=20)
+    def test_probe_agrees_with_unitary_on_equivalent_pairs(self, c):
+        opt = Circuit(NamOracle()(list(c.gates)), c.num_qubits)
+        assert circuits_equivalent(c, opt)
+        assert probe_equivalent(c, opt, trials=3, seed=0)
+
+    @given(circuit_strategy(num_qubits=3, max_gates=10))
+    @settings(max_examples=20)
+    def test_probe_rejects_perturbed_circuit(self, c):
+        from repro.circuits import RZ
+
+        perturbed = Circuit(list(c.gates) + [RZ(0, 0.379), H(1)], c.num_qubits)
+        if circuits_equivalent(c, perturbed):  # pragma: no cover - unlikely
+            return
+        assert not probe_equivalent(c, perturbed, trials=4, seed=1)

@@ -1,0 +1,89 @@
+"""Tests for the statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import CNOT, RZ, Circuit, H, X
+from repro.sim import apply_gate, apply_gates, basis_state, run, zero_state
+
+
+class TestStates:
+    def test_zero_state_shape(self):
+        s = zero_state(3)
+        assert s.shape == (2, 2, 2)
+        assert s[0, 0, 0] == 1.0
+        assert np.sum(np.abs(s) ** 2) == pytest.approx(1.0)
+
+    def test_zero_state_zero_qubits(self):
+        s = zero_state(0)
+        assert s.flat[0] == 1.0
+
+    def test_zero_state_negative_raises(self):
+        with pytest.raises(ValueError):
+            zero_state(-1)
+
+    def test_basis_state(self):
+        s = basis_state(2, 3)  # |11>
+        assert s[1, 1] == 1.0
+
+
+class TestGateApplication:
+    def test_x_flips(self):
+        s = apply_gate(zero_state(1), X(0))
+        assert s[1] == pytest.approx(1.0)
+
+    def test_h_superposition(self):
+        s = apply_gate(zero_state(1), H(0))
+        assert s[0] == pytest.approx(1 / math.sqrt(2))
+        assert s[1] == pytest.approx(1 / math.sqrt(2))
+
+    def test_rz_phases_one_component(self):
+        s = apply_gate(zero_state(1), X(0))
+        s = apply_gate(s, RZ(0, math.pi / 2))
+        assert s[1] == pytest.approx(1j)
+
+    def test_cnot_on_control_set(self):
+        s = apply_gates(zero_state(2), [X(0), CNOT(0, 1)])
+        assert s[1, 1] == pytest.approx(1.0)
+
+    def test_cnot_on_control_clear(self):
+        s = apply_gate(zero_state(2), CNOT(0, 1))
+        assert s[0, 0] == pytest.approx(1.0)
+
+    def test_gate_on_correct_axis(self):
+        # X on qubit 2 of 3 flips only the last axis
+        s = apply_gate(zero_state(3), X(2))
+        assert s[0, 0, 1] == pytest.approx(1.0)
+
+    def test_normalization_preserved(self):
+        s = zero_state(3)
+        for g in [H(0), CNOT(0, 1), RZ(1, 0.7), X(2), CNOT(1, 2)]:
+            s = apply_gate(s, g)
+        assert np.sum(np.abs(s) ** 2) == pytest.approx(1.0)
+
+
+class TestRun:
+    def test_bell_state(self):
+        vec = run(Circuit([H(0), CNOT(0, 1)], 2))
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / math.sqrt(2)
+        assert np.allclose(vec, expected)
+
+    def test_ghz_state(self):
+        vec = run(Circuit([H(0), CNOT(0, 1), CNOT(1, 2)], 3))
+        assert abs(vec[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(vec[7]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_raw_gate_list(self):
+        vec = run([H(0), CNOT(0, 1)])
+        assert len(vec) == 4
+
+    def test_explicit_qubit_count(self):
+        vec = run([H(0)], num_qubits=3)
+        assert len(vec) == 8
+
+    def test_empty_circuit(self):
+        vec = run(Circuit([], 2))
+        assert vec[0] == 1.0

@@ -1,0 +1,53 @@
+"""Tests for the unitary builder."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.circuits import CNOT, RZ, Circuit, H, X
+from repro.sim import circuit_unitary, gates_unitary, run
+
+from ..conftest import circuit_strategy
+
+
+class TestKnownUnitaries:
+    def test_identity_for_empty(self):
+        assert np.allclose(gates_unitary([], 2), np.eye(4))
+
+    def test_single_h(self):
+        u = gates_unitary([H(0)], 1)
+        assert np.allclose(u, H(0).matrix())
+
+    def test_gate_order_is_left_to_right(self):
+        # circuit H;X means matrix [X][H]
+        u = gates_unitary([H(0), X(0)], 1)
+        assert np.allclose(u, X(0).matrix() @ H(0).matrix())
+
+    def test_cnot_10_swapped_roles(self):
+        u = gates_unitary([CNOT(1, 0)], 2)
+        expected = np.eye(4)[[0, 3, 2, 1]]  # |01> <-> |11>
+        assert np.allclose(u, expected)
+
+    def test_unitarity(self):
+        gates = [H(0), CNOT(0, 1), RZ(1, 0.3), X(0), CNOT(1, 0)]
+        u = gates_unitary(gates, 2)
+        assert np.allclose(u @ u.conj().T, np.eye(4))
+
+
+class TestConsistencyWithSimulator:
+    @given(circuit_strategy(num_qubits=3, max_gates=12))
+    def test_first_column_matches_run(self, c):
+        u = circuit_unitary(c)
+        assert np.allclose(u[:, 0], run(c))
+
+
+class TestLimits:
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            gates_unitary([H(0)], 15)
+
+    def test_circuit_unitary_accepts_gate_list(self):
+        u = circuit_unitary([H(0), CNOT(0, 1)])
+        assert u.shape == (4, 4)

@@ -1,0 +1,56 @@
+"""Tests for the circuit analysis module."""
+
+import math
+
+from repro.analysis import analyze, non_clifford_count, t_count
+from repro.circuits import CNOT, RZ, Circuit, H, X
+
+
+class TestTCount:
+    def test_counts_t_and_tdg(self):
+        c = Circuit(
+            [RZ(0, math.pi / 4), RZ(0, -math.pi / 4), RZ(1, 3 * math.pi / 4)], 2
+        )
+        assert t_count(c) == 3
+
+    def test_clifford_rotations_excluded(self):
+        c = Circuit([RZ(0, math.pi), RZ(0, math.pi / 2), RZ(0, -math.pi / 2)], 1)
+        assert t_count(c) == 0
+
+    def test_generic_angle_excluded(self):
+        assert t_count(Circuit([RZ(0, 0.3)], 1)) == 0
+
+    def test_accepts_gate_list(self):
+        assert t_count([RZ(0, math.pi / 4)]) == 1
+
+
+class TestNonClifford:
+    def test_generic_angles_counted(self):
+        c = Circuit([RZ(0, 0.3), RZ(0, math.pi / 4), RZ(0, math.pi)], 1)
+        assert non_clifford_count(c) == 2  # 0.3 and pi/4
+
+    def test_non_rz_ignored(self):
+        assert non_clifford_count(Circuit([H(0), X(0), CNOT(0, 1)], 2)) == 0
+
+
+class TestAnalyze:
+    def test_report_fields(self):
+        c = Circuit([H(0), H(1), CNOT(0, 1), RZ(1, math.pi / 4)], 2)
+        rep = analyze(c)
+        assert rep.num_qubits == 2
+        assert rep.num_gates == 4
+        assert rep.depth == 3
+        assert rep.two_qubit_gates == 1
+        assert rep.t_gates == 1
+        assert rep.histogram == {"h": 2, "cnot": 1, "rz": 1}
+        assert rep.layer_width_max == 2
+
+    def test_empty_circuit(self):
+        rep = analyze(Circuit([], 3))
+        assert rep.depth == 0
+        assert rep.layer_width_mean == 0.0
+
+    def test_render(self):
+        rep = analyze(Circuit([H(0)], 1))
+        text = rep.render()
+        assert "qubits" in text and "depth" in text and "T gates" in text

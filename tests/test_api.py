@@ -1,0 +1,30 @@
+"""Top-level package API tests."""
+
+import repro
+from repro import Circuit, H, NamOracle, X, optimize
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_optimize_default_oracle(self):
+        res = optimize(Circuit([H(0), H(0), X(1), X(1)], 2), omega=4)
+        assert res.circuit.num_gates == 0
+
+    def test_optimize_custom_oracle(self):
+        res = optimize(Circuit([X(0), X(0)], 1), oracle=NamOracle(), omega=2)
+        assert res.circuit.num_gates == 0
+
+    def test_optimize_gate_sequence(self):
+        res = optimize([H(0), H(0)], omega=2)
+        assert res.circuit.num_gates == 0
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_stats_summary_readable(self):
+        res = optimize(Circuit([H(0), H(0)], 1), omega=2)
+        s = res.stats.summary()
+        assert "reduction" in s and "oracle calls" in s

@@ -1,0 +1,95 @@
+"""Tests for the ``popqc`` command-line interface."""
+
+import pytest
+
+from repro.circuits import Circuit, H, X, read_qasm, to_qasm, write_qasm
+from repro.cli import main
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = str(tmp_path / "in.qasm")
+    write_qasm(Circuit([H(0), H(0), X(1), X(1), H(2)], 3), path)
+    return path
+
+
+class TestOptimizeCommand:
+    def test_optimizes_and_writes(self, qasm_file, tmp_path, capsys):
+        out = str(tmp_path / "out.qasm")
+        rc = main(["optimize", qasm_file, "-o", out, "--omega", "4"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "reduction" in captured
+        assert read_qasm(out).num_gates == 1
+
+    def test_without_output(self, qasm_file, capsys):
+        assert main(["optimize", qasm_file]) == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_simulated_executor(self, qasm_file, capsys):
+        rc = main(["optimize", qasm_file, "--executor", "simulated:8"])
+        assert rc == 0
+
+    def test_bad_executor(self, qasm_file):
+        with pytest.raises(SystemExit):
+            main(["optimize", qasm_file, "--executor", "gpu"])
+
+
+class TestBenchCommand:
+    def test_bench_runs(self, capsys):
+        rc = main(["bench", "HHL", "--size", "0", "--omega", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HHL[0]" in out
+        assert "popqc" in out
+
+    def test_bench_with_baseline(self, capsys):
+        rc = main(["bench", "VQE", "--size", "0", "--baseline"])
+        assert rc == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "Nope"])
+
+
+class TestTablesCommand:
+    def test_single_table(self, capsys, monkeypatch):
+        # trim the workload: patch the driver's defaults via argv sizes
+        rc = main(["tables", "4", "--sizes", "0"])
+        assert rc == 0
+        assert "Table 4" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+class TestAnalyzeCommand:
+    def test_family_spec(self, capsys):
+        assert main(["analyze", "VQE:0"]) == 0
+        out = capsys.readouterr().out
+        assert "qubits" in out and "T gates" in out
+
+    def test_qasm_path(self, qasm_file, capsys):
+        assert main(["analyze", qasm_file]) == 0
+        assert "depth" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_renders_rounds(self, capsys):
+        assert main(["trace", "VQE:0", "--omega", "80", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "round" in out and "reduction" in out
+
+
+class TestSuiteCommand:
+    def test_writes_qasm_and_manifest(self, tmp_path, capsys):
+        out = str(tmp_path / "suite")
+        rc = main(["suite", "--out", out, "--sizes", "0", "--families", "VQE"])
+        assert rc == 0
+        assert "manifest.csv" in capsys.readouterr().out
+        import os
+
+        assert os.path.exists(os.path.join(out, "manifest.csv"))

@@ -1,0 +1,38 @@
+"""Smoke tests keeping the example scripts runnable.
+
+Each quick example is executed as a subprocess (the way users run
+them); the long-running evaluation drivers (paper_tables/figures) are
+exercised through their underlying functions in
+``tests/experiments/`` instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+QUICK_EXAMPLES = [
+    ("quickstart.py", []),
+    ("optimize_qasm_file.py", []),
+    ("custom_oracle.py", []),
+    ("noise_aware_optimization.py", []),
+    ("trace_visualization.py", ["VQE", "0"]),
+    ("depth_aware_optimization.py", []),
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script,args", QUICK_EXAMPLES, ids=lambda x: str(x))
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
