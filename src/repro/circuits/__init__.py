@@ -1,6 +1,12 @@
 """Circuit substrate: gates, circuits, layering, QASM I/O, random circuits."""
 
 from .circuit import Circuit
+from .encoding import (
+    EncodedSegment,
+    decode_segment,
+    encode_segment,
+    encoded_nbytes,
+)
 from .gate import (
     ANGLE_TOL,
     CNOT,
@@ -33,7 +39,11 @@ __all__ = [
     "ANGLE_TOL",
     "CNOT",
     "Circuit",
+    "EncodedSegment",
     "GATE_NAMES",
+    "decode_segment",
+    "encode_segment",
+    "encoded_nbytes",
     "Gate",
     "H",
     "QasmError",

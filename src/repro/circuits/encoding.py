@@ -1,0 +1,160 @@
+"""Compact numpy-backed gate-segment encoding for IPC transport.
+
+The POPQC driver ships 2Ω-gate segments to oracle workers every round.
+Pickling a ``list[Gate]`` serializes one frozen dataclass per gate —
+hundreds of per-object pickle opcodes and memo entries per segment, and
+one Python-object reconstruction per gate on the other end.  This
+module flattens a segment into a few parallel numpy arrays so a segment
+crosses the process boundary as a handful of contiguous buffers.
+
+The encoding is lossless: :func:`decode_segment` reconstructs a gate
+list that compares equal (``==``) to the input of
+:func:`encode_segment`, including gate names outside the base set and
+arbitrary arities.  Parameters are stored bit-exactly as float64.
+
+Layout of an :class:`EncodedSegment` with ``n`` gates:
+
+``names``
+    Tuple of distinct gate names appearing in the segment, in first-use
+    order; the per-segment opcode table.
+``ops``
+    ``(n,)`` integer array; ``ops[i]`` indexes ``names``.  uint8 when
+    the segment has at most 256 distinct names, int32 otherwise.
+``arities``
+    ``(n,)`` integer array of per-gate qubit counts (uint8 when every
+    arity fits); gate ``i``'s qubits are the next ``arities[i]``
+    entries of ``qubits``.
+``qubits``
+    Flat int32 array of qubit indices for all gates, concatenated.
+``param_mask``
+    Bit-packed (``numpy.packbits``) boolean array marking which gates
+    carry a parameter.
+``params``
+    float64 array holding, in gate order, the parameters of exactly
+    the gates whose mask bit is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .gate import Gate
+
+__all__ = [
+    "EncodedSegment",
+    "encode_segment",
+    "decode_segment",
+    "encoded_nbytes",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class EncodedSegment:
+    """A gate segment flattened into parallel numpy arrays.
+
+    Equality is value-based (array contents), not the dataclass
+    default, which would trip over numpy's elementwise ``==``.
+    Instances are not hashable.
+    """
+
+    names: tuple[str, ...]
+    ops: np.ndarray
+    arities: np.ndarray
+    qubits: np.ndarray
+    param_mask: np.ndarray
+    params: np.ndarray
+    length: int
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EncodedSegment):
+            return NotImplemented
+        return (
+            self.length == other.length
+            and self.names == other.names
+            and np.array_equal(self.ops, other.ops)
+            and np.array_equal(self.arities, other.arities)
+            and np.array_equal(self.qubits, other.qubits)
+            and np.array_equal(self.param_mask, other.param_mask)
+            and np.array_equal(self.params, other.params)
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate wire size of the array payload in bytes."""
+        return (
+            self.ops.nbytes
+            + self.arities.nbytes
+            + self.qubits.nbytes
+            + self.param_mask.nbytes
+            + self.params.nbytes
+        )
+
+
+def encode_segment(segment: Sequence[Gate]) -> EncodedSegment:
+    """Flatten ``segment`` into an :class:`EncodedSegment`.
+
+    Round-trips exactly through :func:`decode_segment` for any gate
+    list, including empty segments and gates of arbitrary arity.
+    """
+    n = len(segment)
+    opcodes: dict[str, int] = {}
+    op_list: list[int] = []
+    arity_list: list[int] = []
+    mask = np.zeros(n, dtype=bool)
+    flat_qubits: list[int] = []
+    param_values: list[float] = []
+    for i, g in enumerate(segment):
+        code = opcodes.get(g.name)
+        if code is None:
+            code = opcodes[g.name] = len(opcodes)
+        op_list.append(code)
+        arity_list.append(len(g.qubits))
+        flat_qubits.extend(g.qubits)
+        if g.param is not None:
+            mask[i] = True
+            param_values.append(g.param)
+    op_dtype = np.uint8 if len(opcodes) <= 256 else np.int32
+    arity_dtype = np.uint8 if max(arity_list, default=0) <= 255 else np.int32
+    return EncodedSegment(
+        names=tuple(opcodes),
+        ops=np.asarray(op_list, dtype=op_dtype),
+        arities=np.asarray(arity_list, dtype=arity_dtype),
+        qubits=np.asarray(flat_qubits, dtype=np.int32),
+        param_mask=np.packbits(mask),
+        params=np.asarray(param_values, dtype=np.float64),
+        length=n,
+    )
+
+
+def decode_segment(encoded: EncodedSegment) -> list[Gate]:
+    """Reconstruct the gate list encoded by :func:`encode_segment`."""
+    n = encoded.length
+    names = encoded.names
+    ops = encoded.ops.tolist()
+    arities = encoded.arities.tolist()
+    qubits = encoded.qubits.tolist()
+    has_param = np.unpackbits(encoded.param_mask, count=n).tolist() if n else []
+    params = encoded.params.tolist()
+    gates: list[Gate] = []
+    pos = 0
+    next_param = 0
+    for i in range(n):
+        a = arities[i]
+        param = None
+        if has_param[i]:
+            param = params[next_param]
+            next_param += 1
+        gates.append(Gate(names[ops[i]], tuple(qubits[pos : pos + a]), param))
+        pos += a
+    return gates
+
+
+def encoded_nbytes(segment: Sequence[Gate]) -> int:
+    """Wire size the encoded transport pays for ``segment`` (bytes)."""
+    return encode_segment(segment).nbytes

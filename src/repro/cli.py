@@ -31,7 +31,13 @@ from .experiments import (
     run_table4,
 )
 from .oracles import NamOracle
-from .parallel import ProcessMap, SerialMap, SimulatedParallelism
+from .parallel import (
+    TRANSPORTS,
+    ProcessMap,
+    SerialMap,
+    SimulatedParallelism,
+    ThreadMap,
+)
 
 __all__ = ["main"]
 
@@ -47,12 +53,21 @@ _FIGURES = {
 }
 
 
-def _make_parmap(spec: str):
-    if spec == "serial":
-        return SerialMap()
+def _make_parmap(spec: str, transport: str | None = None):
     if spec.startswith("process"):
         _, _, count = spec.partition(":")
-        return ProcessMap(int(count) if count else None)
+        return ProcessMap(
+            int(count) if count else None, transport=transport or "encoded"
+        )
+    if transport is not None:
+        raise SystemExit(
+            f"--transport only applies to process executors, not {spec!r}"
+        )
+    if spec == "serial":
+        return SerialMap()
+    if spec.startswith("thread"):
+        _, _, count = spec.partition(":")
+        return ThreadMap(int(count) if count else None)
     if spec.startswith("simulated"):
         _, _, count = spec.partition(":")
         return SimulatedParallelism(int(count) if count else 64)
@@ -81,7 +96,15 @@ def main(argv: list[str] | None = None) -> int:
     p_opt.add_argument(
         "--executor",
         default="serial",
-        help="serial | process[:N] | simulated[:N]",
+        help="serial | thread[:N] | process[:N] | simulated[:N]",
+    )
+    p_opt.add_argument(
+        "--transport",
+        default=None,
+        choices=list(TRANSPORTS),
+        help="segment wire format, process executors only "
+        "(encoded: persistent workers + numpy arrays, the default; "
+        "pickle: legacy)",
     )
 
     p_bench = sub.add_parser("bench", help="optimize a generated benchmark")
@@ -89,6 +112,9 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--size", type=int, default=1, choices=range(4))
     p_bench.add_argument("--omega", type=int, default=100)
     p_bench.add_argument("--executor", default="serial")
+    p_bench.add_argument(
+        "--transport", default=None, choices=list(TRANSPORTS)
+    )
     p_bench.add_argument(
         "--baseline", action="store_true", help="also run the whole-circuit baseline"
     )
@@ -120,7 +146,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "optimize":
         circuit = read_qasm(args.input)
         res = popqc(
-            circuit, NamOracle(), args.omega, parmap=_make_parmap(args.executor)
+            circuit,
+            NamOracle(),
+            args.omega,
+            parmap=_make_parmap(args.executor, args.transport),
         )
         print(res.stats.summary())
         if args.output:
@@ -133,7 +162,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{args.family}[{args.size}]: {circuit.num_gates} gates, "
               f"{circuit.num_qubits} qubits")
         res = popqc(
-            circuit, NamOracle(), args.omega, parmap=_make_parmap(args.executor)
+            circuit,
+            NamOracle(),
+            args.omega,
+            parmap=_make_parmap(args.executor, args.transport),
         )
         print("popqc:   ", res.stats.summary())
         if args.baseline:

@@ -22,7 +22,12 @@ from ..circuits import Circuit, Gate, layers_asap
 from ..parallel import ParallelMap, SerialMap, SimulatedParallelism
 from .fingers import initial_fingers, select_fingers
 from .popqc import CostFn, OracleFn
-from .stats import OptimizationStats, RoundStats
+from .stats import (
+    OptimizationStats,
+    RoundStats,
+    finalize_transport,
+    record_transport,
+)
 from .tombstone import TombstoneArray
 
 __all__ = ["layered_popqc", "LayeredPopqcResult", "mixed_cost"]
@@ -103,6 +108,8 @@ def layered_popqc(
         initial_cost=cost_fn(list(circuit.gates)),
         workers=getattr(pmap, "workers", 1),
     )
+    # the layered loop always maps layer objects (legacy pickle path)
+    dispatches_before = record_transport(stats, pmap)
     t_start = time.perf_counter()
 
     array: TombstoneArray[Layer] = TombstoneArray(layers)
@@ -134,6 +141,7 @@ def layered_popqc(
     stats.final_gates = len(final_gates)
     stats.final_cost = cost_fn(final_gates)
     stats.total_time = time.perf_counter() - t_start
+    finalize_transport(stats, pmap, dispatches_before)
     return LayeredPopqcResult(Circuit(final_gates, num_qubits), stats)
 
 

@@ -25,10 +25,16 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..circuits import Circuit, Gate
-from ..parallel import ParallelMap, SerialMap, SimulatedParallelism
+from ..parallel import TRANSPORTS, ParallelMap, SerialMap, SimulatedParallelism
+from ..parallel.executor import _PickledOracleCall
 from .fingers import initial_fingers, select_fingers
 from .index_tree import IndexTree
-from .stats import OptimizationStats, RoundStats
+from .stats import (
+    OptimizationStats,
+    RoundStats,
+    finalize_transport,
+    record_transport,
+)
 from .tombstone import TombstoneArray
 
 __all__ = [
@@ -67,16 +73,9 @@ def _gate_count_cost(segment: Sequence[Gate]) -> float:
     return float(len(segment))
 
 
-class _OracleTask:
-    """Picklable oracle-application task for process-pool executors."""
-
-    __slots__ = ("oracle",)
-
-    def __init__(self, oracle: OracleFn):
-        self.oracle = oracle
-
-    def __call__(self, segment: list[Gate]) -> list[Gate]:
-        return self.oracle(segment)
+#: Picklable oracle-application task for process-pool executors; shared
+#: with the pickle transport so both legacy paths stay identical.
+_OracleTask = _PickledOracleCall
 
 
 def popqc(
@@ -91,6 +90,7 @@ def popqc(
     check_invariants: bool = False,
     validate_oracle: bool = False,
     validation_max_qubits: int = 12,
+    transport: str = "auto",
 ) -> PopqcResult:
     """Optimize ``circuit`` to local optimality w.r.t. ``oracle`` and Ω.
 
@@ -128,6 +128,15 @@ def popqc(
         :class:`OracleContractViolation`.  Intended for integrating
         untrusted oracles; costs one small simulation per accepted
         call.
+    transport:
+        How oracle segments reach the executor's workers.  ``"auto"``
+        (default) uses the executor's persistent-worker transport when
+        it offers one (``map_segments``, currently
+        :class:`~repro.parallel.ProcessMap`) and plain ``map``
+        otherwise.  ``"encoded"`` requires a transport-capable
+        executor (raises :class:`ValueError` otherwise);
+        ``"pickle"`` forces the legacy path that re-pickles the oracle
+        and the gate objects every round, kept for benchmarking.
 
     Returns
     -------
@@ -144,11 +153,30 @@ def popqc(
     pmap = parmap if parmap is not None else SerialMap()
     cost_fn = cost if cost is not None else _gate_count_cost
 
+    valid_transports = ("auto", *TRANSPORTS)
+    if transport not in valid_transports:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {valid_transports}"
+        )
+    supports_segments = hasattr(pmap, "map_segments")
+    if transport == "encoded" and not supports_segments:
+        raise ValueError(
+            f"transport='encoded' requires an executor with map_segments; "
+            f"{pmap!r} has none"
+        )
+    if transport == "encoded" and getattr(pmap, "transport", "encoded") != "encoded":
+        raise ValueError(
+            f"transport='encoded' conflicts with the executor's own wire "
+            f"format ({pmap!r})"
+        )
+    use_segments = supports_segments and transport != "pickle"
+
     stats = OptimizationStats(
         initial_gates=len(gates),
         initial_cost=cost_fn(gates),
         workers=getattr(pmap, "workers", 1),
     )
+    dispatches_before = record_transport(stats, pmap, use_segments)
     t_start = time.perf_counter()
 
     array: TombstoneArray[Gate] = TombstoneArray(gates, tree_factory)
@@ -175,6 +203,7 @@ def popqc(
             check_invariants,
             validate_oracle,
             validation_max_qubits,
+            use_segments,
         )
 
         round_total = time.perf_counter() - t_round
@@ -183,6 +212,7 @@ def popqc(
         stats.oracle_accepted += rstats.accepted
         stats.oracle_time += rstats.oracle_time
         stats.admin_time += rstats.admin_time
+        stats.serialization_time += rstats.serialization_time
         stats.simulated_oracle_time += rstats.oracle_makespan
         stats.per_round.append(rstats)
 
@@ -190,6 +220,7 @@ def popqc(
     stats.final_gates = len(final_gates)
     stats.final_cost = cost_fn(final_gates)
     stats.total_time = time.perf_counter() - t_start
+    finalize_transport(stats, pmap, dispatches_before)
     return PopqcResult(Circuit(final_gates, num_qubits), stats)
 
 
@@ -205,6 +236,7 @@ def _run_round(
     check_invariants: bool,
     validate_oracle: bool = False,
     validation_max_qubits: int = 12,
+    use_segments: bool = False,
 ) -> list[int]:
     """One iteration of ``optimizeSegments`` (Algorithm 3).
 
@@ -244,7 +276,11 @@ def _run_round(
         pmap.simulated_elapsed if simulated else 0.0  # type: ignore[attr-defined]
     )
     t_oracle = time.perf_counter()
-    results = pmap.map(task, seg_gates)
+    if use_segments:
+        results = pmap.map_segments(task.oracle, seg_gates)  # type: ignore[attr-defined]
+        rstats.serialization_time = getattr(pmap, "last_serialization_time", 0.0)
+    else:
+        results = pmap.map(task, seg_gates)
     rstats.oracle_time = time.perf_counter() - t_oracle
     if simulated:
         rstats.oracle_makespan = (

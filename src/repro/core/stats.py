@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RoundStats", "OptimizationStats"]
+__all__ = [
+    "RoundStats",
+    "OptimizationStats",
+    "record_transport",
+    "finalize_transport",
+]
 
 
 @dataclass
@@ -23,6 +28,11 @@ class RoundStats:
     accepted: int = 0
     oracle_time: float = 0.0
     admin_time: float = 0.0
+    #: Parent-side segment encode/decode time for this round's oracle
+    #: map (persistent-worker encoded transport only; 0 otherwise).
+    #: A *subset* of ``oracle_time``, which times the whole oracle map
+    #: call including this encode/decode.
+    serialization_time: float = 0.0
     #: Simulated p-worker makespan of this round's oracle map (only when
     #: the executor is a SimulatedParallelism; 0 otherwise).
     oracle_makespan: float = 0.0
@@ -42,6 +52,15 @@ class OptimizationStats:
     oracle_time: float = 0.0
     admin_time: float = 0.0
     total_time: float = 0.0
+    #: Parent-side segment encode/decode time summed over rounds
+    #: (persistent-worker encoded transport only; 0 otherwise).  A
+    #: *subset* of ``oracle_time``: the oracle map is timed end to end,
+    #: encode/decode included, so ``oracle_fraction`` and
+    #: ``serialization_fraction`` overlap by this amount.
+    serialization_time: float = 0.0
+    #: Oracle transport the run used: ``"inline"`` (objects passed
+    #: within the process), ``"encoded"`` or ``"pickle"``.
+    transport: str = "inline"
     #: Sum of per-round simulated makespans (SimulatedParallelism only).
     simulated_oracle_time: float = 0.0
     #: Worker count of the executor used.
@@ -63,6 +82,13 @@ class OptimizationStats:
         if self.total_time <= 0.0:
             return 0.0
         return self.oracle_time / self.total_time
+
+    @property
+    def serialization_fraction(self) -> float:
+        """Fraction of total time spent encoding/decoding segments."""
+        if self.total_time <= 0.0:
+            return 0.0
+        return self.serialization_time / self.total_time
 
     @property
     def total_fingers(self) -> int:
@@ -97,3 +123,35 @@ class OptimizationStats:
             f"{self.rounds} rounds, {self.oracle_calls} oracle calls, "
             f"{self.total_time:.3f}s total ({100.0 * self.oracle_fraction:.0f}% oracle)"
         )
+
+
+def record_transport(
+    stats: OptimizationStats, pmap: object, use_segments: bool = False
+) -> object:
+    """Label ``stats.transport`` for the oracle path a driver is about
+    to take, and snapshot the executor's dispatch counter.
+
+    ``use_segments`` marks drivers that route through
+    ``pmap.map_segments``; legacy drivers mapping gate objects over a
+    segment-capable executor are labelled ``"pickle"``.  The returned
+    snapshot goes to :func:`finalize_transport`.
+    """
+    if use_segments:
+        stats.transport = getattr(pmap, "transport", "encoded")
+    elif hasattr(pmap, "map_segments"):
+        stats.transport = "pickle"
+    return getattr(pmap, "pool_dispatches", None)
+
+
+def finalize_transport(
+    stats: OptimizationStats, pmap: object, dispatches_before: object
+) -> None:
+    """Correct ``stats.transport`` to ``"inline"`` when every round fell
+    below the executor's serial cutoff and nothing ever crossed a
+    process boundary."""
+    if (
+        stats.transport != "inline"
+        and dispatches_before is not None
+        and getattr(pmap, "pool_dispatches", None) == dispatches_before
+    ):
+        stats.transport = "inline"

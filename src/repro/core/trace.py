@@ -23,7 +23,12 @@ from ..circuits import Circuit, Gate
 from ..parallel import ParallelMap, SerialMap
 from .fingers import initial_fingers, select_fingers
 from .popqc import CostFn, OracleFn, PopqcResult, _OracleTask
-from .stats import OptimizationStats, RoundStats
+from .stats import (
+    OptimizationStats,
+    RoundStats,
+    finalize_transport,
+    record_transport,
+)
 from .tombstone import TombstoneArray
 
 __all__ = ["RoundTrace", "popqc_traced", "render_trace"]
@@ -75,6 +80,8 @@ def popqc_traced(
         initial_cost=cost_fn(gates),
         workers=getattr(pmap, "workers", 1),
     )
+    # the traced loop always maps gate objects (legacy pickle path)
+    dispatches_before = record_transport(stats, pmap)
     t_start = time.perf_counter()
     array: TombstoneArray[Gate] = TombstoneArray(gates)
     fingers = initial_fingers(len(gates), omega)
@@ -150,6 +157,7 @@ def popqc_traced(
     stats.final_cost = cost_fn(final_gates)
     stats.total_time = time.perf_counter() - t_start
     stats.admin_time = max(0.0, stats.total_time - stats.oracle_time)
+    finalize_transport(stats, pmap, dispatches_before)
     return PopqcResult(Circuit(final_gates, num_qubits), stats), trace
 
 

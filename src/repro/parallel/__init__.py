@@ -1,15 +1,60 @@
-"""Parallelism substrate: the parmap protocol, executors and scheduling."""
+"""Parallelism substrate: the parmap protocol, executors and scheduling.
 
-from .executor import ParallelMap, ProcessMap, SerialMap, ThreadMap, default_workers
-from .scheduling import greedy_makespan, ideal_makespan, lpt_makespan
+Architecture
+------------
+POPQC's only parallel primitive is an order-preserving map over oracle
+segments (paper Section 2.4).  Four executors implement it:
+
+* :class:`SerialMap` — the reference 1-worker executor.
+* :class:`ThreadMap` — shared thread pool; useful when the oracle
+  releases the GIL.
+* :class:`ProcessMap` — real multicore execution over a persistent
+  process pool.  Segments reach workers through one of two *oracle
+  transports*: ``"encoded"`` (default) registers the oracle once per
+  worker via a pool initializer and ships each segment as compact
+  numpy arrays (:mod:`repro.circuits.encoding`), so per-round IPC is a
+  few contiguous buffers; ``"pickle"`` re-pickles the oracle callable
+  and every ``list[Gate]`` per call (the seed behaviour, kept as a
+  benchmark baseline).  Chunk sizes adapt to measured per-segment
+  oracle time (:func:`adaptive_chunksize`).
+* :class:`SimulatedParallelism` — serial execution with p-worker
+  makespan accounting for the scaling experiments.
+
+The POPQC driver talks to executors through ``map``; executors that
+also provide ``map_segments(oracle, segments)`` (currently
+:class:`ProcessMap`) opt into the persistent-worker transport and the
+driver will use it unless told otherwise (``popqc(...,
+transport="pickle")``).
+
+Remaining scaling directions (see ROADMAP "Open items"): shared-memory
+segment buffers instead of pipe copies, batched multi-segment tasks,
+and a distributed (multi-host) transport behind the same protocol.
+"""
+
+from .executor import (
+    TRANSPORTS,
+    ParallelMap,
+    ProcessMap,
+    SerialMap,
+    ThreadMap,
+    default_workers,
+)
+from .scheduling import (
+    adaptive_chunksize,
+    greedy_makespan,
+    ideal_makespan,
+    lpt_makespan,
+)
 from .simulated import SimulatedParallelism
 
 __all__ = [
+    "TRANSPORTS",
     "ParallelMap",
     "ProcessMap",
     "SerialMap",
     "SimulatedParallelism",
     "ThreadMap",
+    "adaptive_chunksize",
     "default_workers",
     "greedy_makespan",
     "ideal_makespan",

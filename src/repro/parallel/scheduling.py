@@ -1,10 +1,20 @@
-"""List-scheduling helpers for the simulated-parallelism executor.
+"""Scheduling policies for the parallel executors.
 
-Greedy (Graham) list scheduling assigns each task, in arrival order, to
-the worker that becomes free first.  Its makespan is within 2x of optimal
-and — more importantly for our purposes — it models what a work-stealing
-fork-join runtime (Rayon in the paper's implementation) achieves on a
-parallel map whose iterations have heterogeneous costs.
+Two concerns live here:
+
+* **Makespan models** for the simulated-parallelism executor.  Greedy
+  (Graham) list scheduling assigns each task, in arrival order, to the
+  worker that becomes free first.  Its makespan is within 2x of optimal
+  and — more importantly for our purposes — it models what a
+  work-stealing fork-join runtime (Rayon in the paper's implementation)
+  achieves on a parallel map whose iterations have heterogeneous costs.
+* **Adaptive chunking** for the real process pool.  A chunk must be
+  large enough that per-chunk dispatch overhead (pickle + pipe + wakeup)
+  is amortized by useful oracle work, yet small enough that every
+  worker gets several chunks for load balancing — the same trade-off
+  Rayon's adaptive loop splitting resolves dynamically.
+  :func:`adaptive_chunksize` resolves it from a measured per-task time
+  estimate fed back by the executor.
 """
 
 from __future__ import annotations
@@ -12,7 +22,55 @@ from __future__ import annotations
 import heapq
 from typing import Sequence
 
-__all__ = ["greedy_makespan", "lpt_makespan", "ideal_makespan"]
+__all__ = [
+    "adaptive_chunksize",
+    "greedy_makespan",
+    "lpt_makespan",
+    "ideal_makespan",
+]
+
+#: Estimated fixed cost of dispatching one chunk to a pool worker
+#: (pickle framing, pipe write/read, scheduler wakeup) — conservative
+#: for CPython's multiprocessing on Linux.
+DISPATCH_OVERHEAD_SECONDS = 5e-4
+
+#: Target chunks per worker when task times allow it; >1 gives the pool
+#: slack to balance heterogeneous oracle calls (Graham's bound improves
+#: as the longest chunk shrinks relative to the makespan).
+CHUNKS_PER_WORKER = 4
+
+
+def adaptive_chunksize(
+    num_items: int,
+    workers: int,
+    est_task_seconds: float,
+    *,
+    dispatch_overhead_seconds: float = DISPATCH_OVERHEAD_SECONDS,
+    chunks_per_worker: int = CHUNKS_PER_WORKER,
+) -> int:
+    """Chunk size for a pool map over ``num_items`` tasks.
+
+    ``est_task_seconds`` is the executor's running estimate of one
+    task's duration (0 when unknown).  The returned size is the
+    balance-oriented chunk (``num_items / (chunks_per_worker *
+    workers)``) enlarged, when tasks are measurably short, so each
+    chunk carries at least ~10x the dispatch overhead of useful work —
+    but never beyond ``num_items / workers``, which would idle workers.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if num_items <= 0:
+        return 1
+    balance = -(-num_items // (chunks_per_worker * workers))  # ceil div
+    chunk = balance
+    if est_task_seconds > 0.0:
+        target = 10.0 * dispatch_overhead_seconds
+        if target >= est_task_seconds * num_items:
+            chunk = num_items  # even one chunk per worker can't amortize
+        else:
+            chunk = max(balance, int(target / est_task_seconds) + 1)
+    per_worker = -(-num_items // workers)
+    return max(1, min(chunk, per_worker))
 
 
 def greedy_makespan(durations: Sequence[float], workers: int) -> float:

@@ -89,6 +89,81 @@ class TestProcessMap:
         clone = pickle.loads(pickle.dumps(task))
         assert clone([H(0), H(0)]) == []
 
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessMap(2, transport="grpc")
+
+
+class TestMapSegments:
+    """The persistent-worker oracle transport."""
+
+    def _segments(self, count=6):
+        from repro.circuits import CNOT, H, X
+
+        return [[H(0), H(0), X(1), CNOT(0, 1)] for _ in range(count)]
+
+    def test_small_batch_runs_inline(self):
+        from repro.oracles import NamOracle
+
+        pm = ProcessMap(2, serial_cutoff=8)
+        try:
+            out = pm.map_segments(NamOracle(), self._segments(3))
+            assert pm._pool is None  # never escalated to processes
+        finally:
+            pm.close()
+        assert all(len(seg) < 4 for seg in out)
+
+    @pytest.mark.parametrize("transport", ["encoded", "pickle"])
+    def test_matches_serial_oracle(self, transport):
+        from repro.oracles import NamOracle
+
+        oracle = NamOracle()
+        segments = self._segments(8)
+        want = [oracle(list(seg)) for seg in segments]
+        pm = ProcessMap(2, serial_cutoff=0, transport=transport)
+        try:
+            assert pm.map_segments(oracle, segments) == want
+        finally:
+            pm.close()
+
+    def test_oracle_registered_once_per_pool(self):
+        from repro.oracles import NamOracle
+
+        oracle = NamOracle()
+        pm = ProcessMap(2, serial_cutoff=0)
+        try:
+            pm.map_segments(oracle, self._segments())
+            pool = pm._pool
+            pm.map_segments(oracle, self._segments())
+            assert pm._pool is pool  # same workers, no re-registration
+            assert pm._registered_oracle is oracle
+        finally:
+            pm.close()
+
+    def test_swapping_oracle_rebuilds_pool(self):
+        from repro.oracles import IdentityOracle, NamOracle
+
+        pm = ProcessMap(2, serial_cutoff=0)
+        try:
+            pm.map_segments(NamOracle(), self._segments())
+            pool = pm._pool
+            out = pm.map_segments(IdentityOracle(), self._segments())
+            assert pm._pool is not pool
+            assert out == self._segments()  # identity oracle is a no-op
+        finally:
+            pm.close()
+
+    def test_serialization_time_tracked(self):
+        from repro.oracles import NamOracle
+
+        pm = ProcessMap(2, serial_cutoff=0)
+        try:
+            pm.map_segments(NamOracle(), self._segments(8))
+            assert pm.last_serialization_time > 0.0
+            assert pm.serialization_time >= pm.last_serialization_time
+        finally:
+            pm.close()
+
 
 def test_default_workers_positive():
     assert default_workers() >= 1

@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.parallel import greedy_makespan, ideal_makespan, lpt_makespan
+from repro.parallel import (
+    adaptive_chunksize,
+    greedy_makespan,
+    ideal_makespan,
+    lpt_makespan,
+)
 
 DURATIONS = st.lists(st.floats(0.0, 10.0, allow_nan=False), max_size=40)
 WORKERS = st.integers(1, 16)
@@ -63,3 +68,42 @@ class TestBounds:
         assert greedy_makespan(durations, workers + 1) <= (
             greedy_makespan(durations, workers) + 1e-9
         )
+
+
+class TestAdaptiveChunksize:
+    def test_unknown_task_time_uses_balance_chunk(self):
+        # seed policy: ~4 chunks per worker
+        assert adaptive_chunksize(160, 4, 0.0) == 10
+
+    def test_long_tasks_keep_small_chunks(self):
+        # 100ms oracle calls amortize dispatch on their own
+        assert adaptive_chunksize(160, 4, 0.1) == 10
+
+    def test_short_tasks_get_bigger_chunks(self):
+        # microsecond tasks must be batched to amortize IPC
+        small = adaptive_chunksize(1000, 4, 1e-6)
+        assert small > adaptive_chunksize(1000, 4, 1e-2)
+
+    def test_never_exceeds_items_per_worker(self):
+        # batching must not idle workers
+        for est in (0.0, 1e-6, 1e-3, 1.0):
+            assert adaptive_chunksize(8, 4, est) <= 2
+
+    def test_at_least_one(self):
+        assert adaptive_chunksize(0, 4, 0.0) == 1
+        assert adaptive_chunksize(1, 8, 1.0) == 1
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            adaptive_chunksize(10, 0, 0.0)
+
+    @given(
+        st.integers(0, 5000),
+        st.integers(1, 64),
+        st.floats(0.0, 10.0, allow_nan=False),
+    )
+    def test_always_positive_and_bounded(self, items, workers, est):
+        chunk = adaptive_chunksize(items, workers, est)
+        assert chunk >= 1
+        if items > 0:
+            assert chunk <= -(-items // workers) or chunk == 1

@@ -1,0 +1,102 @@
+"""Cross-executor equivalence: every transport yields the same result.
+
+POPQC's output must be a pure function of (circuit, oracle, Ω) no
+matter which executor or wire format carried the segments.  This suite
+runs a fixed set of seeded circuits through SerialMap, ThreadMap and
+ProcessMap with both the encoded (persistent-worker) and pickle
+transports and requires byte-identical optimized circuits plus
+identical round/oracle accounting.
+"""
+
+import pytest
+
+from repro.circuits import random_redundant_circuit, to_qasm
+from repro.core import popqc
+from repro.oracles import NamOracle
+from repro.parallel import ProcessMap, SerialMap, ThreadMap
+
+OMEGA = 16
+
+SUITE = [
+    random_redundant_circuit(5, 300, seed=101, redundancy=0.6),
+    random_redundant_circuit(7, 300, seed=202, redundancy=0.3),
+    random_redundant_circuit(4, 250, seed=303, redundancy=0.8),
+]
+
+
+def _run_suite(parmap, **popqc_kwargs):
+    oracle = NamOracle()
+    try:
+        return [popqc(c, oracle, OMEGA, parmap=parmap, **popqc_kwargs) for c in SUITE]
+    finally:
+        parmap.close()
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return _run_suite(SerialMap())
+
+
+@pytest.mark.parametrize(
+    "make_parmap,kwargs",
+    [
+        (lambda: ThreadMap(2), {}),
+        (lambda: ProcessMap(2, serial_cutoff=0, transport="encoded"), {}),
+        (lambda: ProcessMap(2, serial_cutoff=0, transport="pickle"), {}),
+        (
+            lambda: ProcessMap(2, serial_cutoff=0),
+            {"transport": "pickle"},  # legacy driver path over pmap.map
+        ),
+    ],
+    ids=["thread", "process-encoded", "process-pickle", "process-legacy-map"],
+)
+def test_executors_match_serial(serial_results, make_parmap, kwargs):
+    results = _run_suite(make_parmap(), **kwargs)
+    for got, want in zip(results, serial_results):
+        # byte-identical circuits ...
+        assert got.circuit.gates == want.circuit.gates
+        assert to_qasm(got.circuit) == to_qasm(want.circuit)
+        # ... and identical optimization dynamics
+        assert got.stats.rounds == want.stats.rounds
+        assert got.stats.oracle_calls == want.stats.oracle_calls
+        assert got.stats.oracle_accepted == want.stats.oracle_accepted
+
+
+def test_transport_recorded_in_stats(serial_results):
+    assert all(r.stats.transport == "inline" for r in serial_results)
+    pm = ProcessMap(2, serial_cutoff=0)
+    results = _run_suite(pm)
+    assert all(r.stats.transport == "encoded" for r in results)
+    assert all(r.stats.serialization_time >= 0.0 for r in results)
+
+
+@pytest.mark.parametrize("transport", ["auto", "pickle"])
+def test_inline_fallback_reported_when_nothing_dispatched(transport):
+    # a round never exceeding serial_cutoff stays in the parent, and the
+    # stats must say so instead of claiming a wire format was used
+    pm = ProcessMap(2, serial_cutoff=10_000)
+    try:
+        res = popqc(SUITE[0], NamOracle(), OMEGA, parmap=pm, transport=transport)
+    finally:
+        pm.close()
+    assert res.stats.transport == "inline"
+    assert res.stats.serialization_time == 0.0
+
+
+def test_encoded_request_conflicts_with_pickle_executor():
+    pm = ProcessMap(2, transport="pickle")
+    try:
+        with pytest.raises(ValueError, match="conflicts"):
+            popqc(SUITE[0], NamOracle(), OMEGA, parmap=pm, transport="encoded")
+    finally:
+        pm.close()
+
+
+def test_encoded_transport_requires_capable_executor():
+    with pytest.raises(ValueError, match="map_segments"):
+        popqc(SUITE[0], NamOracle(), OMEGA, parmap=SerialMap(), transport="encoded")
+
+
+def test_unknown_transport_rejected():
+    with pytest.raises(ValueError, match="unknown transport"):
+        popqc(SUITE[0], NamOracle(), OMEGA, transport="zeromq")

@@ -34,6 +34,20 @@ class TestOptimizeCommand:
         with pytest.raises(SystemExit):
             main(["optimize", qasm_file, "--executor", "gpu"])
 
+    def test_process_executor_with_transport(self, qasm_file, capsys):
+        for transport in ("encoded", "pickle"):
+            rc = main(
+                ["optimize", qasm_file, "--executor", "process:2",
+                 "--transport", transport]
+            )
+            assert rc == 0
+            assert "reduction" in capsys.readouterr().out
+
+    def test_transport_rejected_for_non_process_executor(self, qasm_file):
+        with pytest.raises(SystemExit, match="process executors"):
+            main(["optimize", qasm_file, "--executor", "serial",
+                  "--transport", "pickle"])
+
 
 class TestBenchCommand:
     def test_bench_runs(self, capsys):

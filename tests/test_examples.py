@@ -13,6 +13,7 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
 
 QUICK_EXAMPLES = [
     ("quickstart.py", []),
@@ -28,11 +29,16 @@ QUICK_EXAMPLES = [
 @pytest.mark.parametrize("script,args", QUICK_EXAMPLES, ids=lambda x: str(x))
 def test_example_runs(script, args):
     path = os.path.join(EXAMPLES_DIR, script)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(SRC_DIR), env.get("PYTHONPATH")) if p
+    )
     result = subprocess.run(
         [sys.executable, path, *args],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip()
