@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Gate the perf trajectory: compare a fresh ``BENCH_transport.json``
+against the committed baseline.
+
+CI's ``bench-trend`` job runs the transport benchmark (which writes the
+JSON), uploads it as an artifact, then runs this script.  The gate is
+on **serial-map throughput** — oracle work with no IPC in the loop —
+because it is the most runner-noise-tolerant number in the record: a
+>20% drop means the oracle/codec hot path itself got slower, not that
+the runner was busy.  The parallel-transport numbers are recorded for
+the trajectory but not gated (2-vCPU shared runners make them races).
+
+Usage::
+
+    python benchmarks/check_bench_trend.py BENCH_transport.json \
+        benchmarks/BENCH_transport_baseline.json [--tolerance 0.2]
+
+Exit status 1 on regression.  To re-baseline after an intentional
+change, copy the fresh JSON over the baseline file in the same PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly generated BENCH_transport.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional throughput drop (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on regression even when the baseline was recorded on "
+        "different hardware (default: warn-only in that case, since "
+        "absolute throughput does not compare across hosts)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    got = current["results"]["serial"]["segments_per_s"]
+    want = baseline["results"]["serial"]["segments_per_s"]
+    floor = (1.0 - args.tolerance) * want
+    verdict = "OK" if got >= floor else "REGRESSION"
+    print(
+        f"serial-map throughput: {got:.0f} segments/s "
+        f"(baseline {want:.0f}, floor {floor:.0f}) -> {verdict}"
+    )
+    for name in ("pickle", "encoded", "shm"):
+        cur = current["results"].get(name, {}).get("segments_per_s")
+        base = baseline["results"].get(name, {}).get("segments_per_s")
+        if cur is not None and base is not None:
+            print(
+                f"{name:>8}: {cur:.0f} segments/s "
+                f"(baseline {base:.0f}, informational)"
+            )
+    if got < floor:
+        # runner-class fingerprint: vCPU count (kernel strings churn too
+        # much to compare whole host records)
+        same_class = current.get("host", {}).get("cpus") == baseline.get(
+            "host", {}
+        ).get("cpus")
+        if not same_class and not args.strict:
+            print(
+                "below floor, but the baseline was recorded on a different "
+                f"runner class ({baseline.get('host')}); warn-only.  "
+                "Re-baseline from this runner's artifact to arm the gate.",
+                file=sys.stderr,
+            )
+            return 0
+        print(
+            f"serial throughput regressed >{args.tolerance:.0%} vs baseline; "
+            "if intentional, re-baseline by committing the new JSON",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,22 +1,35 @@
-"""Oracle-transport benchmark: pickled vs encoded persistent workers.
+"""Oracle-transport benchmark: pickle vs encoded vs shared-memory.
 
 The seed ``ProcessMap`` re-pickled the oracle callable and every
-``list[Gate]`` segment on every round.  The encoded transport registers
-the oracle once per worker (pool initializer) and ships segments as
-compact numpy arrays.  These benchmarks measure both wire formats on
-the segment stream of a ≥20k-gate circuit and assert the encoded
-transport wins wall-clock — the property every scaling PR builds on.
+``list[Gate]`` segment on every round.  PR 1's encoded transport
+registers the oracle once per worker (pool initializer) and ships
+segments as compact numpy arrays; the shm transport goes further and
+packs each round's segments into one pooled shared-memory arena with
+batched task dispatch, so the executor pipe carries only small
+descriptor tuples.  These benchmarks measure all three wire formats on
+the segment stream of a ≥20k-gate circuit, prove the transports
+byte-identical end to end, and emit a machine-readable
+``BENCH_transport.json`` that CI uploads on every push and diffs
+against the committed baseline (see ``benchmarks/README.md``).
 
 Timing assertions use min-of-repeats, the standard way to compare two
-implementations under scheduler noise.
+implementations under scheduler noise; wall-clock *assertions* are
+``slow``-marked and meant for real hardware (the nightly workflow),
+not shared 2-vCPU CI runners.
 """
 
+import json
+import os
+import platform
+import sys
 import time
+from pathlib import Path
 
 import pytest
 
-from repro.circuits import encoded_nbytes, random_redundant_circuit
-from repro.oracles import NamOracle
+from repro.circuits import encoded_nbytes, random_redundant_circuit, to_qasm
+from repro.core import popqc
+from repro.oracles import IdentityOracle, NamOracle
 from repro.parallel import ProcessMap
 
 OMEGA = 100
@@ -32,20 +45,50 @@ SEGMENTS = [
 
 ORACLE = NamOracle()
 
+#: Where the machine-readable benchmark record lands (repo root, so CI
+#: can upload it as an artifact without path gymnastics).
+BENCH_JSON = Path(
+    os.environ.get(
+        "BENCH_TRANSPORT_OUT",
+        Path(__file__).resolve().parent.parent / "BENCH_transport.json",
+    )
+)
 
-def _round_time(transport: str, workers: int, repeats: int = 3) -> float:
+#: Worker count for the smoke comparison (shared CI runners have 2
+#: vCPUs; the slow acceptance tests use 4 and 8 on real hardware).
+SMOKE_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def _round_time(
+    transport: str, workers: int, oracle=ORACLE, segments=None, repeats: int = 3
+) -> float:
     """Min wall-clock of one full segment-stream map over a warm pool."""
+    segments = SEGMENTS if segments is None else segments
     pm = ProcessMap(workers, serial_cutoff=0, transport=transport)
     try:
-        pm.map_segments(ORACLE, SEGMENTS[:4])  # spawn + warm the workers
+        pm.map_segments(oracle, segments[:4])  # spawn + warm the workers
         best = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()
-            pm.map_segments(ORACLE, SEGMENTS)
+            pm.map_segments(oracle, segments)
             best = min(best, time.perf_counter() - t0)
         return best
     finally:
         pm.close()
+
+
+def _serial_time(segments, repeats: int = 3) -> float:
+    """Min wall-clock of mapping the oracle inline (no IPC at all)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for seg in segments:
+            ORACLE(list(seg))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- wall-clock acceptance (real hardware; nightly workflow) -------------------
 
 
 @pytest.mark.slow
@@ -62,6 +105,82 @@ def test_encoded_beats_pickle_transport(workers):
     )
 
 
+def _wire_time(transport: str, workers: int, repeats: int = 5) -> float:
+    """Min transport time of one identity-oracle round: wall-clock
+    minus the parent-side encode/decode that every transport pays
+    identically (and that ``stats.serialization_time`` accounts
+    separately).  What remains is what the wire formats actually
+    compete on — pipe pickling + dispatch vs. arena views."""
+    # IdentityOracle isolates pure transport cost from oracle work
+    echo = IdentityOracle()
+    pm = ProcessMap(workers, serial_cutoff=0, transport=transport)
+    try:
+        pm.map_segments(echo, SEGMENTS[:4])  # spawn + warm the workers
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            pm.map_segments(echo, SEGMENTS)
+            elapsed = time.perf_counter() - t0
+            best = min(best, elapsed - pm.last_serialization_time)
+        return best
+    finally:
+        pm.close()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="the transports only separate with real parallelism; on <4 "
+    "cores the (identical) worker-side codec serializes and swamps "
+    "the pipe-vs-arena difference",
+)
+def test_shm_beats_encoded_transport():
+    """Acceptance: the zero-copy arena transport moves the 20k-gate
+    segment stream ≥1.25x faster than the encoded pipe transport at 4
+    workers on real hardware.
+
+    Measured with an identity oracle over transport wire time: the
+    formats differ in how bytes move, not in oracle arithmetic, and
+    the paper's scaling story is precisely the regime where oracle
+    calls are cheap enough that IPC dominates."""
+    assert CIRCUIT.num_gates >= 20000
+    encoded = _wire_time("encoded", 4)
+    shm = _wire_time("shm", 4)
+    assert shm * 1.25 <= encoded, (
+        f"shm wire time ({shm * 1e3:.1f} ms/round) should be ≥1.25x "
+        f"faster than encoded ({encoded * 1e3:.1f} ms/round) at 4 workers"
+    )
+
+
+# -- cross-transport equivalence ----------------------------------------------
+
+
+EQUIV_CIRCUIT = random_redundant_circuit(9, 4000, seed=11, redundancy=0.5)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return popqc(EQUIV_CIRCUIT, NamOracle(), 50)
+
+
+@pytest.mark.parametrize("transport", ["pickle", "encoded", "shm"])
+def test_cross_transport_equivalence(transport, serial_reference):
+    """pickle/encoded/shm must produce byte-identical optimized
+    circuits — same gates, same QASM bytes, same dynamics."""
+    pm = ProcessMap(2, serial_cutoff=0, transport=transport)
+    try:
+        res = popqc(EQUIV_CIRCUIT, NamOracle(), 50, parmap=pm)
+    finally:
+        pm.close()
+    assert res.circuit.gates == serial_reference.circuit.gates
+    assert to_qasm(res.circuit) == to_qasm(serial_reference.circuit)
+    assert res.stats.rounds == serial_reference.stats.rounds
+    assert res.stats.oracle_calls == serial_reference.stats.oracle_calls
+
+
+# -- wire-size + trend record (smoke mode; runs on every push) -----------------
+
+
 def test_encoded_payload_is_smaller():
     """The encoded wire format is no larger than pickled gate lists.
 
@@ -74,15 +193,96 @@ def test_encoded_payload_is_smaller():
     from repro.circuits import encode_segment
 
     total_pickled = sum(len(_pickle.dumps(seg)) for seg in SEGMENTS)
-    total_encoded = sum(
-        len(_pickle.dumps(encode_segment(seg))) for seg in SEGMENTS
-    )
+    total_encoded = sum(len(_pickle.dumps(encode_segment(seg))) for seg in SEGMENTS)
     assert total_encoded < total_pickled
+
+
+def test_shm_task_messages_are_tiny():
+    """What the shm transport actually pipes per round: batched index
+    descriptors, orders of magnitude below the segment payload."""
+    import pickle as _pickle
+
+    from repro.parallel import batch_segments
+
+    batches = batch_segments(len(SEGMENTS), 4, 1e-4)
+    messages = [
+        ("psm_abcdef01", "psm_abcdef02", 1, 1, start, end)
+        for start, end in batches
+    ]
+    piped = sum(len(_pickle.dumps(m)) for m in messages)
+    payload = sum(encoded_nbytes(seg) for seg in SEGMENTS)
+    assert piped * 100 < payload
+
+
+def test_three_way_comparison_emits_bench_json():
+    """Measure serial/pickle/encoded/shm round throughput at smoke
+    scale and write ``BENCH_transport.json`` for the CI trend job.
+
+    This test only asserts sanity (positive throughputs, complete
+    record); the regression *gate* lives in
+    ``benchmarks/check_bench_trend.py`` against the committed baseline,
+    and the wall-clock ordering assertions are the slow tests above.
+    """
+    smoke_segments = SEGMENTS[: max(12, 2 * SMOKE_WORKERS)]
+    serial = _serial_time(smoke_segments, repeats=2)
+    results = {
+        "serial": {
+            "seconds_per_round": serial,
+            "segments_per_s": len(smoke_segments) / serial,
+        }
+    }
+    for transport in ("pickle", "encoded", "shm"):
+        elapsed = _round_time(
+            transport, SMOKE_WORKERS, segments=smoke_segments, repeats=2
+        )
+        results[transport] = {
+            "seconds_per_round": elapsed,
+            "segments_per_s": len(smoke_segments) / elapsed,
+        }
+
+    record = {
+        "schema": "popqc-bench-transport/v1",
+        "generated_unix": time.time(),
+        "workload": {
+            "circuit_gates": CIRCUIT.num_gates,
+            "omega": OMEGA,
+            "segments": len(smoke_segments),
+            "workers": SMOKE_WORKERS,
+            "oracle": type(ORACLE).__name__,
+        },
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "results": results,
+        "derived": {
+            "encoded_speedup_vs_pickle": results["pickle"]["seconds_per_round"]
+            / results["encoded"]["seconds_per_round"],
+            "shm_speedup_vs_encoded": results["encoded"]["seconds_per_round"]
+            / results["shm"]["seconds_per_round"],
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert all(r["segments_per_s"] > 0 for r in results.values())
+    assert set(results) == {"serial", "pickle", "encoded", "shm"}
 
 
 def test_transport_round_benchmark(benchmark):
     """Throughput of one encoded-transport round (for trend tracking)."""
     pm = ProcessMap(4, serial_cutoff=0, transport="encoded")
+    try:
+        pm.map_segments(ORACLE, SEGMENTS[:4])
+        out = benchmark(lambda: pm.map_segments(ORACLE, SEGMENTS))
+    finally:
+        pm.close()
+    assert len(out) == len(SEGMENTS)
+
+
+def test_shm_round_benchmark(benchmark):
+    """Throughput of one shm-transport round (for trend tracking)."""
+    pm = ProcessMap(4, serial_cutoff=0, transport="shm")
     try:
         pm.map_segments(ORACLE, SEGMENTS[:4])
         out = benchmark(lambda: pm.map_segments(ORACLE, SEGMENTS))

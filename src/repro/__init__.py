@@ -26,7 +26,7 @@ Quick start::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from .circuits import CNOT, RZ, Circuit, Gate, H, X, parse_qasm, to_qasm
 from .core import (

@@ -18,7 +18,7 @@ from typing import Sequence
 
 from ..analysis import analyze
 from ..circuits import to_qasm
-from .registry import FAMILIES, family_names, generate
+from .registry import family_names, generate
 
 __all__ = ["SuiteEntry", "write_suite"]
 

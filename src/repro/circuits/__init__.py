@@ -6,6 +6,9 @@ from .encoding import (
     decode_segment,
     encode_segment,
     encoded_nbytes,
+    pack_segment_into,
+    packed_segment_nbytes,
+    unpack_segment_from,
 )
 from .gate import (
     ANGLE_TOL,
@@ -58,6 +61,8 @@ __all__ = [
     "layers_asap",
     "left_justified",
     "normalize_angle",
+    "pack_segment_into",
+    "packed_segment_nbytes",
     "parse_qasm",
     "random_circuit",
     "random_redundant_circuit",
@@ -65,5 +70,6 @@ __all__ = [
     "read_qasm",
     "right_justified",
     "to_qasm",
+    "unpack_segment_from",
     "write_qasm",
 ]

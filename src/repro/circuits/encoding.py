@@ -32,10 +32,20 @@ Layout of an :class:`EncodedSegment` with ``n`` gates:
 ``params``
     float64 array holding, in gate order, the parameters of exactly
     the gates whose mask bit is set.
+
+Beyond the in-process dataclass, this module defines the segment *wire
+format*: :func:`pack_segment_into` lays an :class:`EncodedSegment` out
+as one contiguous, self-describing byte block, and
+:func:`unpack_segment_from` reconstructs it as zero-copy numpy views
+into the carrying buffer.  The shared-memory transport
+(:mod:`repro.parallel.shm`) packs every round's segments into one arena
+with this format; a future multi-host socket transport reuses the same
+bytes over a different carrier.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -48,6 +58,9 @@ __all__ = [
     "encode_segment",
     "decode_segment",
     "encoded_nbytes",
+    "packed_segment_nbytes",
+    "pack_segment_into",
+    "unpack_segment_from",
 ]
 
 
@@ -158,3 +171,138 @@ def decode_segment(encoded: EncodedSegment) -> list[Gate]:
 def encoded_nbytes(segment: Sequence[Gate]) -> int:
     """Wire size the encoded transport pays for ``segment`` (bytes)."""
     return encode_segment(segment).nbytes
+
+
+# -- flat wire format ----------------------------------------------------------
+#
+# One EncodedSegment as a contiguous, self-describing byte block:
+#
+#   header   <IIIII: gates, names, qubit-index count, param count, flags
+#            (flags bit0: ops are int32, bit1: arities are int32)
+#   names    per name: <H byte length + utf-8 bytes
+#   -- pad to 8 --
+#   params   float64[param count]
+#   qubits   int32[qubit-index count]
+#   ops      uint8|int32[gates]        -- 4-aligned
+#   arities  uint8|int32[gates]        -- 4-aligned
+#   mask     uint8[ceil(gates / 8)]
+#   -- pad to 8 --  (so consecutive segments stay 8-aligned)
+#
+# All sections are at naturally aligned offsets, so unpacking yields
+# aligned zero-copy numpy views into the carrying buffer.
+
+_PACK_HEADER = struct.Struct("<IIIII")
+_NAME_LEN = struct.Struct("<H")
+_FLAG_OPS_I32 = 1
+_FLAG_ARITIES_I32 = 2
+
+
+def _align(offset: int, alignment: int) -> int:
+    return (offset + alignment - 1) & ~(alignment - 1)
+
+
+def _names_blob(names: Sequence[str]) -> bytes:
+    parts = []
+    for name in names:
+        raw = name.encode("utf-8")
+        parts.append(_NAME_LEN.pack(len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def packed_segment_nbytes(encoded: EncodedSegment) -> int:
+    """Size of ``encoded`` in the flat wire format (8-byte aligned)."""
+    size = _PACK_HEADER.size + len(_names_blob(encoded.names))
+    size = _align(size, 8)
+    size += encoded.params.nbytes
+    size += encoded.qubits.nbytes
+    size = _align(size, 4) + encoded.ops.nbytes
+    size = _align(size, 4) + encoded.arities.nbytes
+    size += encoded.param_mask.nbytes
+    return _align(size, 8)
+
+
+def pack_segment_into(encoded: EncodedSegment, buf, offset: int = 0) -> int:
+    """Write ``encoded`` into ``buf`` at ``offset``; return the end offset.
+
+    ``buf`` is any writable contiguous buffer (``bytearray``,
+    ``memoryview``, ``SharedMemory.buf``).  Array payloads are written
+    in place — no intermediate pickle, no per-array allocation beyond
+    the small header.
+    """
+    names = _names_blob(encoded.names)
+    flags = 0
+    if encoded.ops.dtype == np.int32:
+        flags |= _FLAG_OPS_I32
+    if encoded.arities.dtype == np.int32:
+        flags |= _FLAG_ARITIES_I32
+    mv = memoryview(buf)
+    pos = offset
+    _PACK_HEADER.pack_into(
+        mv,
+        pos,
+        encoded.length,
+        len(encoded.names),
+        encoded.qubits.size,
+        encoded.params.size,
+        flags,
+    )
+    pos += _PACK_HEADER.size
+    mv[pos : pos + len(names)] = names
+    pos = _align(pos + len(names), 8)
+    for arr, alignment in (
+        (encoded.params, 8),
+        (encoded.qubits, 4),
+        (encoded.ops, 4),
+        (encoded.arities, 4),
+        (encoded.param_mask, 1),
+    ):
+        pos = _align(pos, alignment)
+        if arr.size:
+            np.frombuffer(mv, dtype=arr.dtype, count=arr.size, offset=pos)[:] = arr
+        pos += arr.nbytes
+    return _align(pos, 8)
+
+
+def unpack_segment_from(buf, offset: int = 0) -> tuple[EncodedSegment, int]:
+    """Read one packed segment from ``buf``; return it and the end offset.
+
+    The returned segment's arrays are zero-copy *views* into ``buf``:
+    they stay valid only while the buffer does (for shared-memory
+    arenas, until the block is reused for a later round).  Decode or
+    copy before releasing the carrier.
+    """
+    mv = memoryview(buf)
+    n, num_names, num_qubits, num_params, flags = _PACK_HEADER.unpack_from(mv, offset)
+    pos = offset + _PACK_HEADER.size
+    names = []
+    for _ in range(num_names):
+        (ln,) = _NAME_LEN.unpack_from(mv, pos)
+        pos += _NAME_LEN.size
+        names.append(bytes(mv[pos : pos + ln]).decode("utf-8"))
+        pos += ln
+    pos = _align(pos, 8)
+    op_dtype = np.int32 if flags & _FLAG_OPS_I32 else np.uint8
+    arity_dtype = np.int32 if flags & _FLAG_ARITIES_I32 else np.uint8
+    arrays = []
+    for dtype, count, alignment in (
+        (np.float64, num_params, 8),
+        (np.int32, num_qubits, 4),
+        (op_dtype, n, 4),
+        (arity_dtype, n, 4),
+        (np.uint8, -(-n // 8), 1),
+    ):
+        pos = _align(pos, alignment)
+        arrays.append(np.frombuffer(mv, dtype=dtype, count=count, offset=pos))
+        pos += arrays[-1].nbytes
+    params, qubits, ops, arities, mask = arrays
+    segment = EncodedSegment(
+        names=tuple(names),
+        ops=ops,
+        arities=arities,
+        qubits=qubits,
+        param_mask=mask,
+        params=params,
+        length=n,
+    )
+    return segment, _align(pos, 8)

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Iterable
 
 from .circuit import Circuit
 from .gate import CNOT, RZ, Gate, H, X

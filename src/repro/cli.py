@@ -60,9 +60,7 @@ def _make_parmap(spec: str, transport: str | None = None):
             int(count) if count else None, transport=transport or "encoded"
         )
     if transport is not None:
-        raise SystemExit(
-            f"--transport only applies to process executors, not {spec!r}"
-        )
+        raise SystemExit(f"--transport only applies to process executors, not {spec!r}")
     if spec == "serial":
         return SerialMap()
     if spec.startswith("thread"):
@@ -104,7 +102,8 @@ def main(argv: list[str] | None = None) -> int:
         choices=list(TRANSPORTS),
         help="segment wire format, process executors only "
         "(encoded: persistent workers + numpy arrays, the default; "
-        "pickle: legacy)",
+        "shm: zero-copy shared-memory arenas with batched dispatch, "
+        "falls back to encoded where unsupported; pickle: legacy)",
     )
 
     p_bench = sub.add_parser("bench", help="optimize a generated benchmark")
@@ -112,9 +111,7 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--size", type=int, default=1, choices=range(4))
     p_bench.add_argument("--omega", type=int, default=100)
     p_bench.add_argument("--executor", default="serial")
-    p_bench.add_argument(
-        "--transport", default=None, choices=list(TRANSPORTS)
-    )
+    p_bench.add_argument("--transport", default=None, choices=list(TRANSPORTS))
     p_bench.add_argument(
         "--baseline", action="store_true", help="also run the whole-circuit baseline"
     )

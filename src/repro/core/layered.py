@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..circuits import Circuit, Gate, layers_asap
 from ..parallel import ParallelMap, SerialMap, SimulatedParallelism
 from .fingers import initial_fingers, select_fingers
-from .popqc import CostFn, OracleFn
+from .popqc import CostFn, OracleFn, resolve_segment_transport
 from .stats import (
     OptimizationStats,
     RoundStats,
@@ -87,18 +87,24 @@ def layered_popqc(
     parmap: Optional[ParallelMap] = None,
     cost: Optional[CostFn] = None,
     max_rounds: Optional[int] = None,
+    transport: str = "auto",
 ) -> LayeredPopqcResult:
     """POPQC at layer granularity with a gate-level cost function.
 
     ``omega`` counts *layers* (the paper uses Ω=100 layers for the
     Quartz/depth experiment).  ``cost`` defaults to the paper's mixed
-    cost ``10*depth + gates``.
+    cost ``10*depth + gates``.  ``transport`` selects the oracle
+    transport as in :func:`repro.core.popqc.popqc`: layer segments are
+    flattened to gate lists parent-side, shipped through
+    ``pmap.map_segments`` (the oracle never sees our layering anyway),
+    and re-layered on return.
     """
     if omega < 1:
         raise ValueError("omega must be positive")
     pmap = parmap if parmap is not None else SerialMap()
     cost_fn = cost if cost is not None else mixed_cost()
     num_qubits = circuit.num_qubits
+    use_segments = resolve_segment_transport(pmap, transport)
 
     layers: list[Layer] = [
         tuple(layer) for layer in layers_asap(circuit.gates, num_qubits)
@@ -108,8 +114,7 @@ def layered_popqc(
         initial_cost=cost_fn(list(circuit.gates)),
         workers=getattr(pmap, "workers", 1),
     )
-    # the layered loop always maps layer objects (legacy pickle path)
-    dispatches_before = record_transport(stats, pmap)
+    dispatches_before = record_transport(stats, pmap, use_segments)
     t_start = time.perf_counter()
 
     array: TombstoneArray[Layer] = TombstoneArray(layers)
@@ -125,7 +130,16 @@ def layered_popqc(
         t_round = time.perf_counter()
 
         fingers = _layered_round(
-            array, fingers, task, omega, pmap, cost_fn, num_qubits, rstats, simulated
+            array,
+            fingers,
+            task,
+            omega,
+            pmap,
+            cost_fn,
+            num_qubits,
+            rstats,
+            simulated,
+            use_segments,
         )
 
         round_total = time.perf_counter() - t_round
@@ -134,6 +148,7 @@ def layered_popqc(
         stats.oracle_accepted += rstats.accepted
         stats.oracle_time += rstats.oracle_time
         stats.admin_time += rstats.admin_time
+        stats.serialization_time += rstats.serialization_time
         stats.simulated_oracle_time += rstats.oracle_makespan
         stats.per_round.append(rstats)
 
@@ -155,6 +170,7 @@ def _layered_round(
     num_qubits: int,
     rstats: RoundStats,
     simulated: bool,
+    use_segments: bool = False,
 ) -> list[int]:
     total_live = array.live_count
     if total_live == 0:
@@ -180,7 +196,15 @@ def _layered_round(
         pmap.simulated_elapsed if simulated else 0.0  # type: ignore[attr-defined]
     )
     t_oracle = time.perf_counter()
-    results = pmap.map(task, seg_layers)
+    if use_segments:
+        # flatten parent-side: the persistent-worker transport carries
+        # gate segments, and the oracle is layering-agnostic anyway
+        results = pmap.map_segments(  # type: ignore[attr-defined]
+            task.oracle, [_flatten(seg) for seg in seg_layers]
+        )
+        rstats.serialization_time = getattr(pmap, "last_serialization_time", 0.0)
+    else:
+        results = pmap.map(task, seg_layers)
     rstats.oracle_time = time.perf_counter() - t_oracle
     if simulated:
         rstats.oracle_makespan = (
@@ -200,9 +224,7 @@ def _layered_round(
         if len(opt_layers) <= len(slots) and cost_fn(opt_gates) < cost_fn(old_gates):
             rstats.accepted += 1
             for i, slot in enumerate(slots):
-                updates.append(
-                    (slot, opt_layers[i] if i < len(opt_layers) else None)
-                )
+                updates.append((slot, opt_layers[i] if i < len(opt_layers) else None))
             if lo > 0:
                 new_fingers.append(slots[0])
             if hi < total_live:

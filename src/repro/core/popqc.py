@@ -43,6 +43,7 @@ __all__ = [
     "OracleFn",
     "CostFn",
     "OracleContractViolation",
+    "resolve_segment_transport",
 ]
 
 
@@ -76,6 +77,43 @@ def _gate_count_cost(segment: Sequence[Gate]) -> float:
 #: Picklable oracle-application task for process-pool executors; shared
 #: with the pickle transport so both legacy paths stay identical.
 _OracleTask = _PickledOracleCall
+
+
+def resolve_segment_transport(pmap: ParallelMap, transport: str) -> bool:
+    """Whether a driver should route oracle maps through
+    ``pmap.map_segments`` for the requested ``transport``.
+
+    ``"auto"`` uses the executor's persistent-worker transport when it
+    offers one; ``"pickle"`` forces the legacy object-map path.  A
+    concrete wire format (``"encoded"``/``"shm"``) requires a
+    transport-capable executor configured for that format — except that
+    requesting ``"shm"`` from an executor that *fell back* to
+    ``"encoded"`` (platform without shared memory) is accepted, so one
+    call site works everywhere.  Raises :class:`ValueError` otherwise.
+    """
+    valid_transports = ("auto", *TRANSPORTS)
+    if transport not in valid_transports:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {valid_transports}"
+        )
+    supports_segments = hasattr(pmap, "map_segments")
+    if transport == "pickle":
+        return False
+    if transport == "auto":
+        return supports_segments
+    if not supports_segments:
+        raise ValueError(
+            f"transport={transport!r} requires an executor with map_segments; "
+            f"{pmap!r} has none"
+        )
+    configured = getattr(pmap, "transport", transport)
+    requested = getattr(pmap, "requested_transport", configured)
+    if transport not in (configured, requested):
+        raise ValueError(
+            f"transport={transport!r} conflicts with the executor's own wire "
+            f"format ({pmap!r})"
+        )
+    return True
 
 
 def popqc(
@@ -133,10 +171,12 @@ def popqc(
         (default) uses the executor's persistent-worker transport when
         it offers one (``map_segments``, currently
         :class:`~repro.parallel.ProcessMap`) and plain ``map``
-        otherwise.  ``"encoded"`` requires a transport-capable
-        executor (raises :class:`ValueError` otherwise);
-        ``"pickle"`` forces the legacy path that re-pickles the oracle
-        and the gate objects every round, kept for benchmarking.
+        otherwise.  ``"encoded"`` and ``"shm"`` require a
+        transport-capable executor configured for that wire format
+        (raises :class:`ValueError` otherwise; see
+        :func:`resolve_segment_transport`); ``"pickle"`` forces the
+        legacy path that re-pickles the oracle and the gate objects
+        every round, kept for benchmarking.
 
     Returns
     -------
@@ -153,23 +193,7 @@ def popqc(
     pmap = parmap if parmap is not None else SerialMap()
     cost_fn = cost if cost is not None else _gate_count_cost
 
-    valid_transports = ("auto", *TRANSPORTS)
-    if transport not in valid_transports:
-        raise ValueError(
-            f"unknown transport {transport!r}; expected one of {valid_transports}"
-        )
-    supports_segments = hasattr(pmap, "map_segments")
-    if transport == "encoded" and not supports_segments:
-        raise ValueError(
-            f"transport='encoded' requires an executor with map_segments; "
-            f"{pmap!r} has none"
-        )
-    if transport == "encoded" and getattr(pmap, "transport", "encoded") != "encoded":
-        raise ValueError(
-            f"transport='encoded' conflicts with the executor's own wire "
-            f"format ({pmap!r})"
-        )
-    use_segments = supports_segments and transport != "pickle"
+    use_segments = resolve_segment_transport(pmap, transport)
 
     stats = OptimizationStats(
         initial_gates=len(gates),
@@ -277,7 +301,9 @@ def _run_round(
     )
     t_oracle = time.perf_counter()
     if use_segments:
-        results = pmap.map_segments(task.oracle, seg_gates)  # type: ignore[attr-defined]
+        results = pmap.map_segments(  # type: ignore[attr-defined]
+            task.oracle, seg_gates
+        )
         rstats.serialization_time = getattr(pmap, "last_serialization_time", 0.0)
     else:
         results = pmap.map(task, seg_gates)

@@ -59,8 +59,20 @@ class OptimizationStats:
     #: ``serialization_fraction`` overlap by this amount.
     serialization_time: float = 0.0
     #: Oracle transport the run used: ``"inline"`` (objects passed
-    #: within the process), ``"encoded"`` or ``"pickle"``.
+    #: within the process), ``"encoded"``, ``"shm"`` or ``"pickle"``.
     transport: str = "inline"
+    #: Capacity of the executor's shared-memory arena ring when the run
+    #: finished (shm transport only): the memory the run's rounds were
+    #: served from, whether freshly allocated or recycled.
+    shm_arena_bytes: int = 0
+    #: Arena-ring behaviour during the run: blocks created vs. rounds
+    #: served by recycling an existing block.
+    shm_block_allocs: int = 0
+    shm_block_reuses: int = 0
+    #: Batched-dispatch accounting (shm transport only): pool tasks
+    #: dispatched and segments they carried.
+    batch_dispatches: int = 0
+    segments_batched: int = 0
     #: Sum of per-round simulated makespans (SimulatedParallelism only).
     simulated_oracle_time: float = 0.0
     #: Worker count of the executor used.
@@ -89,6 +101,21 @@ class OptimizationStats:
         if self.total_time <= 0.0:
             return 0.0
         return self.serialization_time / self.total_time
+
+    @property
+    def arena_reuse_rate(self) -> float:
+        """Fraction of arena acquisitions served by recycling a block."""
+        total = self.shm_block_allocs + self.shm_block_reuses
+        if total == 0:
+            return 0.0
+        return self.shm_block_reuses / total
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average segments per dispatched pool task (shm transport)."""
+        if self.batch_dispatches == 0:
+            return 0.0
+        return self.segments_batched / self.batch_dispatches
 
     @property
     def total_fingers(self) -> int:
@@ -125,33 +152,62 @@ class OptimizationStats:
         )
 
 
+#: Executor counters snapshotted around a run so per-run deltas can be
+#: reported even when one executor serves many runs.
+_TRANSPORT_COUNTERS = (
+    "pool_dispatches",
+    "batch_dispatches",
+    "segments_batched",
+    "arena_allocations",
+    "arena_reuses",
+)
+
+
 def record_transport(
     stats: OptimizationStats, pmap: object, use_segments: bool = False
 ) -> object:
     """Label ``stats.transport`` for the oracle path a driver is about
-    to take, and snapshot the executor's dispatch counter.
+    to take, and snapshot the executor's transport counters.
 
     ``use_segments`` marks drivers that route through
     ``pmap.map_segments``; legacy drivers mapping gate objects over a
     segment-capable executor are labelled ``"pickle"``.  The returned
-    snapshot goes to :func:`finalize_transport`.
+    snapshot goes to :func:`finalize_transport`, which turns the
+    counter deltas into per-run statistics.
     """
     if use_segments:
         stats.transport = getattr(pmap, "transport", "encoded")
     elif hasattr(pmap, "map_segments"):
         stats.transport = "pickle"
-    return getattr(pmap, "pool_dispatches", None)
+    return {
+        name: getattr(pmap, name)
+        for name in _TRANSPORT_COUNTERS
+        if hasattr(pmap, name)
+    }
 
 
 def finalize_transport(
-    stats: OptimizationStats, pmap: object, dispatches_before: object
+    stats: OptimizationStats, pmap: object, snapshot: object
 ) -> None:
-    """Correct ``stats.transport`` to ``"inline"`` when every round fell
-    below the executor's serial cutoff and nothing ever crossed a
-    process boundary."""
+    """Fold the executor's counter deltas since ``snapshot`` into
+    ``stats``, and correct ``stats.transport`` to ``"inline"`` when
+    every round fell below the executor's serial cutoff and nothing
+    ever crossed a process boundary."""
+    if not isinstance(snapshot, dict):
+        return
+    delta = {
+        name: getattr(pmap, name) - before for name, before in snapshot.items()
+    }
     if (
         stats.transport != "inline"
-        and dispatches_before is not None
-        and getattr(pmap, "pool_dispatches", None) == dispatches_before
+        and "pool_dispatches" in delta
+        and delta["pool_dispatches"] == 0
     ):
         stats.transport = "inline"
+    stats.batch_dispatches = delta.get("batch_dispatches", 0)
+    stats.segments_batched = delta.get("segments_batched", 0)
+    stats.shm_block_allocs = delta.get("arena_allocations", 0)
+    stats.shm_block_reuses = delta.get("arena_reuses", 0)
+    # capacity of the executor's arena ring, not a delta: a run served
+    # entirely by recycled blocks still reports the memory it ran in
+    stats.shm_arena_bytes = getattr(pmap, "arena_bytes", 0)

@@ -16,13 +16,19 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from ..circuits import Circuit, Gate
 from ..parallel import ParallelMap, SerialMap
 from .fingers import initial_fingers, select_fingers
-from .popqc import CostFn, OracleFn, PopqcResult, _OracleTask
+from .popqc import (
+    CostFn,
+    OracleFn,
+    PopqcResult,
+    _OracleTask,
+    resolve_segment_transport,
+)
 from .stats import (
     OptimizationStats,
     RoundStats,
@@ -55,12 +61,14 @@ def popqc_traced(
     parmap: Optional[ParallelMap] = None,
     cost: Optional[CostFn] = None,
     max_rounds: Optional[int] = None,
+    transport: str = "auto",
 ) -> tuple[PopqcResult, list[RoundTrace]]:
     """Run POPQC while recording a :class:`RoundTrace` per round.
 
     A transparent reimplementation of the driver loop (same round
     semantics as :func:`repro.core.popqc.popqc`; the agreement is pinned
-    by tests) that additionally snapshots each round.
+    by tests) that additionally snapshots each round.  ``transport``
+    selects the oracle transport exactly as in the main driver.
     """
     import time
 
@@ -74,14 +82,14 @@ def popqc_traced(
         num_qubits = None
     pmap = parmap if parmap is not None else SerialMap()
     cost_fn = cost if cost is not None else (lambda seg: float(len(seg)))
+    use_segments = resolve_segment_transport(pmap, transport)
 
     stats = OptimizationStats(
         initial_gates=len(gates),
         initial_cost=cost_fn(gates),
         workers=getattr(pmap, "workers", 1),
     )
-    # the traced loop always maps gate objects (legacy pickle path)
-    dispatches_before = record_transport(stats, pmap)
+    dispatches_before = record_transport(stats, pmap, use_segments)
     t_start = time.perf_counter()
     array: TombstoneArray[Gate] = TombstoneArray(gates)
     fingers = initial_fingers(len(gates), omega)
@@ -112,16 +120,20 @@ def popqc_traced(
             seg_bounds.append((lo, hi))
 
         t_oracle = time.perf_counter()
-        results = pmap.map(task, seg_gates)
+        if use_segments:
+            results = pmap.map_segments(  # type: ignore[attr-defined]
+                task.oracle, seg_gates
+            )
+            rstats.serialization_time = getattr(pmap, "last_serialization_time", 0.0)
+        else:
+            results = pmap.map(task, seg_gates)
         rstats.oracle_time = time.perf_counter() - t_oracle
         rstats.selected = len(seg_gates)
 
         updates: list[tuple[int, Optional[Gate]]] = []
         new_fingers: list[int] = []
         accepted_regions: list[tuple[int, int]] = []
-        for slots, seg, (lo, hi), opt in zip(
-            seg_slots, seg_gates, seg_bounds, results
-        ):
+        for slots, seg, (lo, hi), opt in zip(seg_slots, seg_gates, seg_bounds, results):
             if not slots:
                 continue
             if len(opt) <= len(slots) and cost_fn(opt) < cost_fn(seg):
@@ -149,6 +161,7 @@ def popqc_traced(
         stats.oracle_calls += rstats.selected
         stats.oracle_accepted += rstats.accepted
         stats.oracle_time += rstats.oracle_time
+        stats.serialization_time += rstats.serialization_time
         stats.per_round.append(rstats)
         fingers = sorted(set(kept_remaining) | set(new_fingers))
 
@@ -185,9 +198,7 @@ def render_trace(trace: Sequence[RoundTrace], width: int = 72) -> str:
             band[col(min(r, scale - 1))] = "|"
         for r in rt.selected_ranks:
             band[col(min(r, scale - 1))] = "#"
-        lines.append(
-            f"{rt.round_index:5d} {rt.live_before:6d}   {''.join(band)}"
-        )
+        lines.append(f"{rt.round_index:5d} {rt.live_before:6d}   {''.join(band)}")
     last = trace[-1]
     lines.append(f"final  {last.live_after:6d}")
     return "\n".join(lines)

@@ -17,7 +17,7 @@ from ..circuits import Circuit
 from ..core import layered_popqc, mixed_cost, popqc
 from ..oracles import GateCount, MixedCost, NamOracle, SearchOracle
 from ..parallel import SerialMap, SimulatedParallelism
-from .report import format_series, format_table
+from .report import format_table
 from .tables import DEFAULT_OMEGA
 
 __all__ = [
@@ -108,9 +108,7 @@ def run_figure4(
         large = generate(fam, large_index, seed=seed)
         rs = popqc(small, oracle, omega, parmap=SerialMap()).stats.rounds
         rl = popqc(large, oracle, omega, parmap=SerialMap()).stats.rounds
-        points.append(
-            RoundsPoint(fam, small.num_gates, rs, large.num_gates, rl)
-        )
+        points.append(RoundsPoint(fam, small.num_gates, rs, large.num_gates, rl))
     text = format_table(
         ["benchmark", "gates(small)", "rounds(small)", "gates(large)", "rounds(large)"],
         [
@@ -282,9 +280,7 @@ def run_figure8(
             circuit = generate(fam, idx, seed=seed)
             res = popqc(circuit, oracle, omega, parmap=SerialMap())
             points.append(
-                OracleFractionPoint(
-                    fam, circuit.num_gates, res.stats.oracle_fraction
-                )
+                OracleFractionPoint(fam, circuit.num_gates, res.stats.oracle_fraction)
             )
     text = format_table(
         ["benchmark", "gates", "oracle fraction"],

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..baselines import oac_optimize, optimize_whole_circuit
-from ..benchgen import FAMILIES, family_names, generate
-from ..circuits import Circuit, left_justified, right_justified
+from ..benchgen import family_names, generate
+from ..circuits import left_justified, right_justified
 from ..core import popqc
 from ..oracles import NamOracle
 from ..parallel import SerialMap, SimulatedParallelism
@@ -82,9 +82,7 @@ def run_table1(
     for fam in families or family_names():
         for idx in size_indices:
             circuit = generate(fam, idx, seed=seed)
-            base = optimize_whole_circuit(
-                circuit, timeout_seconds=baseline_timeout
-            )
+            base = optimize_whole_circuit(circuit, timeout_seconds=baseline_timeout)
             timed_out = (
                 baseline_timeout is not None
                 and base.time_seconds > baseline_timeout

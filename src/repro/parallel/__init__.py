@@ -9,14 +9,21 @@ segments (paper Section 2.4).  Four executors implement it:
 * :class:`ThreadMap` — shared thread pool; useful when the oracle
   releases the GIL.
 * :class:`ProcessMap` — real multicore execution over a persistent
-  process pool.  Segments reach workers through one of two *oracle
+  process pool.  Segments reach workers through one of three *oracle
   transports*: ``"encoded"`` (default) registers the oracle once per
   worker via a pool initializer and ships each segment as compact
   numpy arrays (:mod:`repro.circuits.encoding`), so per-round IPC is a
-  few contiguous buffers; ``"pickle"`` re-pickles the oracle callable
-  and every ``list[Gate]`` per call (the seed behaviour, kept as a
-  benchmark baseline).  Chunk sizes adapt to measured per-segment
-  oracle time (:func:`adaptive_chunksize`).
+  few contiguous buffers; ``"shm"`` packs every round's segments into
+  one pooled shared-memory arena (:mod:`repro.parallel.shm`) and
+  dispatches batched ``(arena, start, end)`` descriptors
+  (:func:`batch_segments`), so the pipe carries no segment bytes at
+  all; ``"pickle"`` re-pickles the oracle callable and every
+  ``list[Gate]`` per call (the seed behaviour, kept as a benchmark
+  baseline).  Chunk and batch sizes adapt to measured per-segment
+  oracle time (:func:`adaptive_chunksize` / :func:`batch_segments`),
+  and every task carries an oracle generation token so stale workers
+  fail loudly (:class:`StaleOracleError`) instead of applying the
+  wrong oracle.
 * :class:`SimulatedParallelism` — serial execution with p-worker
   makespan accounting for the scaling experiments.
 
@@ -26,9 +33,9 @@ also provide ``map_segments(oracle, segments)`` (currently
 driver will use it unless told otherwise (``popqc(...,
 transport="pickle")``).
 
-Remaining scaling directions (see ROADMAP "Open items"): shared-memory
-segment buffers instead of pipe copies, batched multi-segment tasks,
-and a distributed (multi-host) transport behind the same protocol.
+Remaining scaling directions (see ROADMAP "Open items"): a distributed
+multi-host transport carrying the same packed wire format over
+sockets, and thread-based workers once oracles release the GIL.
 """
 
 from .executor import (
@@ -36,25 +43,33 @@ from .executor import (
     ParallelMap,
     ProcessMap,
     SerialMap,
+    StaleOracleError,
     ThreadMap,
     default_workers,
 )
 from .scheduling import (
     adaptive_chunksize,
+    batch_segments,
     greedy_makespan,
     ideal_makespan,
     lpt_makespan,
 )
+from .shm import HAVE_SHM, ShmArenaPool, StaleArenaError
 from .simulated import SimulatedParallelism
 
 __all__ = [
+    "HAVE_SHM",
     "TRANSPORTS",
     "ParallelMap",
     "ProcessMap",
     "SerialMap",
+    "ShmArenaPool",
     "SimulatedParallelism",
+    "StaleArenaError",
+    "StaleOracleError",
     "ThreadMap",
     "adaptive_chunksize",
+    "batch_segments",
     "default_workers",
     "greedy_makespan",
     "ideal_makespan",

@@ -12,12 +12,24 @@ an abstract :class:`ParallelMap` with four implementations:
   Beyond the generic :meth:`ProcessMap.map`, it implements the
   *oracle transport* protocol (:meth:`ProcessMap.map_segments`): the
   oracle callable is registered **once per worker** through a pool
-  initializer, and gate segments cross the process boundary as compact
-  numpy arrays (:mod:`repro.circuits.encoding`) instead of per-gate
-  pickled objects.  This is the CPython analogue of Rayon handing a
-  borrowed slice to a worker: the per-round IPC cost is a few
-  contiguous buffers, not ``O(gates)`` pickle opcodes plus a fresh copy
-  of the oracle.
+  initializer (tagged with a generation token so a swapped oracle can
+  never be silently applied by a stale worker), and gate segments cross
+  the process boundary in one of three wire formats:
+
+  - ``"encoded"`` — each segment travels as compact numpy arrays
+    (:mod:`repro.circuits.encoding`) through the executor pipe;
+  - ``"shm"`` — all of a round's segments are packed into one pooled
+    shared-memory arena (:mod:`repro.parallel.shm`) with a
+    segment-directory header, tasks carry only ``(arena, start, end)``
+    descriptors batched by :func:`~repro.parallel.scheduling.batch_segments`,
+    workers slice zero-copy views out of the arena and write encoded
+    results into a second arena — the pipe never carries segment bytes;
+  - ``"pickle"`` — the seed behaviour (re-pickle oracle + gate objects
+    every call), kept as the benchmark baseline.
+
+  This is the CPython analogue of Rayon handing a borrowed slice to a
+  worker: the per-round IPC cost is a few index tuples, not
+  ``O(gates)`` pickle opcodes plus a fresh copy of the oracle.
 * :class:`~repro.parallel.simulated.SimulatedParallelism` — executes
   serially, times each task, and reports the *makespan* a p-worker
   machine would achieve.  This is the executor the scaling experiments
@@ -31,12 +43,21 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Protocol, Sequence, TypeVar
 
-from ..circuits.encoding import EncodedSegment, decode_segment, encode_segment
+from ..circuits.encoding import (
+    EncodedSegment,
+    decode_segment,
+    encode_segment,
+    pack_segment_into,
+    packed_segment_nbytes,
+    unpack_segment_from,
+)
 from ..circuits.gate import Gate
-from .scheduling import adaptive_chunksize
+from . import shm
+from .scheduling import adaptive_chunksize, batch_segments
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -46,12 +67,20 @@ __all__ = [
     "SerialMap",
     "ThreadMap",
     "ProcessMap",
+    "StaleOracleError",
     "default_workers",
     "TRANSPORTS",
 ]
 
 #: Oracle-transport modes supported by :class:`ProcessMap`.
-TRANSPORTS = ("encoded", "pickle")
+TRANSPORTS = ("shm", "encoded", "pickle")
+
+
+class StaleOracleError(RuntimeError):
+    """A worker received a task tagged with an oracle generation other
+    than the one its pool initializer registered.  Without this check a
+    worker initialized for oracle A would silently apply A to tasks
+    meant for oracle B."""
 
 
 def default_workers() -> int:
@@ -129,22 +158,104 @@ class ThreadMap:
 
 # -- persistent-worker oracle transport ---------------------------------------
 #
-# Worker-side state.  With the "encoded" transport the oracle callable is
-# installed once per worker process (pool initializer); every subsequent
-# task ships only an EncodedSegment and returns one.
+# Worker-side state.  With the "encoded" and "shm" transports the oracle
+# callable is installed once per worker process (pool initializer)
+# together with its generation token; every subsequent task ships only
+# segment descriptors tagged with the expected generation.
 
 _WORKER_ORACLE: Callable[[list[Gate]], list[Gate]] | None = None
+_WORKER_ORACLE_GEN: int = -1
+
+#: Worker-side cache of attached shared-memory arenas, keyed by name.
+#: Arena blocks are reused round over round, so this normally holds the
+#: two or three blocks of the executor's ring.
+_WORKER_ARENAS: dict[str, object] = {}
+
+_WORKER_ARENA_CACHE_LIMIT = 8
 
 
-def _register_worker_oracle(oracle: Callable[[list[Gate]], list[Gate]]) -> None:
-    global _WORKER_ORACLE
+def _register_worker_oracle(
+    oracle: Callable[[list[Gate]], list[Gate]], generation: int
+) -> None:
+    global _WORKER_ORACLE, _WORKER_ORACLE_GEN
     _WORKER_ORACLE = oracle
+    _WORKER_ORACLE_GEN = generation
 
 
-def _apply_registered_oracle(encoded: EncodedSegment) -> EncodedSegment:
+def _require_worker_oracle(
+    generation: int,
+) -> Callable[[list[Gate]], list[Gate]]:
+    """The registered oracle, after checking the task's generation token."""
     if _WORKER_ORACLE is None:
         raise RuntimeError("worker pool initialized without an oracle")
-    return encode_segment(_WORKER_ORACLE(decode_segment(encoded)))
+    if generation != _WORKER_ORACLE_GEN:
+        raise StaleOracleError(
+            f"task expects oracle generation {generation}, worker has "
+            f"{_WORKER_ORACLE_GEN}"
+        )
+    return _WORKER_ORACLE
+
+
+def _apply_registered_oracle(
+    generation: int, encoded: EncodedSegment
+) -> EncodedSegment:
+    oracle = _require_worker_oracle(generation)
+    return encode_segment(oracle(decode_segment(encoded)))
+
+
+def _attach_worker_arena(name: str, keep: tuple[str, ...] = ()):
+    """Attach (or fetch the cached attachment of) arena ``name``.
+
+    ``keep`` names arenas the current task still references; eviction
+    (bounded cache, arena names are never reused) skips them so their
+    mapped buffers stay valid for the rest of the task.
+    """
+    block = _WORKER_ARENAS.get(name)
+    if block is None:
+        if len(_WORKER_ARENAS) >= _WORKER_ARENA_CACHE_LIMIT:
+            for stale_name in list(_WORKER_ARENAS):
+                if stale_name not in keep:
+                    try:
+                        _WORKER_ARENAS.pop(stale_name).close()
+                    except BufferError:  # pragma: no cover - view still alive
+                        pass
+        block = shm.attach_arena(name)
+        _WORKER_ARENAS[name] = block
+    return block
+
+
+def _apply_oracle_shm(
+    task: tuple[str, str, int, int, int, int],
+) -> list[EncodedSegment | None]:
+    """Run the registered oracle over one batch of arena segments.
+
+    ``task`` is ``(input arena, result arena, round id, oracle
+    generation, start, end)``.  Inputs are sliced zero-copy out of the
+    input arena; each encoded result is packed into the segment's
+    reserved region of the result arena when it fits (returning
+    ``None`` as an "in the arena" marker) and returned through the pipe
+    only on overflow.
+    """
+    in_name, out_name, round_id, generation, start, end = task
+    oracle = _require_worker_oracle(generation)
+    keep = (in_name, out_name)
+    in_buf = _attach_worker_arena(in_name, keep).buf
+    out_buf = _attach_worker_arena(out_name, keep).buf
+    n = shm.check_round(in_buf, round_id, in_name)
+    shm.check_round(out_buf, round_id, out_name)
+    offsets = shm.read_input_directory(in_buf, n)
+    regions = shm.read_result_directory(out_buf, n)
+    results: list[EncodedSegment | None] = []
+    for i in range(start, end):
+        encoded, _ = unpack_segment_from(in_buf, int(offsets[i]))
+        out = encode_segment(oracle(decode_segment(encoded)))
+        offset, capacity = int(regions[i, 0]), int(regions[i, 1])
+        if packed_segment_nbytes(out) <= capacity:
+            pack_segment_into(out, out_buf, offset)
+            results.append(None)
+        else:  # oracle grew the segment past the reserved slack
+            results.append(out)
+    return results
 
 
 class _PickledOracleCall:
@@ -181,17 +292,23 @@ class ProcessMap:
     transport:
         Wire format for :meth:`map_segments`.  ``"encoded"`` (default)
         registers the oracle once per worker and ships segments as
-        compact numpy arrays; ``"pickle"`` reproduces the seed
-        behaviour — the oracle and every ``list[Gate]`` are pickled on
-        every call — and exists as the benchmark baseline.
+        compact numpy arrays; ``"shm"`` additionally packs every
+        round's segments into one pooled shared-memory arena
+        (:mod:`repro.parallel.shm`) and dispatches batched
+        ``(arena, start, end)`` descriptors, so the pipe never carries
+        segment bytes; ``"pickle"`` reproduces the seed behaviour — the
+        oracle and every ``list[Gate]`` are pickled on every call — and
+        exists as the benchmark baseline.  Requesting ``"shm"`` on a
+        platform without ``multiprocessing.shared_memory`` falls back
+        to ``"encoded"`` (``requested_transport`` keeps the original).
 
     Attributes
     ----------
     serialization_time:
         Accumulated parent-side encode/decode seconds across all
-        :meth:`map_segments` calls (``"encoded"`` transport only; the
-        pickle transport's serialization happens inside the pool
-        machinery and is not separable).
+        :meth:`map_segments` calls (``"encoded"``/``"shm"`` transports
+        only; the pickle transport's serialization happens inside the
+        pool machinery and is not separable).
     last_serialization_time:
         Parent-side encode/decode seconds of the most recent
         :meth:`map_segments` call.
@@ -199,6 +316,12 @@ class ProcessMap:
         Number of :meth:`map` / :meth:`map_segments` calls that
         actually crossed the process boundary (batches at or below
         ``serial_cutoff`` run inline and don't count).
+    batch_dispatches / segments_batched:
+        Pool tasks dispatched and segments carried by the shm
+        transport's batched dispatch; their ratio is the mean batch
+        width.
+    last_batch_sizes:
+        Batch widths of the most recent shm :meth:`map_segments` call.
     """
 
     def __init__(
@@ -211,15 +334,30 @@ class ProcessMap:
             raise ValueError(
                 f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
             )
+        self.requested_transport = transport
+        if transport == "shm" and not shm.HAVE_SHM:  # platform fallback
+            warnings.warn(
+                "multiprocessing.shared_memory is unavailable; "
+                "falling back to the 'encoded' transport",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            transport = "encoded"
         self.workers = workers or default_workers()
         self.serial_cutoff = serial_cutoff
         self.transport = transport
         self.serialization_time = 0.0
         self.last_serialization_time = 0.0
         self.pool_dispatches = 0
+        self.batch_dispatches = 0
+        self.segments_batched = 0
+        self.last_batch_sizes: list[int] = []
         self._pool: ProcessPoolExecutor | None = None
         self._registered_oracle: object | None = None
+        self._oracle_generation = 0
         self._task_seconds_est = 0.0
+        self._arenas: shm.ShmArenaPool | None = None
+        self._round_id = 0
 
     # -- generic map ---------------------------------------------------------
 
@@ -244,18 +382,23 @@ class ProcessMap:
     def _ensure_registered(self, oracle: object) -> ProcessPoolExecutor:
         """Pool whose workers have ``oracle`` installed via the initializer.
 
-        Swapping oracles mid-run tears the pool down and rebuilds it;
-        the POPQC loop uses one oracle for thousands of rounds, so the
-        rebuild is a once-per-run cost.
+        Swapping oracles mid-run tears the pool down, bumps the oracle
+        generation and rebuilds; the POPQC loop uses one oracle for
+        thousands of rounds, so the rebuild is a once-per-run cost.
+        Every dispatched task carries the generation token and workers
+        refuse mismatches (:class:`StaleOracleError`), so a pool that
+        somehow survives with the old initializer can never silently
+        apply the old oracle.
         """
         if self._pool is not None and self._registered_oracle is not oracle:
             self._pool.shutdown(wait=True)
             self._pool = None
-        if self._pool is None:
+        if self._pool is None or self._registered_oracle is not oracle:
+            self._oracle_generation += 1
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_register_worker_oracle,
-                initargs=(oracle,),
+                initargs=(oracle, self._oracle_generation),
             )
             self._registered_oracle = oracle
         return self._pool
@@ -268,11 +411,16 @@ class ProcessMap:
         """Apply ``oracle`` to every segment, preserving order.
 
         The oracle crosses the process boundary at most once per worker
-        (``"encoded"`` transport); segments travel as numpy buffers.
+        (``"encoded"``/``"shm"`` transports); segments travel as numpy
+        buffers through the pipe or as zero-copy shared-memory views.
         """
         self.last_serialization_time = 0.0
+        self.last_batch_sizes = []
         if len(segments) <= self.serial_cutoff:
             return [oracle(seg) for seg in segments]
+
+        if self.transport == "shm":
+            return self._map_segments_shm(oracle, segments)
 
         chunk = adaptive_chunksize(len(segments), self.workers, self._task_seconds_est)
         self.pool_dispatches += 1
@@ -294,8 +442,11 @@ class ProcessMap:
         ser = time.perf_counter() - t0
         pool = self._ensure_registered(oracle)
         was_warm = was_warm and pool is prev_pool  # oracle swap rebuilds cold
+        generations = [self._oracle_generation] * len(encoded)
         t_map = time.perf_counter()
-        out = list(pool.map(_apply_registered_oracle, encoded, chunksize=chunk))
+        out = list(
+            pool.map(_apply_registered_oracle, generations, encoded, chunksize=chunk)
+        )
         pool_elapsed = time.perf_counter() - t_map
         t0 = time.perf_counter()
         results = [decode_segment(enc) for enc in out]
@@ -306,6 +457,93 @@ class ProcessMap:
             # only the pool interval: parent-side encode/decode is
             # serialization, not task time
             self._observe(pool_elapsed, len(segments), chunk)
+        return results
+
+    def _map_segments_shm(
+        self,
+        oracle: Callable[[list[Gate]], list[Gate]],
+        segments: Sequence[list[Gate]],
+    ) -> list[list[Gate]]:
+        """One round over the zero-copy shared-memory transport.
+
+        Segments are packed into one pooled input arena, results come
+        back through a result arena with parent-reserved regions, and
+        the pool dispatch is one task per :func:`batch_segments` batch
+        — the pipe carries only small descriptor tuples.
+        """
+        n = len(segments)
+        t0 = time.perf_counter()
+        encoded = [encode_segment(seg) for seg in segments]
+        sizes = shm.packed_sizes(encoded)
+        ser = time.perf_counter() - t0
+
+        if self._arenas is None:
+            self._arenas = shm.ShmArenaPool()
+        in_offsets, in_total = shm.input_arena_layout(sizes)
+        out_regions, out_total = shm.result_arena_layout(sizes)
+        in_block = self._arenas.acquire(in_total)
+        out_block = self._arenas.acquire(out_total)
+        self._round_id += 1
+        round_id = self._round_id
+        round_ok = False
+        try:
+            t0 = time.perf_counter()
+            shm.write_input_arena(in_block.buf, round_id, encoded, in_offsets)
+            shm.write_result_directory(out_block.buf, round_id, out_regions)
+            ser += time.perf_counter() - t0
+
+            prev_pool = self._pool
+            pool = self._ensure_registered(oracle)
+            was_warm = prev_pool is not None and pool is prev_pool
+            batches = batch_segments(n, self.workers, self._task_seconds_est)
+            tasks = [
+                (
+                    in_block.name,
+                    out_block.name,
+                    round_id,
+                    self._oracle_generation,
+                    start,
+                    end,
+                )
+                for start, end in batches
+            ]
+            self.pool_dispatches += 1
+            self.batch_dispatches += len(batches)
+            self.segments_batched += n
+            self.last_batch_sizes = [end - start for start, end in batches]
+
+            t_map = time.perf_counter()
+            markers = [
+                m
+                for chunk in pool.map(_apply_oracle_shm, tasks, chunksize=1)
+                for m in chunk
+            ]
+            pool_elapsed = time.perf_counter() - t_map
+
+            t0 = time.perf_counter()
+            results: list[list[Gate]] = []
+            for marker, (offset, _) in zip(markers, out_regions):
+                if marker is None:
+                    enc, _end = unpack_segment_from(out_block.buf, offset)
+                else:  # overflow fallback: result came through the pipe
+                    enc = marker
+                results.append(decode_segment(enc))
+            ser += time.perf_counter() - t0
+            round_ok = True
+        finally:
+            if round_ok:
+                self._arenas.release(in_block)
+                self._arenas.release(out_block)
+            else:
+                # a failed round may leave straggler tasks writing into
+                # the arenas: never recycle them
+                self._arenas.discard(in_block)
+                self._arenas.discard(out_block)
+
+        self.last_serialization_time = ser
+        self.serialization_time += ser
+        if was_warm:
+            self._observe(pool_elapsed, n, max(self.last_batch_sizes))
         return results
 
     def _observe(self, elapsed: float, items: int, chunk: int) -> None:
@@ -327,11 +565,31 @@ class ProcessMap:
         else:
             self._task_seconds_est = 0.7 * self._task_seconds_est + 0.3 * per_task
 
+    # -- shm arena instrumentation -------------------------------------------
+
+    @property
+    def arena_allocations(self) -> int:
+        """Shared-memory blocks created by the arena ring (0 if unused)."""
+        return self._arenas.allocations if self._arenas is not None else 0
+
+    @property
+    def arena_reuses(self) -> int:
+        """Rounds served by recycling an existing arena block."""
+        return self._arenas.reuses if self._arenas is not None else 0
+
+    @property
+    def arena_bytes(self) -> int:
+        """Current capacity of the arena ring (live blocks, bytes)."""
+        return self._arenas.ring_bytes if self._arenas is not None else 0
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
             self._registered_oracle = None
+        if self._arenas is not None:
+            self._arenas.close()
+            self._arenas = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ProcessMap(workers={self.workers}, transport={self.transport!r})"

@@ -14,7 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from ..circuits import Circuit, Gate
-from .unitary import circuit_unitary, gates_unitary
+from .unitary import gates_unitary
 
 __all__ = [
     "allclose_up_to_phase",

@@ -12,7 +12,6 @@ from typing import Sequence
 import numpy as np
 
 from ..circuits import Circuit, Gate, gates_qubit_span
-from .statevector import apply_gates
 
 __all__ = ["circuit_unitary", "gates_unitary"]
 

@@ -106,3 +106,91 @@ class TestTransportCost:
         assert encode_segment(gates) == encode_segment(gates)
         assert encode_segment(gates) != encode_segment(gates[:-1])
         assert encode_segment(gates) != "not a segment"
+
+
+class TestPackedWireFormat:
+    """The flat byte layout the shared-memory arenas (and any future
+    socket transport) carry."""
+
+    @given(gate_list_strategy(num_qubits=6, max_gates=60))
+    def test_pack_unpack_round_trip(self, gates):
+        from repro.circuits import (
+            pack_segment_into,
+            packed_segment_nbytes,
+            unpack_segment_from,
+        )
+
+        enc = encode_segment(gates)
+        size = packed_segment_nbytes(enc)
+        buf = bytearray(size)
+        end = pack_segment_into(enc, buf, 0)
+        assert end == size
+        back, read_end = unpack_segment_from(buf, 0)
+        assert read_end == size
+        assert back == enc
+        assert decode_segment(back) == gates
+
+    @given(gate_list_strategy(num_qubits=6, max_gates=40))
+    def test_pack_at_offset_and_concatenated(self, gates):
+        # two segments packed back to back at an arbitrary 8-aligned
+        # offset, the arena layout
+        from repro.circuits import (
+            pack_segment_into,
+            packed_segment_nbytes,
+            unpack_segment_from,
+        )
+
+        first = encode_segment(gates)
+        second = encode_segment(list(reversed(gates)))
+        base = 64
+        buf = bytearray(
+            base + packed_segment_nbytes(first) + packed_segment_nbytes(second)
+        )
+        mid = pack_segment_into(first, buf, base)
+        end = pack_segment_into(second, buf, mid)
+        assert end == len(buf)
+        got_first, off = unpack_segment_from(buf, base)
+        assert off == mid
+        got_second, _ = unpack_segment_from(buf, mid)
+        assert decode_segment(got_first) == gates
+        assert decode_segment(got_second) == list(reversed(gates))
+
+    def test_packed_size_is_8_aligned(self):
+        from repro.circuits import packed_segment_nbytes
+
+        for gates in ([], [H(0)], [CNOT(0, 1), RZ(1, 0.5)], [X(i) for i in range(9)]):
+            assert packed_segment_nbytes(encode_segment(gates)) % 8 == 0
+
+    def test_unpack_is_zero_copy(self):
+        # the unpacked arrays must be views into the carrying buffer:
+        # rewriting the param bytes in place must show through the view
+        import struct
+
+        from repro.circuits import (
+            pack_segment_into,
+            packed_segment_nbytes,
+            unpack_segment_from,
+        )
+
+        enc = encode_segment([RZ(0, 0.25), CNOT(0, 1), H(1)])
+        buf = bytearray(packed_segment_nbytes(enc))
+        pack_segment_into(enc, buf, 0)
+        view, _ = unpack_segment_from(buf, 0)
+        assert view.params[0] == 0.25
+        param_offset = bytes(buf).index(struct.pack("<d", 0.25))
+        buf[param_offset : param_offset + 8] = struct.pack("<d", 0.75)
+        assert view.params[0] == 0.75
+
+    def test_unicode_gate_names_survive(self):
+        from repro.circuits import (
+            pack_segment_into,
+            packed_segment_nbytes,
+            unpack_segment_from,
+        )
+
+        gates = [Gate("rotação", (0,)), Gate("σx", (1,)), RZ(0, 0.5)]
+        enc = encode_segment(gates)
+        buf = bytearray(packed_segment_nbytes(enc))
+        pack_segment_into(enc, buf, 0)
+        back, _ = unpack_segment_from(buf, 0)
+        assert decode_segment(back) == gates

@@ -3,21 +3,31 @@
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
 from hypothesis import HealthCheck, settings, strategies as st
 
-from repro.circuits import CNOT, RZ, Circuit, Gate, H, X
+from repro.circuits import CNOT, RZ, Circuit, H, X
 
-# Global hypothesis profile: modest example counts, no deadline (the
-# simulator-backed properties are not microsecond-fast).
+# Hypothesis profiles.  "repro" (default): modest example counts, no
+# deadline (the simulator-backed properties are not microsecond-fast).
+# "nightly": the raised example budget the scheduled workflow runs with
+# (HYPOTHESIS_PROFILE=nightly); per-push CI stays fast, the deep sweep
+# happens off the critical path.
 settings.register_profile(
     "repro",
     max_examples=40,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "nightly",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 ANGLES = (
     math.pi / 4,

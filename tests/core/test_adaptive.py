@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits import CNOT, Circuit, H, X, random_redundant_circuit
+from repro.circuits import Circuit, H, X, random_redundant_circuit
 from repro.core import (
     popqc,
     popqc_adaptive,

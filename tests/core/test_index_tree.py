@@ -1,6 +1,5 @@
 """Tests for the index tree (paper Section 3, Figure 1)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits import CNOT, RZ, Circuit, H, X, random_redundant_circuit
+from repro.circuits import Circuit, H, X, random_redundant_circuit
 from repro.core import layered_popqc, mixed_cost
 from repro.oracles import MixedCost, NamOracle, SearchOracle
 from repro.sim import circuits_equivalent

@@ -8,7 +8,7 @@ honest oracle sails through.
 
 import pytest
 
-from repro.circuits import CNOT, RZ, Circuit, Gate, H, X, random_redundant_circuit
+from repro.circuits import Circuit, Gate, H, X, random_redundant_circuit
 from repro.core import popqc
 from repro.core.popqc import OracleContractViolation
 from repro.oracles import NamOracle

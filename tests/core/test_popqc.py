@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.circuits import CNOT, RZ, Circuit, H, X, random_redundant_circuit
+from repro.circuits import CNOT, Circuit, H, X, random_redundant_circuit
 from repro.core import (
     FenwickTree,
     assert_locally_optimal,

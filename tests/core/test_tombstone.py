@@ -1,6 +1,5 @@
 """Tests for the TombstoneArray (Algorithm 1's Circuit interface)."""
 
-import pytest
 
 from repro.circuits import CNOT, H, X
 from repro.core import FenwickTree, TombstoneArray

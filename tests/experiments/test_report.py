@@ -1,6 +1,5 @@
 """Tests for table/series rendering and CSV export."""
 
-import math
 
 from repro.experiments import format_series, format_table, to_csv_string, write_csv
 

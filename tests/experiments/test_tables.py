@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.experiments import run_table1, run_table2, run_table3, run_table4
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits import CNOT, H, X, random_redundant_circuit
+from repro.circuits import H, X, random_redundant_circuit
 from repro.oracles import (
     ComposedOracle,
     IdentityOracle,
@@ -41,9 +41,7 @@ class TestComposedOracle:
         assert composed([X(0), X(0)]) == []
 
     def test_custom_cost(self):
-        composed = ComposedOracle(
-            IdentityOracle(), cost=lambda g: -float(len(g))
-        )
+        composed = ComposedOracle(IdentityOracle(), cost=lambda g: -float(len(g)))
         gates = [H(0), X(1)]
         assert composed(gates) == gates
 

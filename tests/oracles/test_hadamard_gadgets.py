@@ -4,7 +4,7 @@ import math
 
 from hypothesis import given
 
-from repro.circuits import CNOT, RZ, Gate, H, X
+from repro.circuits import CNOT, RZ, H, X
 from repro.oracles import hadamard_gadget_pass
 from repro.sim import segments_equivalent
 

@@ -5,9 +5,9 @@ import pickle
 import pytest
 from hypothesis import given, settings
 
-from repro.circuits import CNOT, RZ, Circuit, H, X, random_redundant_circuit
+from repro.circuits import RZ, H, X, random_redundant_circuit
 from repro.oracles import BASELINE_PASSES, NamOracle, check_well_behaved
-from repro.sim import circuits_equivalent, segments_equivalent
+from repro.sim import segments_equivalent
 
 from ..conftest import gate_list_strategy
 

@@ -4,9 +4,9 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
-from repro.circuits import CNOT, RZ, Circuit, Gate, H, X
+from repro.circuits import CNOT, RZ, Gate, H, X
 from repro.oracles import EXTENDED_PASSES, NamOracle, resynthesis_pass, synthesize_1q
 from repro.sim import allclose_up_to_phase, gates_unitary, segments_equivalent
 

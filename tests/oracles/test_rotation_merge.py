@@ -1,11 +1,10 @@
 """Tests for phase-polynomial rotation merging."""
 
-import math
 
 import pytest
 from hypothesis import given
 
-from repro.circuits import CNOT, RZ, Circuit, H, X
+from repro.circuits import CNOT, RZ, H, X
 from repro.oracles import rotation_merge_pass
 from repro.sim import segments_equivalent
 

@@ -10,9 +10,9 @@ specification.
 import math
 from typing import Optional
 
-from hypothesis import given, settings
+from hypothesis import given
 
-from repro.circuits import CNOT, RZ, Circuit, Gate, H, X
+from repro.circuits import CNOT, RZ, Gate, H, X
 from repro.oracles import (
     cancellation_pass,
     cnot_chain_pass,
@@ -21,7 +21,7 @@ from repro.oracles import (
     remove_identities,
     try_merge,
 )
-from repro.sim import circuits_equivalent, segments_equivalent
+from repro.sim import segments_equivalent
 
 from ..conftest import gate_list_strategy
 

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.circuits import CNOT, RZ, Gate, H, X
+from repro.circuits import CNOT, RZ, H, X
 from repro.oracles import cnot_chain_triple, hadamard_triple, try_merge
 from repro.sim import segments_equivalent
 
@@ -80,17 +80,13 @@ class TestCnotChainTriple:
         # CNOT(0,1) CNOT(1,2) CNOT(0,1) == CNOT(1,2) CNOT(0,2)
         rep = cnot_chain_triple(CNOT(0, 1), CNOT(1, 2), CNOT(0, 1))
         assert rep == [CNOT(1, 2), CNOT(0, 2)]
-        assert segments_equivalent(
-            [CNOT(0, 1), CNOT(1, 2), CNOT(0, 1)], rep
-        )
+        assert segments_equivalent([CNOT(0, 1), CNOT(1, 2), CNOT(0, 1)], rep)
 
     def test_target_feeds_control(self):
         # CNOT(1,2) CNOT(0,1) CNOT(1,2) == CNOT(0,1) CNOT(0,2)
         rep = cnot_chain_triple(CNOT(1, 2), CNOT(0, 1), CNOT(1, 2))
         assert rep is not None
-        assert segments_equivalent(
-            [CNOT(1, 2), CNOT(0, 1), CNOT(1, 2)], rep
-        )
+        assert segments_equivalent([CNOT(1, 2), CNOT(0, 1), CNOT(1, 2)], rep)
 
     def test_outer_gates_must_match(self):
         assert cnot_chain_triple(CNOT(0, 1), CNOT(1, 2), CNOT(0, 2)) is None

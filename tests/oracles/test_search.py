@@ -2,8 +2,8 @@
 
 from hypothesis import given, settings
 
-from repro.circuits import CNOT, RZ, Circuit, H, X, random_redundant_circuit
-from repro.oracles import DepthCost, GateCount, MixedCost, NamOracle, SearchOracle
+from repro.circuits import CNOT, RZ, H, X, random_redundant_circuit
+from repro.oracles import DepthCost, MixedCost, NamOracle, SearchOracle
 from repro.sim import segments_equivalent
 
 from ..conftest import gate_list_strategy

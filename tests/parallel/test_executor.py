@@ -153,6 +153,42 @@ class TestMapSegments:
         finally:
             pm.close()
 
+    @pytest.mark.parametrize("transport", ["encoded", "shm"])
+    def test_swapping_oracle_bumps_generation(self, transport):
+        # regression: a swapped oracle must never be served by workers
+        # registered for the previous one.  The pool rebuild plus the
+        # per-task generation token make that structurally impossible.
+        from repro.oracles import IdentityOracle, NamOracle
+
+        pm = ProcessMap(2, serial_cutoff=0, transport=transport)
+        try:
+            pm.map_segments(NamOracle(), self._segments())
+            gen_a = pm._oracle_generation
+            out = pm.map_segments(IdentityOracle(), self._segments())
+            assert pm._oracle_generation > gen_a
+            assert out == self._segments()  # the *new* oracle's results
+        finally:
+            pm.close()
+
+    def test_stale_generation_rejected_worker_side(self):
+        # simulate a worker whose initializer registered generation 1
+        # receiving a task tagged for generation 2 (the failure mode the
+        # token exists to catch: without it the worker would silently
+        # apply the stale oracle)
+        from repro.circuits import encode_segment
+        from repro.oracles import IdentityOracle
+        from repro.parallel import StaleOracleError
+        from repro.parallel import executor as executor_mod
+
+        executor_mod._register_worker_oracle(IdentityOracle(), 1)
+        try:
+            encoded = encode_segment(self._segments(1)[0])
+            assert executor_mod._apply_registered_oracle(1, encoded) == encoded
+            with pytest.raises(StaleOracleError, match="generation 2"):
+                executor_mod._apply_registered_oracle(2, encoded)
+        finally:
+            executor_mod._register_worker_oracle(None, -1)
+
     def test_serialization_time_tracked(self):
         from repro.oracles import NamOracle
 

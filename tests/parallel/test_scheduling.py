@@ -107,3 +107,47 @@ class TestAdaptiveChunksize:
         assert chunk >= 1
         if items > 0:
             assert chunk <= -(-items // workers) or chunk == 1
+
+
+class TestBatchSegments:
+    def test_empty(self):
+        from repro.parallel import batch_segments
+
+        assert batch_segments(0, 4, 0.0) == []
+
+    @given(st.integers(1, 500), WORKERS, st.floats(0.0, 1.0, allow_nan=False))
+    def test_partition_covers_range_contiguously(self, n, workers, est):
+        from repro.parallel import batch_segments
+
+        batches = batch_segments(n, workers, est)
+        assert batches[0][0] == 0
+        assert batches[-1][1] == n
+        for (_, prev_end), (start, end) in zip(batches, batches[1:]):
+            assert start == prev_end
+            assert end > start
+
+    @given(st.integers(1, 500), WORKERS)
+    def test_widths_match_adaptive_chunksize(self, n, workers):
+        from repro.parallel import batch_segments
+
+        est = 1e-5
+        width = adaptive_chunksize(n, workers, est)
+        batches = batch_segments(n, workers, est)
+        assert all(end - start == width for start, end in batches[:-1])
+        assert batches[-1][1] - batches[-1][0] <= width
+
+    def test_cheap_segments_coalesce(self):
+        from repro.parallel import batch_segments
+
+        # 100 sub-50us segments at 4 workers: dispatch count drops by
+        # ~an order of magnitude vs one task per segment
+        batches = batch_segments(100, 4, 5e-5)
+        assert len(batches) <= 10
+
+    def test_expensive_segments_stay_spread(self):
+        from repro.parallel import batch_segments
+
+        # 100ms oracle calls amortize dispatch on their own; keep
+        # chunks_per_worker batches per worker for balance
+        batches = batch_segments(100, 4, 0.1)
+        assert len(batches) >= 10

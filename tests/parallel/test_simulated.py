@@ -1,6 +1,5 @@
 """Tests for the simulated-parallelism executor."""
 
-import itertools
 
 import pytest
 
@@ -26,9 +25,7 @@ class TestAccounting:
         out = pmap.map(lambda x: x, list(range(4)))
         assert out == [0, 1, 2, 3]
         assert pmap.serial_elapsed == pytest.approx(10.0)
-        assert pmap.simulated_elapsed == pytest.approx(
-            greedy_makespan(durations, 2)
-        )
+        assert pmap.simulated_elapsed == pytest.approx(greedy_makespan(durations, 2))
 
     def test_round_log(self):
         pmap = SimulatedParallelism(4, timer=make_fake_timer([1.0, 1.0]))

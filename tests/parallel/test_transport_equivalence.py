@@ -42,13 +42,20 @@ def serial_results():
     [
         (lambda: ThreadMap(2), {}),
         (lambda: ProcessMap(2, serial_cutoff=0, transport="encoded"), {}),
+        (lambda: ProcessMap(2, serial_cutoff=0, transport="shm"), {}),
         (lambda: ProcessMap(2, serial_cutoff=0, transport="pickle"), {}),
         (
             lambda: ProcessMap(2, serial_cutoff=0),
             {"transport": "pickle"},  # legacy driver path over pmap.map
         ),
     ],
-    ids=["thread", "process-encoded", "process-pickle", "process-legacy-map"],
+    ids=[
+        "thread",
+        "process-encoded",
+        "process-shm",
+        "process-pickle",
+        "process-legacy-map",
+    ],
 )
 def test_executors_match_serial(serial_results, make_parmap, kwargs):
     results = _run_suite(make_parmap(), **kwargs)
@@ -68,6 +75,18 @@ def test_transport_recorded_in_stats(serial_results):
     results = _run_suite(pm)
     assert all(r.stats.transport == "encoded" for r in results)
     assert all(r.stats.serialization_time >= 0.0 for r in results)
+
+
+def test_shm_transport_recorded_in_stats():
+    pm = ProcessMap(2, serial_cutoff=0, transport="shm")
+    results = _run_suite(pm)
+    assert all(r.stats.transport == "shm" for r in results)
+    # batched dispatch + arena accounting flow into the run stats
+    assert all(r.stats.batch_dispatches > 0 for r in results)
+    assert all(r.stats.mean_batch_size >= 1.0 for r in results)
+    assert all(r.stats.shm_arena_bytes > 0 for r in results)
+    # the second and third runs recycle the first run's arena ring
+    assert results[-1].stats.arena_reuse_rate > 0.5
 
 
 @pytest.mark.parametrize("transport", ["auto", "pickle"])

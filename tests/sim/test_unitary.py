@@ -1,12 +1,11 @@
 """Tests for the unitary builder."""
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import given
 
-from repro.circuits import CNOT, RZ, Circuit, H, X
+from repro.circuits import CNOT, RZ, H, X
 from repro.sim import circuit_unitary, gates_unitary, run
 
 from ..conftest import circuit_strategy

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits import Circuit, H, X, read_qasm, to_qasm, write_qasm
+from repro.circuits import Circuit, H, X, read_qasm, write_qasm
 from repro.cli import main
 
 
