@@ -58,7 +58,7 @@ def main(argv: list[str] | None = None) -> int:
         f"serial-map throughput: {got:.0f} segments/s "
         f"(baseline {want:.0f}, floor {floor:.0f}) -> {verdict}"
     )
-    for name in ("pickle", "encoded", "shm"):
+    for name in ("pickle", "encoded", "shm", "threads"):
         cur = current["results"].get(name, {}).get("segments_per_s")
         base = baseline["results"].get(name, {}).get("segments_per_s")
         if cur is not None and base is not None:
@@ -66,6 +66,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"{name:>8}: {cur:.0f} segments/s "
                 f"(baseline {base:.0f}, informational)"
             )
+    engine = current.get("derived", {}).get("vector_engine_packed_speedup")
+    if engine is not None:
+        print(f"vector-engine packed speedup vs seed engine: {engine:.2f}x")
+    lazy = current.get("lazy_decode", {})
+    if lazy:
+        print(
+            f"lazy decode (rejecting workload): "
+            f"{lazy.get('bytes_skipped', 0)} bytes skipped, "
+            f"skip fraction {lazy.get('decode_skip_fraction', 0.0):.2f}"
+        )
     if got < floor:
         # runner-class fingerprint: vCPU count (kernel strings churn too
         # much to compare whole host records)

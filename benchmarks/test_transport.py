@@ -1,21 +1,26 @@
-"""Oracle-transport benchmark: pickle vs encoded vs shared-memory.
+"""Oracle-transport benchmark: pickle vs encoded vs shm vs threads.
 
 The seed ``ProcessMap`` re-pickled the oracle callable and every
 ``list[Gate]`` segment on every round.  PR 1's encoded transport
 registers the oracle once per worker (pool initializer) and ships
-segments as compact numpy arrays; the shm transport goes further and
-packs each round's segments into one pooled shared-memory arena with
-batched task dispatch, so the executor pipe carries only small
-descriptor tuples.  These benchmarks measure all three wire formats on
-the segment stream of a ≥20k-gate circuit, prove the transports
-byte-identical end to end, and emit a machine-readable
-``BENCH_transport.json`` that CI uploads on every push and diffs
-against the committed baseline (see ``benchmarks/README.md``).
+segments as compact numpy arrays; the shm transport packs each round's
+segments into one pooled shared-memory arena with batched task
+dispatch, so the executor pipe carries only small descriptor tuples;
+the threads transport drops pipes and arenas entirely and relies on
+the GIL-releasing vectorized rule engine
+(:mod:`repro.oracles.vector_engine`).  These benchmarks measure all
+four wire formats on the segment stream of a ≥20k-gate circuit, prove
+the transports byte-identical end to end, compare the two rule-engine
+implementations, record what lazy result decode skipped, and emit a
+machine-readable ``BENCH_transport.json`` that CI uploads on every
+push and diffs against the committed baseline (see
+``benchmarks/README.md``).
 
 Timing assertions use min-of-repeats, the standard way to compare two
 implementations under scheduler noise; wall-clock *assertions* are
 ``slow``-marked and meant for real hardware (the nightly workflow),
-not shared 2-vCPU CI runners.
+not shared 2-vCPU CI runners — except the rule-engine comparison,
+which is serial in-process and stable enough to gate on every push.
 """
 
 import json
@@ -27,7 +32,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.circuits import encoded_nbytes, random_redundant_circuit, to_qasm
+from repro.circuits import (
+    encode_segment,
+    encoded_nbytes,
+    random_redundant_circuit,
+    to_qasm,
+)
 from repro.core import popqc
 from repro.oracles import IdentityOracle, NamOracle
 from repro.parallel import ProcessMap
@@ -128,6 +138,19 @@ def _wire_time(transport: str, workers: int, repeats: int = 5) -> float:
 
 
 @pytest.mark.slow
+def test_threads_beats_pipe_transports_on_wire_time():
+    """Acceptance: the threads transport, which moves no bytes at all,
+    beats the encoded pipe transport on pure wire time — the oracle
+    work is identical (identity), so what remains is IPC vs. nothing."""
+    encoded = _wire_time("encoded", 2)
+    threads = _wire_time("threads", 2)
+    assert threads < encoded, (
+        f"threads wire time ({threads * 1e3:.1f} ms/round) should beat "
+        f"encoded ({encoded * 1e3:.1f} ms/round)"
+    )
+
+
+@pytest.mark.slow
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 4,
     reason="the transports only separate with real parallelism; on <4 "
@@ -163,9 +186,9 @@ def serial_reference():
     return popqc(EQUIV_CIRCUIT, NamOracle(), 50)
 
 
-@pytest.mark.parametrize("transport", ["pickle", "encoded", "shm"])
+@pytest.mark.parametrize("transport", ["pickle", "encoded", "shm", "threads"])
 def test_cross_transport_equivalence(transport, serial_reference):
-    """pickle/encoded/shm must produce byte-identical optimized
+    """pickle/encoded/shm/threads must produce byte-identical optimized
     circuits — same gates, same QASM bytes, same dynamics."""
     pm = ProcessMap(2, serial_cutoff=0, transport=transport)
     try:
@@ -214,14 +237,91 @@ def test_shm_task_messages_are_tiny():
     assert piped * 100 < payload
 
 
-def test_three_way_comparison_emits_bench_json():
-    """Measure serial/pickle/encoded/shm round throughput at smoke
-    scale and write ``BENCH_transport.json`` for the CI trend job.
+def _engine_seconds_per_segment(oracle, repeats: int = 3) -> dict:
+    """Mean per-segment seconds of ``oracle`` over the segment stream,
+    both on gate lists (``call``) and in the wire format (``packed`` —
+    what a transport worker pays per segment, conversions included).
+
+    The min is taken *per segment* across repeats, then summed: a
+    whole-stream min would keep whichever scheduler hiccups each pass
+    happened to hit, drowning a 20% engine difference in noise.
+    """
+    encoded = [encode_segment(seg) for seg in SEGMENTS]
+    call_best = [float("inf")] * len(SEGMENTS)
+    packed_best = [float("inf")] * len(SEGMENTS)
+    for _ in range(repeats):
+        for i, seg in enumerate(SEGMENTS):
+            t0 = time.perf_counter()
+            oracle(list(seg))
+            call_best[i] = min(call_best[i], time.perf_counter() - t0)
+        for i, enc in enumerate(encoded):
+            t0 = time.perf_counter()
+            oracle.run_packed(enc)
+            packed_best[i] = min(packed_best[i], time.perf_counter() - t0)
+    n = len(SEGMENTS)
+    return {
+        "call_seconds_per_segment": sum(call_best) / n,
+        "packed_seconds_per_segment": sum(packed_best) / n,
+    }
+
+
+@pytest.fixture(scope="module")
+def engine_results():
+    """Both engines' per-segment timings, measured once per bench run
+    (shared by the gate assertion and the emitted JSON record)."""
+    return {
+        "python": _engine_seconds_per_segment(NamOracle(engine="python")),
+        "vector": _engine_seconds_per_segment(NamOracle(engine="vector")),
+    }
+
+
+def _lazy_decode_record() -> dict:
+    """Lazy-decode stats of a fully rejecting workload (identity
+    oracle over the encoded transport: every result is turned down by
+    the acceptance test, so nothing should ever be unpacked)."""
+    pm = ProcessMap(2, serial_cutoff=0, transport="encoded")
+    try:
+        res = popqc(CIRCUIT, IdentityOracle(), OMEGA, parmap=pm, max_rounds=4)
+    finally:
+        pm.close()
+    stats = res.stats
+    return {
+        "workload": "identity-oracle (all results rejected)",
+        "results_returned": stats.results_returned,
+        "results_decoded": stats.results_decoded,
+        "bytes_returned": stats.result_bytes_returned,
+        "bytes_decoded": stats.result_bytes_decoded,
+        "bytes_skipped": stats.skipped_decode_bytes,
+        "decode_skip_fraction": stats.decode_skip_fraction,
+    }
+
+
+def test_vector_engine_beats_python_engine_per_segment(engine_results):
+    """Acceptance: on the wire format — what every transport worker
+    actually pays per segment — the vectorized rule engine beats the
+    seed gate-list engine.  Serial, in-process, min-of-repeats: stable
+    enough to gate on shared runners."""
+    python = engine_results["python"]
+    vector = engine_results["vector"]
+    assert vector["packed_seconds_per_segment"] < python[
+        "packed_seconds_per_segment"
+    ], (
+        f"vector engine ({vector['packed_seconds_per_segment'] * 1e3:.2f} "
+        f"ms/segment packed) should beat the seed engine "
+        f"({python['packed_seconds_per_segment'] * 1e3:.2f} ms/segment)"
+    )
+
+
+def test_four_way_comparison_emits_bench_json(engine_results):
+    """Measure serial/pickle/encoded/shm/threads round throughput at
+    smoke scale, the rule-engine comparison and the lazy-decode stats,
+    and write ``BENCH_transport.json`` for the CI trend job.
 
     This test only asserts sanity (positive throughputs, complete
-    record); the regression *gate* lives in
-    ``benchmarks/check_bench_trend.py`` against the committed baseline,
-    and the wall-clock ordering assertions are the slow tests above.
+    record, lazy decode skipping bytes on a rejecting workload); the
+    regression *gate* lives in ``benchmarks/check_bench_trend.py``
+    against the committed baseline, and the wall-clock ordering
+    assertions are the slow tests above.
     """
     smoke_segments = SEGMENTS[: max(12, 2 * SMOKE_WORKERS)]
     serial = _serial_time(smoke_segments, repeats=2)
@@ -231,7 +331,7 @@ def test_three_way_comparison_emits_bench_json():
             "segments_per_s": len(smoke_segments) / serial,
         }
     }
-    for transport in ("pickle", "encoded", "shm"):
+    for transport in ("pickle", "encoded", "shm", "threads"):
         elapsed = _round_time(
             transport, SMOKE_WORKERS, segments=smoke_segments, repeats=2
         )
@@ -240,8 +340,11 @@ def test_three_way_comparison_emits_bench_json():
             "segments_per_s": len(smoke_segments) / elapsed,
         }
 
+    engines = engine_results
+    lazy = _lazy_decode_record()
+
     record = {
-        "schema": "popqc-bench-transport/v1",
+        "schema": "popqc-bench-transport/v2",
         "generated_unix": time.time(),
         "workload": {
             "circuit_gates": CIRCUIT.num_gates,
@@ -256,17 +359,33 @@ def test_three_way_comparison_emits_bench_json():
             "cpus": os.cpu_count(),
         },
         "results": results,
+        "oracle_engine": engines,
+        "lazy_decode": lazy,
         "derived": {
             "encoded_speedup_vs_pickle": results["pickle"]["seconds_per_round"]
             / results["encoded"]["seconds_per_round"],
             "shm_speedup_vs_encoded": results["encoded"]["seconds_per_round"]
             / results["shm"]["seconds_per_round"],
+            "threads_speedup_vs_pickle": results["pickle"]["seconds_per_round"]
+            / results["threads"]["seconds_per_round"],
+            "vector_engine_packed_speedup": engines["python"][
+                "packed_seconds_per_segment"
+            ]
+            / engines["vector"]["packed_seconds_per_segment"],
+            "vector_engine_call_speedup": engines["python"][
+                "call_seconds_per_segment"
+            ]
+            / engines["vector"]["call_seconds_per_segment"],
         },
     }
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
 
     assert all(r["segments_per_s"] > 0 for r in results.values())
-    assert set(results) == {"serial", "pickle", "encoded", "shm"}
+    assert set(results) == {"serial", "pickle", "encoded", "shm", "threads"}
+    # the lazy-decode acceptance pin: a rejecting workload must report
+    # skipped decode bytes
+    assert lazy["bytes_skipped"] > 0
+    assert lazy["results_decoded"] == 0
 
 
 def test_transport_round_benchmark(benchmark):
@@ -286,6 +405,19 @@ def test_shm_round_benchmark(benchmark):
     try:
         pm.map_segments(ORACLE, SEGMENTS[:4])
         out = benchmark(lambda: pm.map_segments(ORACLE, SEGMENTS))
+    finally:
+        pm.close()
+    assert len(out) == len(SEGMENTS)
+
+
+def test_threads_round_benchmark(benchmark):
+    """Throughput of one threads-transport round with the GIL-releasing
+    vector oracle (for trend tracking)."""
+    oracle = NamOracle(engine="vector")
+    pm = ProcessMap(4, serial_cutoff=0, transport="threads")
+    try:
+        pm.map_segments(oracle, SEGMENTS[:4])
+        out = benchmark(lambda: pm.map_segments(oracle, SEGMENTS))
     finally:
         pm.close()
     assert len(out) == len(SEGMENTS)

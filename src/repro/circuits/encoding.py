@@ -61,6 +61,7 @@ __all__ = [
     "packed_segment_nbytes",
     "pack_segment_into",
     "unpack_segment_from",
+    "packed_segment_span",
 ]
 
 
@@ -262,6 +263,33 @@ def pack_segment_into(encoded: EncodedSegment, buf, offset: int = 0) -> int:
             np.frombuffer(mv, dtype=arr.dtype, count=arr.size, offset=pos)[:] = arr
         pos += arr.nbytes
     return _align(pos, 8)
+
+
+def packed_segment_span(buf, offset: int = 0) -> tuple[int, int]:
+    """``(gate count, end offset)`` of the packed segment at ``offset``.
+
+    Reads only the fixed header and the name-table length prefixes — no
+    array views, no gate decoding.  This is what lazy result handling
+    uses to copy a packed result out of a shared-memory arena (and to
+    answer ``len()``) without ever unpacking a segment nobody accepted.
+    """
+    mv = memoryview(buf)
+    n, num_names, num_qubits, num_params, flags = _PACK_HEADER.unpack_from(
+        mv, offset
+    )
+    pos = offset + _PACK_HEADER.size
+    for _ in range(num_names):
+        (ln,) = _NAME_LEN.unpack_from(mv, pos)
+        pos += _NAME_LEN.size + ln
+    pos = _align(pos, 8)
+    pos += 8 * num_params
+    pos += 4 * num_qubits
+    op_size = 4 if flags & _FLAG_OPS_I32 else 1
+    arity_size = 4 if flags & _FLAG_ARITIES_I32 else 1
+    pos = _align(pos, 4) + op_size * n
+    pos = _align(pos, 4) + arity_size * n
+    pos += -(-n // 8)
+    return n, _align(pos, 8)
 
 
 def unpack_segment_from(buf, offset: int = 0) -> tuple[EncodedSegment, int]:

@@ -103,7 +103,17 @@ def main(argv: list[str] | None = None) -> int:
         help="segment wire format, process executors only "
         "(encoded: persistent workers + numpy arrays, the default; "
         "shm: zero-copy shared-memory arenas with batched dispatch, "
-        "falls back to encoded where unsupported; pickle: legacy)",
+        "falls back to encoded where unsupported; threads: shared-"
+        "memory thread pool, best with GIL-releasing oracles such as "
+        "the vectorized rule engine; pickle: legacy)",
+    )
+    p_opt.add_argument(
+        "--oracle-engine",
+        default="python",
+        choices=["python", "vector"],
+        help="rule-engine implementation: python (reference gate-list "
+        "passes) or vector (numpy passes on the packed layout; "
+        "GIL-releasing, pairs with --transport threads)",
     )
 
     p_bench = sub.add_parser("bench", help="optimize a generated benchmark")
@@ -112,6 +122,9 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--omega", type=int, default=100)
     p_bench.add_argument("--executor", default="serial")
     p_bench.add_argument("--transport", default=None, choices=list(TRANSPORTS))
+    p_bench.add_argument(
+        "--oracle-engine", default="python", choices=["python", "vector"]
+    )
     p_bench.add_argument(
         "--baseline", action="store_true", help="also run the whole-circuit baseline"
     )
@@ -144,7 +157,7 @@ def main(argv: list[str] | None = None) -> int:
         circuit = read_qasm(args.input)
         res = popqc(
             circuit,
-            NamOracle(),
+            NamOracle(engine=args.oracle_engine),
             args.omega,
             parmap=_make_parmap(args.executor, args.transport),
         )
@@ -160,7 +173,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{circuit.num_qubits} qubits")
         res = popqc(
             circuit,
-            NamOracle(),
+            NamOracle(engine=args.oracle_engine),
             args.omega,
             parmap=_make_parmap(args.executor, args.transport),
         )

@@ -85,11 +85,12 @@ def resolve_segment_transport(pmap: ParallelMap, transport: str) -> bool:
 
     ``"auto"`` uses the executor's persistent-worker transport when it
     offers one; ``"pickle"`` forces the legacy object-map path.  A
-    concrete wire format (``"encoded"``/``"shm"``) requires a
-    transport-capable executor configured for that format — except that
-    requesting ``"shm"`` from an executor that *fell back* to
-    ``"encoded"`` (platform without shared memory) is accepted, so one
-    call site works everywhere.  Raises :class:`ValueError` otherwise.
+    concrete wire format (``"encoded"``/``"shm"``/``"threads"``)
+    requires a transport-capable executor configured for that format —
+    except that requesting ``"shm"`` from an executor that *fell back*
+    to ``"encoded"`` (platform without shared memory) is accepted, so
+    one call site works everywhere.  Raises :class:`ValueError`
+    otherwise.
     """
     valid_transports = ("auto", *TRANSPORTS)
     if transport not in valid_transports:
@@ -171,12 +172,15 @@ def popqc(
         (default) uses the executor's persistent-worker transport when
         it offers one (``map_segments``, currently
         :class:`~repro.parallel.ProcessMap`) and plain ``map``
-        otherwise.  ``"encoded"`` and ``"shm"`` require a
-        transport-capable executor configured for that wire format
+        otherwise.  ``"encoded"``, ``"shm"`` and ``"threads"`` require
+        a transport-capable executor configured for that wire format
         (raises :class:`ValueError` otherwise; see
         :func:`resolve_segment_transport`); ``"pickle"`` forces the
         legacy path that re-pickles the oracle and the gate objects
-        every round, kept for benchmarking.
+        every round, kept for benchmarking.  Results from
+        ``map_segments`` decode lazily: only accepted rewrites are
+        ever unpacked into gates (``stats.skipped_decode_bytes``
+        reports the savings).
 
     Returns
     -------

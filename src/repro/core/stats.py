@@ -59,7 +59,8 @@ class OptimizationStats:
     #: ``serialization_fraction`` overlap by this amount.
     serialization_time: float = 0.0
     #: Oracle transport the run used: ``"inline"`` (objects passed
-    #: within the process), ``"encoded"``, ``"shm"`` or ``"pickle"``.
+    #: within the process), ``"encoded"``, ``"shm"``, ``"threads"`` or
+    #: ``"pickle"``.
     transport: str = "inline"
     #: Capacity of the executor's shared-memory arena ring when the run
     #: finished (shm transport only): the memory the run's rounds were
@@ -73,6 +74,19 @@ class OptimizationStats:
     #: dispatched and segments they carried.
     batch_dispatches: int = 0
     segments_batched: int = 0
+    #: Lazy-decode accounting (byte-carrying transports): oracle
+    #: results returned vs. results whose gates were ever decoded, and
+    #: the wire bytes of each.  The gap is work the acceptance test
+    #: skipped by rejecting on ``len()`` alone.
+    results_returned: int = 0
+    results_decoded: int = 0
+    result_bytes_returned: int = 0
+    result_bytes_decoded: int = 0
+    #: Threads-transport accounting: summed per-task oracle seconds
+    #: vs. pool wall seconds.  Their ratio estimates effective thread
+    #: concurrency (1.0 = fully GIL-bound).
+    thread_task_seconds: float = 0.0
+    thread_wall_seconds: float = 0.0
     #: Sum of per-round simulated makespans (SimulatedParallelism only).
     simulated_oracle_time: float = 0.0
     #: Worker count of the executor used.
@@ -118,6 +132,44 @@ class OptimizationStats:
         return self.segments_batched / self.batch_dispatches
 
     @property
+    def skipped_decode_bytes(self) -> int:
+        """Result wire bytes whose per-gate decode never ran."""
+        return self.result_bytes_returned - self.result_bytes_decoded
+
+    @property
+    def decode_skip_fraction(self) -> float:
+        """Fraction of returned oracle results that were never decoded."""
+        if self.results_returned == 0:
+            return 0.0
+        return 1.0 - self.results_decoded / self.results_returned
+
+    @property
+    def thread_concurrency(self) -> float:
+        """Effective parallelism of the threads transport.
+
+        Summed per-task oracle seconds divided by pool wall seconds:
+        ~1.0 when the oracle holds the GIL throughout, approaching the
+        worker count when it releases the GIL (numpy-heavy oracles).
+        0.0 when the threads transport was not used.
+        """
+        if self.thread_wall_seconds <= 0.0:
+            return 0.0
+        return self.thread_task_seconds / self.thread_wall_seconds
+
+    @property
+    def gil_release_fraction(self) -> float:
+        """Normalized :attr:`thread_concurrency` in ``[0, 1]``.
+
+        0 means the oracle was fully GIL-bound (or threads were not
+        used / only one worker); 1 means the pool ran at full
+        parallelism.  An estimate, not a measurement of GIL state.
+        """
+        if self.workers <= 1 or self.thread_wall_seconds <= 0.0:
+            return 0.0
+        frac = (self.thread_concurrency - 1.0) / (self.workers - 1.0)
+        return min(1.0, max(0.0, frac))
+
+    @property
     def total_fingers(self) -> int:
         """Sum of finger-set sizes across rounds (Lemma 3's quantity)."""
         return sum(r.fingers for r in self.per_round)
@@ -160,6 +212,12 @@ _TRANSPORT_COUNTERS = (
     "segments_batched",
     "arena_allocations",
     "arena_reuses",
+    "results_returned",
+    "results_decoded",
+    "result_bytes_returned",
+    "result_bytes_decoded",
+    "thread_task_seconds",
+    "thread_wall_seconds",
 )
 
 
@@ -208,6 +266,12 @@ def finalize_transport(
     stats.segments_batched = delta.get("segments_batched", 0)
     stats.shm_block_allocs = delta.get("arena_allocations", 0)
     stats.shm_block_reuses = delta.get("arena_reuses", 0)
+    stats.results_returned = delta.get("results_returned", 0)
+    stats.results_decoded = delta.get("results_decoded", 0)
+    stats.result_bytes_returned = delta.get("result_bytes_returned", 0)
+    stats.result_bytes_decoded = delta.get("result_bytes_decoded", 0)
+    stats.thread_task_seconds = delta.get("thread_task_seconds", 0.0)
+    stats.thread_wall_seconds = delta.get("thread_wall_seconds", 0.0)
     # capacity of the executor's arena ring, not a delta: a run served
     # entirely by recycled blocks still reports the memory it ran in
     stats.shm_arena_bytes = getattr(pmap, "arena_bytes", 0)

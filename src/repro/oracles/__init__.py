@@ -15,6 +15,16 @@ from .rule_engine import (
 )
 from .rules import cnot_chain_triple, hadamard_triple, try_merge
 from .search import SearchOracle
+from .vector_engine import (
+    VECTOR_PASS_TABLE,
+    VectorSegment,
+    vector_cancellation_pass,
+    vector_cnot_chain_pass,
+    vector_hadamard_gadget_pass,
+    vector_hadamard_reduction_pass,
+    vector_remove_identities,
+    vector_rotation_merge_pass,
+)
 
 __all__ = [
     "ComposedOracle",
@@ -30,6 +40,8 @@ __all__ = [
     "Oracle",
     "SearchOracle",
     "TwoQubitCount",
+    "VECTOR_PASS_TABLE",
+    "VectorSegment",
     "cancellation_pass",
     "check_well_behaved",
     "cnot_chain_pass",
@@ -44,4 +56,10 @@ __all__ = [
     "rotation_merge_pass",
     "synthesize_1q",
     "try_merge",
+    "vector_cancellation_pass",
+    "vector_cnot_chain_pass",
+    "vector_hadamard_gadget_pass",
+    "vector_hadamard_reduction_pass",
+    "vector_remove_identities",
+    "vector_rotation_merge_pass",
 ]

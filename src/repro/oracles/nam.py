@@ -16,8 +16,24 @@ primary oracle.  :class:`NamOracle` composes the rewrite passes of
   applicable in the whole segment), which Theorem 7's local-optimality
   guarantee requires.
 
+Two interchangeable engines run the pipeline:
+
+* ``engine="python"`` (default) — the reference gate-list passes of
+  :mod:`repro.oracles.rule_engine`.
+* ``engine="vector"`` — the numpy struct-of-arrays passes of
+  :mod:`repro.oracles.vector_engine`: the same rule set as whole-array
+  kernels, several times faster per segment and GIL-releasing, which
+  is what makes thread-based oracle workers viable
+  (``ProcessMap(transport="threads")``).  Segments containing gates
+  outside the {h, x, cnot, rz} base set fall back to the reference
+  engine transparently.
+
 The oracle is a picklable callable so ``ProcessMap`` can ship it to
-worker processes.
+worker processes.  It additionally implements the transport protocol
+hook :meth:`NamOracle.run_packed` — optimize a segment directly in the
+:class:`repro.circuits.encoding.EncodedSegment` wire format — which the
+oracle transports use to skip gate-object round-trips entirely when the
+vector engine is active.
 """
 
 from __future__ import annotations
@@ -25,6 +41,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..circuits import Gate
+from ..circuits.encoding import EncodedSegment, decode_segment, encode_segment
 from .hadamard_gadgets import hadamard_gadget_pass
 from .resynth import resynthesis_pass
 from .rotation_merge import rotation_merge_pass
@@ -88,6 +105,21 @@ _PASS_TABLE: dict[str, PassFn] = {
     "cnot_chain": cnot_chain_pass,
 }
 
+#: Vector pipelines cached per pass tuple (kept out of oracle instances
+#: so NamOracle stays picklable — the fallback wrappers are closures).
+_VECTOR_PIPELINES: dict[tuple[str, ...], list] = {}
+
+
+def _vector_pipeline(passes: tuple[str, ...]) -> list:
+    """The (cached) vectorized pass pipeline for ``passes``."""
+    pipeline = _VECTOR_PIPELINES.get(passes)
+    if pipeline is None:
+        from .vector_engine import vector_pass_for
+
+        pipeline = [vector_pass_for(name, _PASS_TABLE[name]) for name in passes]
+        _VECTOR_PIPELINES[passes] = pipeline
+    return pipeline
+
 
 class NamOracle:
     """Rule-based segment optimizer.
@@ -104,6 +136,15 @@ class NamOracle:
         Safety bound on fixpoint iterations (each productive iteration
         strictly shrinks the list or strictly reduces a bounded
         potential, so this should never bind in practice).
+    engine:
+        ``"python"`` (default) runs the reference gate-list passes;
+        ``"vector"`` runs the numpy passes of
+        :mod:`repro.oracles.vector_engine` on the packed layout,
+        falling back to the reference engine for segments outside the
+        base gate set.  The two engines apply the same rules but in a
+        different sweep order, so their outputs are equivalent (same
+        unitary, both locally unimprovable) without being identical
+        gate for gate.
     """
 
     def __init__(
@@ -112,16 +153,58 @@ class NamOracle:
         *,
         fixpoint: bool = True,
         max_iterations: int = 10_000,
+        engine: str = "python",
     ):
         unknown = [p for p in passes if p not in _PASS_TABLE]
         if unknown:
             raise ValueError(f"unknown passes: {unknown}")
+        if engine not in ("python", "vector"):
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'python' or 'vector'"
+            )
         self.passes = tuple(passes)
         self.fixpoint = fixpoint
         self.max_iterations = max_iterations
+        self.engine = engine
 
     def __call__(self, gates: Sequence[Gate]) -> list[Gate]:
-        current = list(gates)
+        if self.engine == "vector":
+            from .vector_engine import VectorSegment
+
+            vec = VectorSegment.from_gates(gates)
+            if vec is not None:
+                return self._run_vector(vec).to_gates()
+        return self._run_python(list(gates))
+
+    @property
+    def packed_native(self) -> bool:
+        """Whether :meth:`run_packed` avoids ``Gate`` round-trips.
+
+        True for the vector engine; the threads transport only feeds
+        the packed layout to natively packed oracles (for others the
+        encode would be pure overhead).
+        """
+        return self.engine == "vector"
+
+    def run_packed(self, encoded: EncodedSegment) -> EncodedSegment:
+        """Optimize a segment in the packed wire format.
+
+        With the vector engine this never materializes ``Gate``
+        objects; otherwise (python engine, or a segment outside the
+        base set) it decodes, optimizes and re-encodes.  Oracle
+        transports call this when present so results stay packed for
+        lazy decoding.
+        """
+        if self.engine == "vector":
+            from .vector_engine import VectorSegment
+
+            vec = VectorSegment.from_encoded(encoded)
+            if vec is not None:
+                return self._run_vector(vec).to_encoded()
+        return encode_segment(self._run_python(decode_segment(encoded)))
+
+    def _run_python(self, current: list[Gate]) -> list[Gate]:
+        """The reference gate-list pipeline."""
         for _ in range(self.max_iterations):
             changed = False
             for name in self.passes:
@@ -131,16 +214,59 @@ class NamOracle:
                 return current
         return current  # pragma: no cover - max_iterations safeguard
 
+    def _run_vector(self, vec):
+        """The vectorized pipeline on a :class:`VectorSegment`.
+
+        The fixpoint is driven as a circular worklist: passes run in
+        pipeline order, wrapping around, until every pass in a row
+        reports no change — the same terminal states as re-running the
+        whole pipeline, without re-sweeping passes that cannot have new
+        opportunities.  The wire-occurrence structure is rebuilt only
+        after a pass actually changed the segment, so quiescent sweeps
+        share one build.
+        """
+        from .vector_engine import _occurrences
+
+        pipeline = _vector_pipeline(self.passes)
+        occ = None
+        if not self.fixpoint:  # single ordered sweep (VOQC-role baseline)
+            for vpass in pipeline:
+                if occ is None:
+                    occ = _occurrences(vec)
+                vec, c = vpass(vec, occ)
+                if c:
+                    occ = None
+            return vec
+        k = len(pipeline)
+        quiescent = 0
+        i = 0
+        max_steps = self.max_iterations * k
+        while quiescent < k and i < max_steps:
+            if occ is None:
+                occ = _occurrences(vec)
+            vec, c = pipeline[i % k](vec, occ)
+            if c:
+                occ = None
+                quiescent = 0
+            else:
+                quiescent += 1
+            i += 1
+        return vec
+
     def __repr__(self) -> str:  # pragma: no cover
         mode = "fixpoint" if self.fixpoint else "single-sweep"
-        return f"NamOracle({mode}, passes={list(self.passes)})"
+        return (
+            f"NamOracle({mode}, passes={list(self.passes)}, "
+            f"engine={self.engine!r})"
+        )
 
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, NamOracle)
             and other.passes == self.passes
             and other.fixpoint == self.fixpoint
+            and other.engine == self.engine
         )
 
     def __hash__(self) -> int:
-        return hash((self.passes, self.fixpoint))
+        return hash((self.passes, self.fixpoint, self.engine))

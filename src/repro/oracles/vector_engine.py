@@ -1,0 +1,880 @@
+"""Vectorized Nam-style rewrite engine on the flat packed numpy layout.
+
+The reference engine (:mod:`repro.oracles.rule_engine`) walks Python
+``list[Gate]`` objects gate by gate; on a 2Ω-gate segment that is a few
+thousand interpreter-dispatched operations per sweep, and the GIL pins
+every one of them to a single core.  This module reimplements the same
+rule set on the struct-of-arrays layout the transport already uses
+(:mod:`repro.circuits.encoding`): a segment becomes four parallel numpy
+arrays (:class:`VectorSegment`) and each rewrite sweep becomes a
+handful of whole-array sorts, cumulative sums and masked reductions.
+Those kernels run inside numpy — no per-gate Python bytecode, and the
+array ops release the GIL, which is what makes the ``"threads"`` oracle
+transport (:class:`repro.parallel.ProcessMap` with
+``transport="threads"``) a real alternative to process pools.
+
+The vectorized sweeps are *equivalent but not identical* to the
+reference engine's: a sweep applies every non-conflicting rewrite it
+can prove sound at once (the reference engine applies them left to
+right, one scan at a time), so intermediate circuits differ while every
+pass preserves the segment's unitary up to global phase and the
+fixpoints of both engines are locally unimprovable.  Soundness is
+property-tested against the statevector simulator in
+``tests/oracles/test_vector_engine.py``.
+
+The cancellation sweep is built on one observation: in a wire's
+occurrence list, the gates a moving gate may commute past form a
+*corridor* — for an RZ on wire ``q`` the corridor entries are CNOT
+controls on ``q``, for an X they are CNOT targets, for an H nothing.
+Labelling each occurrence with the running count of corridor-breaking
+entries (one ``cumsum``) makes "cancellable up to commutation" a simple
+key equality: two gates of the same kind on the same wire cancel (or
+merge) exactly when their blocker counts match.  Whole runs then reduce
+in one shot — parity for the self-inverse gates, an angle sum for RZ
+runs — instead of one pairwise scan per gate.
+
+Gates outside the {h, x, cnot, rz} base set do not fit the packed
+layout; :meth:`VectorSegment.from_gates` / ``from_encoded`` return
+``None`` for such segments and :class:`repro.oracles.nam.NamOracle`
+falls back to the reference engine for them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import ANGLE_TOL, Gate
+from ..circuits.encoding import EncodedSegment
+from ..circuits.gate import TWO_PI
+
+__all__ = [
+    "OP_H",
+    "OP_X",
+    "OP_CNOT",
+    "OP_RZ",
+    "VectorSegment",
+    "Occurrences",
+    "vector_remove_identities",
+    "vector_cancellation_pass",
+    "vector_hadamard_reduction_pass",
+    "vector_hadamard_gadget_pass",
+    "vector_rotation_merge_pass",
+    "vector_cnot_chain_pass",
+    "VECTOR_PASS_TABLE",
+    "vector_pass_for",
+]
+
+#: Opcodes of the packed base gate set, in :data:`repro.circuits.GATE_NAMES`
+#: order.
+OP_H, OP_X, OP_CNOT, OP_RZ = 0, 1, 2, 3
+
+_BASE_OPS = {"h": OP_H, "x": OP_X, "cnot": OP_CNOT, "rz": OP_RZ}
+_BASE_NAMES = ("h", "x", "cnot", "rz")
+
+_PI = math.pi
+_HALF_PI = math.pi / 2
+_NEG_HALF_PI = 3 * math.pi / 2  # normalized -pi/2
+_S_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class VectorSegment:
+    """A base-set gate segment as four parallel numpy arrays.
+
+    ``ops[i]`` is one of the ``OP_*`` opcodes; ``q0[i]`` is the gate's
+    (first) qubit, ``q1[i]`` the CNOT target or ``-1`` for single-qubit
+    gates; ``params[i]`` is the RZ angle (``0.0`` for parameter-free
+    gates).  Instances are treated as immutable: passes build new
+    arrays rather than writing in place.
+    """
+
+    ops: np.ndarray
+    q0: np.ndarray
+    q1: np.ndarray
+    params: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ops.size)
+
+    @staticmethod
+    def from_gates(gates: Sequence[Gate]) -> Optional["VectorSegment"]:
+        """Pack ``gates`` into arrays, or ``None`` outside the base set."""
+        n = len(gates)
+        ops = np.empty(n, dtype=np.int8)
+        q0 = np.empty(n, dtype=np.int32)
+        q1 = np.full(n, -1, dtype=np.int32)
+        params = np.zeros(n, dtype=np.float64)
+        for i, g in enumerate(gates):
+            code = _BASE_OPS.get(g.name)
+            if code is None:
+                return None
+            ops[i] = code
+            qs = g.qubits
+            if code == OP_CNOT:
+                if len(qs) != 2:
+                    return None
+                q0[i] = qs[0]
+                q1[i] = qs[1]
+            else:
+                if len(qs) != 1:
+                    return None
+                q0[i] = qs[0]
+                if code == OP_RZ:
+                    params[i] = g.param  # type: ignore[assignment]
+        return VectorSegment(ops, q0, q1, params)
+
+    @staticmethod
+    def from_encoded(encoded: EncodedSegment) -> Optional["VectorSegment"]:
+        """Build directly from the wire format, without ``Gate`` objects.
+
+        Returns ``None`` when the segment contains names outside the
+        base set (the caller falls back to the reference engine).
+        """
+        try:
+            codes = [_BASE_OPS[name] for name in encoded.names]
+        except KeyError:
+            return None
+        n = encoded.length
+        lut = np.asarray(codes, dtype=np.int8)
+        ops = lut[encoded.ops]
+        arities = np.asarray(encoded.arities, dtype=np.int64)
+        expected = np.where(ops == OP_CNOT, 2, 1)
+        if not np.array_equal(arities, expected):
+            return None
+        starts = np.cumsum(arities) - arities
+        qubits = np.asarray(encoded.qubits, dtype=np.int32)
+        q0 = qubits[starts] if n else np.empty(0, dtype=np.int32)
+        q1 = np.full(n, -1, dtype=np.int32)
+        two = ops == OP_CNOT
+        q1[two] = qubits[starts[two] + 1]
+        params = np.zeros(n, dtype=np.float64)
+        if n:
+            mask = np.unpackbits(encoded.param_mask, count=n).astype(bool)
+            if not np.array_equal(mask, ops == OP_RZ):
+                return None  # a parameter pattern the base set cannot carry
+            params[mask] = encoded.params
+        return VectorSegment(ops, q0, q1, params)
+
+    def to_gates(self) -> list[Gate]:
+        """Unpack into a plain ``list[Gate]``.
+
+        Gates are built through a validation-free fast path: every
+        array cell is already a normalized, structurally valid gate (the
+        passes only ever produce base-set gates with normalized angles),
+        so re-running ``Gate.__post_init__`` per gate would only burn
+        the time this engine exists to save.
+        """
+        ops = self.ops.tolist()
+        q0 = self.q0.tolist()
+        q1 = self.q1.tolist()
+        params = self.params.tolist()
+        new = object.__new__
+        setattr_ = object.__setattr__
+        out: list[Gate] = []
+        append = out.append
+        for i, code in enumerate(ops):
+            g = new(Gate)
+            if code == OP_CNOT:
+                setattr_(g, "name", "cnot")
+                setattr_(g, "qubits", (q0[i], q1[i]))
+                setattr_(g, "param", None)
+            elif code == OP_RZ:
+                setattr_(g, "name", "rz")
+                setattr_(g, "qubits", (q0[i],))
+                setattr_(g, "param", params[i])
+            else:
+                setattr_(g, "name", _BASE_NAMES[code])
+                setattr_(g, "qubits", (q0[i],))
+                setattr_(g, "param", None)
+            append(g)
+        return out
+
+    def to_encoded(self) -> EncodedSegment:
+        """Flatten into the wire format (names in first-use order)."""
+        n = len(self)
+        ops64 = self.ops.astype(np.int64)
+        codes, first = np.unique(ops64, return_index=True)
+        used = codes[np.argsort(first)]
+        remap = np.full(4, -1, dtype=np.int64)
+        remap[used] = np.arange(used.size)
+        two = self.ops == OP_CNOT
+        counts = np.where(two, 2, 1)
+        starts = np.cumsum(counts) - counts
+        qubits = np.empty(int(counts.sum()) if n else 0, dtype=np.int32)
+        qubits[starts] = self.q0
+        qubits[starts[two] + 1] = self.q1[two]
+        mask = self.ops == OP_RZ
+        return EncodedSegment(
+            names=tuple(_BASE_NAMES[int(c)] for c in used),
+            ops=remap[ops64].astype(np.uint8),
+            arities=counts.astype(np.uint8),
+            qubits=qubits,
+            param_mask=np.packbits(mask),
+            params=self.params[mask].astype(np.float64),
+            length=n,
+        )
+
+    def compact(self, alive: np.ndarray) -> "VectorSegment":
+        """The sub-segment of gates where ``alive`` is True."""
+        return VectorSegment(
+            self.ops[alive], self.q0[alive], self.q1[alive], self.params[alive]
+        )
+
+
+#: A vectorized rewrite pass: ``(segment, occurrences?) -> (segment, changed)``.
+VectorPassFn = Callable[..., tuple[VectorSegment, bool]]
+
+
+@dataclass(frozen=True)
+class Occurrences:
+    """A segment's wire-occurrence structure, shared across passes.
+
+    Every gate contributes one entry per wire it touches; entries are
+    sorted by (wire, gate index), so each wire's subsequence is
+    contiguous and ordered.
+
+    Attributes
+    ----------
+    gate / wire:
+        Entry arrays: the gate index and the wire of each occurrence.
+    new_wire:
+        Marks the first entry of each wire's subsequence.
+    wire_seq:
+        Inclusive prefix count of ``new_wire``; two entries lie on the
+        same wire iff their counts agree (cheaper than comparing wires
+        through a gather).
+    pos_q0 / pos_q1:
+        Each gate's entry position for its first / second wire (``-1``
+        where absent).
+    ops_at:
+        ``segment.ops`` gathered per entry.
+    """
+
+    gate: np.ndarray
+    wire: np.ndarray
+    new_wire: np.ndarray
+    wire_seq: np.ndarray
+    pos_q0: np.ndarray
+    pos_q1: np.ndarray
+    ops_at: np.ndarray
+
+
+def _occurrences(seg: VectorSegment) -> Occurrences:
+    """Build the :class:`Occurrences` structure for ``seg``."""
+    n = len(seg)
+    cn = np.nonzero(seg.ops == OP_CNOT)[0]
+    gate = np.concatenate([np.arange(n, dtype=np.int64), cn])
+    wire = np.concatenate([seg.q0.astype(np.int64), seg.q1[cn].astype(np.int64)])
+    # one int64 sort key instead of a two-pass lexsort: wires and gate
+    # indices are int32-bounded, so (wire, gate) packs losslessly
+    order = np.argsort((wire << 32) | gate)
+    g = gate[order]
+    w = wire[order]
+    m = g.size
+    new_wire = np.ones(m, dtype=bool)
+    if m:
+        new_wire[1:] = w[1:] != w[:-1]
+    inv = np.empty(m, dtype=np.int64)
+    inv[order] = np.arange(m)
+    pos_q0 = inv[:n]
+    pos_q1 = np.full(n, -1, dtype=np.int64)
+    pos_q1[cn] = inv[n:]
+    return Occurrences(
+        gate=g,
+        wire=w,
+        new_wire=new_wire,
+        wire_seq=np.cumsum(new_wire),
+        pos_q0=pos_q0,
+        pos_q1=pos_q1,
+        ops_at=seg.ops[g],
+    )
+
+
+def _normalize_angles(theta: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.circuits.normalize_angle` on ``[0, inf)``."""
+    theta = np.mod(theta, TWO_PI)
+    theta[(theta < ANGLE_TOL) | (TWO_PI - theta < ANGLE_TOL)] = 0.0
+    return theta
+
+
+def _corridor_ids(blocker: np.ndarray) -> np.ndarray:
+    """Exclusive prefix count of blockers over the occurrence list.
+
+    Two same-wire entries carry the same id exactly when no blocker
+    sits between them (wires are contiguous in the occurrence order, so
+    a global prefix sum needs no per-wire reset).
+    """
+    ids = np.zeros(blocker.size, dtype=np.int64)
+    if blocker.size > 1:
+        np.cumsum(blocker[:-1], out=ids[1:])
+    return ids
+
+
+def vector_remove_identities(
+    seg: VectorSegment, occ: Optional[Occurrences] = None
+) -> tuple[VectorSegment, bool]:
+    """Drop rz(0) identity rotations (vectorized)."""
+    dead = (seg.ops == OP_RZ) & (seg.params == 0.0)
+    if not dead.any():
+        return seg, False
+    return seg.compact(~dead), True
+
+
+def _reduce_runs(
+    mg: np.ndarray,
+    run_key_same: np.ndarray,
+    values: Optional[np.ndarray],
+    alive: np.ndarray,
+    params: np.ndarray,
+) -> bool:
+    """Reduce cancellation runs over the member gates ``mg``.
+
+    ``run_key_same[k]`` says members ``k`` and ``k+1`` belong to one
+    run.  Self-inverse members (``values is None``) reduce by parity,
+    keeping the run's last copy when odd; RZ members (``values`` =
+    their angles) merge into the run's last position with the
+    normalized angle sum, vanishing when the sum is zero.  Returns
+    whether any run had at least two members.
+    """
+    k = mg.size
+    starts = np.empty(k, dtype=bool)
+    starts[0] = True
+    starts[1:] = ~run_key_same
+    rid = np.cumsum(starts) - 1
+    counts = np.bincount(rid)
+    cnt = counts[rid]
+    if int(cnt.max()) < 2:
+        return False
+    is_last = np.empty(k, dtype=bool)
+    is_last[-1] = True
+    is_last[:-1] = starts[1:]
+    multi = cnt >= 2
+    if values is None:
+        kill = multi & ~(is_last & ((cnt & 1) == 1))
+        alive[mg[kill]] = False
+    else:
+        sums = np.add.reduceat(values, np.nonzero(starts)[0])
+        sums = _normalize_angles(sums)
+        alive[mg[multi]] = False
+        keep = multi & is_last & (sums[rid] != 0.0)
+        kept = mg[keep]
+        alive[kept] = True
+        params[kept] = sums[rid[keep]]
+    return True
+
+
+def vector_cancellation_pass(
+    seg: VectorSegment, occ: Optional[Occurrences] = None
+) -> tuple[VectorSegment, bool]:
+    """One vectorized sweep of cancellation and rotation merging.
+
+    Mirrors :func:`repro.oracles.rule_engine.cancellation_pass` rule for
+    rule — hh/xx/cnot·cnot parity cancellation and rz-run merging, each
+    up to the same commutation relations — but reduces every provable
+    run at once:
+
+    * per wire and kind, occurrences are split into *corridors* by the
+      gates the kind cannot commute past (see module docstring);
+    * within a corridor, self-inverse gates cancel pairwise (parity
+      keeps the last copy of an odd run) and RZ angles sum into the
+      run's last position, exactly where the reference engine leaves
+      its merged rotation;
+    * CNOTs use two corridors at once — the control wire's RZ corridor
+      and the target wire's X corridor — and cancel when both agree.
+
+    Simultaneous application is sound because a reduced run's members
+    only ever commute past corridor entries, and no rewrite moves a
+    gate *into* a corridor it could not legally traverse (removing a
+    corridor entry never invalidates a neighbouring rewrite).
+    """
+    seg, changed = vector_remove_identities(seg)
+    n = len(seg)
+    if n == 0:
+        return seg, changed
+    if occ is None or changed:
+        occ = _occurrences(seg)
+
+    g = occ.gate
+    w = occ.wire
+    ops_at = occ.ops_at
+    wire_seq = occ.wire_seq
+    is_cnot_at = ops_at == OP_CNOT
+    ctrl_here = is_cnot_at & (seg.q0[g] == w)  # entry is a CNOT control on w
+    tgt_here = is_cnot_at ^ ctrl_here  # ... else it is the target on w
+    gid_rz = _corridor_ids(~((ops_at == OP_RZ) | ctrl_here))
+    gid_x = _corridor_ids(~((ops_at == OP_X) | tgt_here))
+
+    alive = np.ones(n, dtype=bool)
+    params = seg.params.copy()
+
+    # H corridors admit nothing, so H runs are plain same-wire adjacency:
+    # consecutive occurrence entries that are both H.
+    ps = np.nonzero(ops_at == OP_H)[0]
+    if ps.size >= 2:
+        same = (ps[1:] == ps[:-1] + 1) & (wire_seq[ps[1:]] == wire_seq[ps[:-1]])
+        if same.any():
+            changed |= _reduce_runs(g[ps], same, None, alive, params)
+
+    for op_code, gid in ((OP_X, gid_x), (OP_RZ, gid_rz)):
+        ps = np.nonzero(ops_at == op_code)[0]
+        if ps.size < 2:
+            continue
+        mgid = gid[ps]
+        mws = wire_seq[ps]
+        same = (mgid[1:] == mgid[:-1]) & (mws[1:] == mws[:-1])
+        if not same.any():  # no two same-kind gates share a corridor
+            continue
+        mg = g[ps]
+        values = params[mg] if op_code == OP_RZ else None
+        changed |= _reduce_runs(mg, same, values, alive, params)
+
+    # -- CNOT·CNOT cancellation up to commutation --------------------------
+    cn = np.nonzero(seg.ops == OP_CNOT)[0]
+    if cn.size >= 2:
+        # cheap gate: a cancellable pair needs two CNOTs with the same
+        # (control, target) at all; only then pay the corridor grouping
+        ct = (seg.q0[cn].astype(np.int64) << 32) | seg.q1[cn]
+        ct_sorted = np.sort(ct)
+        if (ct_sorted[1:] == ct_sorted[:-1]).any():
+            key_c = gid_rz[occ.pos_q0[cn]]  # control-wire corridor id
+            key_t = gid_x[occ.pos_q1[cn]]  # target-wire corridor id
+            order = np.lexsort((cn, key_t, key_c, ct))
+            sc = cn[order]
+            kc = key_c[order]
+            kt = key_t[order]
+            cts = ct[order]
+            same = (
+                (cts[1:] == cts[:-1])
+                & (kc[1:] == kc[:-1])
+                & (kt[1:] == kt[:-1])
+            )
+            if same.any():
+                changed |= _reduce_runs(sc, same, None, alive, params)
+
+    if not alive.all():
+        out = VectorSegment(seg.ops, seg.q0, seg.q1, params).compact(alive)
+        return out, True
+    return seg, changed
+
+
+def vector_hadamard_reduction_pass(
+    seg: VectorSegment, occ: Optional[Occurrences] = None
+) -> tuple[VectorSegment, bool]:
+    """Vectorized per-wire ``H X H -> RZ(pi)`` / ``H RZ(pi) H -> X``.
+
+    Triples are consecutive occurrences on one wire (everything between
+    touches other wires only), detected with three shifted comparisons
+    over the occurrence arrays; overlapping candidates are resolved
+    greedily left to right, as the reference engine's sweep does.
+    """
+    n = len(seg)
+    if n < 3 or int(np.count_nonzero(seg.ops == OP_H)) < 2:
+        return seg, False
+    if occ is None:
+        occ = _occurrences(seg)
+    g = occ.gate
+    new_wire = occ.new_wire
+    ops_at = occ.ops_at
+    m = g.size
+    if m < 3:
+        return seg, False
+    same_wire = ~new_wire[1:-1] & ~new_wire[2:]
+    mid = ops_at[1:-1]
+    mid_x = mid == OP_X
+    mid_z = (mid == OP_RZ) & (np.abs(seg.params[g[1:-1]] - _PI) < _S_TOL)
+    cand = np.nonzero(
+        same_wire & (ops_at[:-2] == OP_H) & (ops_at[2:] == OP_H) & (mid_x | mid_z)
+    )[0]
+    if cand.size == 0:
+        return seg, False
+    ops = seg.ops.copy()
+    params = seg.params.copy()
+    alive = np.ones(n, dtype=bool)
+    used = np.zeros(n, dtype=bool)
+    changed = False
+    order = np.argsort(g[cand], kind="stable")
+    for p0 in cand[order]:
+        ia, ib, ic = int(g[p0]), int(g[p0 + 1]), int(g[p0 + 2])
+        if used[ia] or used[ib] or used[ic]:
+            continue
+        if ops[ib] == OP_X:
+            ops[ia] = OP_RZ
+            params[ia] = _PI
+        else:
+            ops[ia] = OP_X
+            params[ia] = 0.0
+        alive[ib] = False
+        alive[ic] = False
+        used[ia] = used[ib] = used[ic] = True
+        changed = True
+    if not changed:
+        return seg, False
+    out = VectorSegment(ops, seg.q0, seg.q1, params).compact(alive)
+    return out, True
+
+
+def vector_hadamard_gadget_pass(
+    seg: VectorSegment, occ: Optional[Occurrences] = None
+) -> tuple[VectorSegment, bool]:
+    """Vectorized Nam Hadamard gadgets (the four rules of
+    :func:`repro.oracles.hadamard_gadgets.hadamard_gadget_pass`).
+
+    Candidates for all four rules are detected with shifted comparisons
+    over the wire-occurrence arrays, then applied greedily in initiator
+    order with a shared used-gate mask so no two rewrites touch the
+    same gate in one sweep.  Every application strictly reduces the
+    Hadamard count, the same termination measure as the reference pass.
+    """
+    n = len(seg)
+    if n < 3 or int(np.count_nonzero(seg.ops == OP_H)) < 2:
+        return seg, False
+    if occ is None:
+        occ = _occurrences(seg)
+    g = occ.gate
+    w = occ.wire
+    new_wire = occ.new_wire
+    ops_at = occ.ops_at
+    m = g.size
+    is_h = ops_at == OP_H
+    is_rz = ops_at == OP_RZ
+    if is_rz.any():
+        par_at = seg.params[g]
+        s_at = is_rz & (np.abs(par_at - _HALF_PI) < _S_TOL)
+        sdg_at = is_rz & (np.abs(par_at - _NEG_HALF_PI) < _S_TOL)
+        has_s_like = bool(s_at.any()) or bool(sdg_at.any())
+    else:
+        s_at = sdg_at = is_rz
+        has_s_like = False
+
+    # candidates: (initiator gate index, priority, payload)
+    cands: list[tuple[int, int, tuple]] = []
+
+    # -- rule 4: H(a) H(b) CNOT(a,b) H(a) H(b) -> CNOT(b,a) ---------------
+    cn = np.nonzero(seg.ops == OP_CNOT)[0]
+    if cn.size and int(np.count_nonzero(is_h)) >= 4:
+        # sentinel-padded views: index m reads as "wire boundary / not H"
+        nw_pad = np.append(new_wire, True)
+        h_pad = np.append(is_h, False)
+        pa = occ.pos_q0[cn]
+        pb = occ.pos_q1[cn]
+        # a previous same-wire entry exists iff the position is not a
+        # wire start; then pa-1 is safely in range (negative indexing
+        # cannot trigger because ~new_wire[pa] implies pa >= 1)
+        ok = (
+            ~new_wire[pa]
+            & ~new_wire[pb]
+            & ~nw_pad[pa + 1]
+            & ~nw_pad[pb + 1]
+            & is_h[pa - 1]
+            & is_h[pb - 1]
+            & h_pad[pa + 1]
+            & h_pad[pb + 1]
+        )
+        for idx in np.nonzero(ok)[0]:
+            j = int(cn[idx])
+            ga, gb = int(g[pa[idx] - 1]), int(g[pb[idx] - 1])
+            na, nb = int(g[pa[idx] + 1]), int(g[pb[idx] + 1])
+            cands.append((min(ga, gb), 0, ("r4", j, ga, gb, na, nb)))
+
+    # -- rule 3: H (S|Sdg) CNOT(*,q) (Sdg|S) H, consecutive on wire q -----
+    if has_s_like and m >= 5:
+        same = (
+            ~new_wire[1:-3]
+            & ~new_wire[2:-2]
+            & ~new_wire[3:-1]
+            & ~new_wire[4:]
+        )
+        mid_s = s_at[1:-3]
+        mid_sdg = sdg_at[1:-3]
+        cnot_tgt = (ops_at[2:-2] == OP_CNOT) & (seg.q1[g[2:-2]] == w[2:-2])
+        d_ok = np.where(mid_s, sdg_at[3:-1], s_at[3:-1])
+        ok = same & is_h[:-4] & (mid_s | mid_sdg) & cnot_tgt & d_ok & is_h[4:]
+        for p0 in np.nonzero(ok)[0]:
+            gates5 = tuple(int(g[p0 + k]) for k in range(5))
+            cands.append((gates5[0], 1, ("r3", bool(mid_s[p0]), gates5)))
+
+    # -- rules 1-2: H (S|Sdg) H -> (Sdg H Sdg | S H S), consecutive -------
+    if has_s_like and m >= 3:
+        same = ~new_wire[1:-1] & ~new_wire[2:]
+        mid = s_at[1:-1] | sdg_at[1:-1]
+        ok = same & is_h[:-2] & mid & is_h[2:]
+        for p0 in np.nonzero(ok)[0]:
+            gates3 = tuple(int(g[p0 + k]) for k in range(3))
+            cands.append((gates3[0], 2, ("r12", bool(s_at[p0 + 1]), gates3)))
+
+    if not cands:
+        return seg, False
+
+    ops = seg.ops.copy()
+    q0 = seg.q0.copy()
+    q1 = seg.q1.copy()
+    params = seg.params.copy()
+    alive = np.ones(n, dtype=bool)
+    used = np.zeros(n, dtype=bool)
+    changed = False
+    for _, _, payload in sorted(cands, key=lambda c: (c[0], c[1])):
+        kind = payload[0]
+        if kind == "r4":
+            _, j, ga, gb, na, nb = payload
+            group = (j, ga, gb, na, nb)
+            if any(used[x] for x in group):
+                continue
+            q0[j], q1[j] = q1[j], q0[j]
+            for x in (ga, gb, na, nb):
+                alive[x] = False
+            for x in group:
+                used[x] = True
+            changed = True
+        elif kind == "r3":
+            _, mid_is_s, gates5 = payload
+            if any(used[x] for x in gates5):
+                continue
+            i, jg, _, mg, pg = gates5
+            ops[i] = OP_RZ
+            params[i] = _NEG_HALF_PI if mid_is_s else _HALF_PI
+            alive[jg] = False
+            ops[mg] = OP_RZ
+            params[mg] = _HALF_PI if mid_is_s else _NEG_HALF_PI
+            alive[pg] = False
+            for x in gates5:
+                used[x] = True
+            changed = True
+        else:  # r12
+            _, mid_is_s, gates3 = payload
+            if any(used[x] for x in gates3):
+                continue
+            i, jg, kg = gates3
+            flip = _NEG_HALF_PI if mid_is_s else _HALF_PI
+            ops[i] = OP_RZ
+            params[i] = flip
+            ops[jg] = OP_H
+            params[jg] = 0.0
+            ops[kg] = OP_RZ
+            params[kg] = flip
+            for x in gates3:
+                used[x] = True
+            changed = True
+    if not changed:
+        return seg, False
+    out = VectorSegment(ops, q0, q1, params).compact(alive)
+    return out, True
+
+
+def vector_rotation_merge_pass(
+    seg: VectorSegment, occ: Optional[Occurrences] = None
+) -> tuple[VectorSegment, bool]:
+    """Phase-polynomial rotation merging on the packed arrays.
+
+    Same algorithm (and identical output) as
+    :func:`repro.oracles.rotation_merge.rotation_merge_pass` — the pass
+    is a single ordered scan over affine wire labels and cannot be
+    collapsed into whole-array kernels — but it runs on plain integer
+    lists extracted from the arrays, with no ``Gate`` allocation.
+    """
+    from ..circuits import is_zero_angle, normalize_angle
+
+    n = len(seg)
+    if n == 0 or not np.count_nonzero(seg.ops == OP_RZ):
+        return seg, False
+    ops = seg.ops.tolist()
+    q0 = seg.q0.tolist()
+    q1 = seg.q1.tolist()
+    params = seg.params.tolist()
+
+    next_var = 0
+    label_mask: dict[int, int] = {}
+    label_const: dict[int, int] = {}
+    pending: dict[int, tuple[int, int]] = {}
+    accum: dict[int, float] = {}
+    dead: list[int] = []
+
+    for i in range(n):
+        op = ops[i]
+        if op == OP_CNOT:
+            c, t = q0[i], q1[i]
+            for q in (c, t):
+                if q not in label_mask:
+                    label_mask[q] = 1 << next_var
+                    label_const[q] = 0
+                    next_var += 1
+            label_mask[t] ^= label_mask[c]
+            label_const[t] ^= label_const[c]
+        elif op == OP_X:
+            q = q0[i]
+            if q not in label_mask:
+                label_mask[q] = 1 << next_var
+                label_const[q] = 0
+                next_var += 1
+            label_const[q] ^= 1
+        elif op == OP_RZ:
+            q = q0[i]
+            if q not in label_mask:
+                label_mask[q] = 1 << next_var
+                label_const[q] = 0
+                next_var += 1
+            mask = label_mask[q]
+            entry = pending.get(mask)
+            if entry is None:
+                pending[mask] = (i, label_const[q])
+                accum[i] = params[i]
+            else:
+                rep, rep_const = entry
+                delta = params[i] if label_const[q] == rep_const else -params[i]
+                accum[rep] = normalize_angle(accum[rep] + delta)
+                dead.append(i)
+        else:  # Hadamard: the wire leaves the region
+            q = q0[i]
+            label_mask[q] = 1 << next_var
+            label_const[q] = 0
+            next_var += 1
+
+    changed = bool(dead)
+    alive = np.ones(n, dtype=bool)
+    new_params = seg.params.copy()
+    for i in dead:
+        alive[i] = False
+    for rep, theta in accum.items():
+        if is_zero_angle(theta):
+            if alive[rep]:
+                alive[rep] = False
+                changed = True
+        elif theta != params[rep]:
+            new_params[rep] = theta
+            changed = True
+    if not changed:
+        return seg, False
+    out = VectorSegment(seg.ops, seg.q0, seg.q1, new_params).compact(alive)
+    return out, True
+
+
+def vector_cnot_chain_pass(
+    seg: VectorSegment, occ: Optional[Occurrences] = None
+) -> tuple[VectorSegment, bool]:
+    """Shared-wire CNOT chain reduction (3 CNOTs -> 2) on the arrays.
+
+    The pattern and the one-rewrite-per-scan restart discipline match
+    :func:`repro.oracles.rule_engine.cnot_chain_pass`; candidate ``a; b``
+    prefixes are detected with whole-array successor lookups, so a scan
+    that finds nothing — the overwhelmingly common case — costs a
+    handful of vector ops instead of a wire-threaded walk per gate.
+    """
+    changed = False
+    while True:
+        applied = _cnot_chain_once(seg, occ)
+        occ = None  # the rewrite invalidates the caller's structure
+        if applied is None:
+            return seg, changed
+        seg = applied
+        changed = True
+
+
+def _cnot_chain_once(
+    seg: VectorSegment, occ: Optional[Occurrences]
+) -> Optional[VectorSegment]:
+    n = len(seg)
+    cn = np.nonzero(seg.ops == OP_CNOT)[0]
+    if cn.size < 3:
+        return None
+    if occ is None:
+        occ = _occurrences(seg)
+    g = occ.gate
+    m = g.size
+    # successor gate on the same wire, per occurrence (n as sentinel)
+    succ = np.full(m, n, dtype=np.int64)
+    if m > 1:
+        keep = ~occ.new_wire[1:]
+        succ[:-1][keep] = g[1:][keep]
+    # j = first later gate touching either of the cnot's wires
+    j_all = np.minimum(succ[occ.pos_q0[cn]], succ[occ.pos_q1[cn]])
+    valid = j_all < n
+    if not valid.any():
+        return None
+    jv = j_all[valid]
+    b_is_cnot = seg.ops[jv] == OP_CNOT
+    ai = cn[valid]
+    p = seg.q0[ai]
+    q = seg.q1[ai]
+    bc = seg.q0[jv]
+    bt = seg.q1[jv]
+    config = b_is_cnot & (
+        ((bc == q) & (bt != p)) | ((bt == p) & (bc != q))
+    )
+    cand = np.nonzero(config)[0]
+    if cand.size == 0:
+        return None
+    # verify the closing `c == a` gate per candidate (few of them)
+    by_wire: dict[int, np.ndarray] = {}
+    starts = np.nonzero(occ.new_wire)[0]
+    ends = np.append(starts[1:], m)
+    for s, e in zip(starts, ends):
+        by_wire[int(occ.wire[s])] = g[s:e]
+
+    def next_on(wire: int, after: int) -> int:
+        lst = by_wire.get(wire)
+        if lst is None:
+            return n
+        k = int(np.searchsorted(lst, after, side="right"))
+        return int(lst[k]) if k < lst.size else n
+
+    ops = seg.ops
+    q0 = seg.q0
+    q1 = seg.q1
+    for t in cand:
+        i = int(ai[t])
+        j = int(jv[t])
+        pp, qq = int(p[t]), int(q[t])
+        bcc, btt = int(bc[t]), int(bt[t])
+        union = {pp, qq, bcc, btt}
+        k = min(next_on(wq, j) for wq in union)
+        if k >= n or ops[k] != OP_CNOT or int(q0[k]) != pp or int(q1[k]) != qq:
+            continue
+        if bcc == qq:
+            first, second = (qq, btt), (pp, btt)
+        else:
+            first, second = (bcc, pp), (bcc, qq)
+        new_q0 = q0.copy()
+        new_q1 = q1.copy()
+        new_q0[j], new_q1[j] = first
+        new_q0[k], new_q1[k] = second
+        alive = np.ones(n, dtype=bool)
+        alive[i] = False
+        return VectorSegment(ops, new_q0, new_q1, seg.params).compact(alive)
+    return None
+
+
+#: Vectorized implementations, keyed like ``repro.oracles.nam._PASS_TABLE``.
+VECTOR_PASS_TABLE: dict[str, VectorPassFn] = {
+    "remove_identities": vector_remove_identities,
+    "cancellation": vector_cancellation_pass,
+    "hadamard_reduction": vector_hadamard_reduction_pass,
+    "hadamard_gadgets": vector_hadamard_gadget_pass,
+    "rotation_merge": vector_rotation_merge_pass,
+    "cnot_chain": vector_cnot_chain_pass,
+}
+
+
+def vector_pass_for(name: str, gate_pass) -> VectorPassFn:
+    """The vectorized pass for ``name``, or a gate-list fallback.
+
+    Passes without an array implementation (currently only
+    ``resynthesis``) run through ``Gate`` objects; they must stay inside
+    the base set, which every bundled pass does.
+    """
+    impl = VECTOR_PASS_TABLE.get(name)
+    if impl is not None:
+        return impl
+
+    def fallback(
+        seg: VectorSegment, occ: Optional[Occurrences] = None
+    ) -> tuple[VectorSegment, bool]:
+        gates, changed = gate_pass(seg.to_gates())
+        out = VectorSegment.from_gates(gates)
+        if out is None:  # pragma: no cover - bundled passes stay in-set
+            raise RuntimeError(f"pass {name!r} left the base gate set")
+        return out, changed
+
+    return fallback

@@ -8,24 +8,35 @@ segments (paper Section 2.4).  Four executors implement it:
 * :class:`SerialMap` — the reference 1-worker executor.
 * :class:`ThreadMap` — shared thread pool; useful when the oracle
   releases the GIL.
-* :class:`ProcessMap` — real multicore execution over a persistent
-  process pool.  Segments reach workers through one of three *oracle
-  transports*: ``"encoded"`` (default) registers the oracle once per
-  worker via a pool initializer and ships each segment as compact
-  numpy arrays (:mod:`repro.circuits.encoding`), so per-round IPC is a
-  few contiguous buffers; ``"shm"`` packs every round's segments into
-  one pooled shared-memory arena (:mod:`repro.parallel.shm`) and
+* :class:`ProcessMap` — the oracle-transport executor.  Segments reach
+  workers through one of four *oracle transports*: ``"encoded"``
+  (default) registers the oracle once per worker via a pool
+  initializer and ships each segment as compact numpy arrays
+  (:mod:`repro.circuits.encoding`), so per-round IPC is a few
+  contiguous buffers; ``"shm"`` packs every round's segments into one
+  pooled shared-memory arena (:mod:`repro.parallel.shm`) and
   dispatches batched ``(arena, start, end)`` descriptors
   (:func:`batch_segments`), so the pipe carries no segment bytes at
-  all; ``"pickle"`` re-pickles the oracle callable and every
+  all; ``"threads"`` runs oracle calls on a shared thread pool over
+  the parent's own buffers — no pipes, no arenas, no oracle
+  registration — which pays off when the oracle releases the GIL
+  (the vectorized rule engine, :mod:`repro.oracles.vector_engine`);
+  ``"pickle"`` re-pickles the oracle callable and every
   ``list[Gate]`` per call (the seed behaviour, kept as a benchmark
   baseline).  Chunk and batch sizes adapt to measured per-segment
   oracle time (:func:`adaptive_chunksize` / :func:`batch_segments`),
-  and every task carries an oracle generation token so stale workers
-  fail loudly (:class:`StaleOracleError`) instead of applying the
-  wrong oracle.
+  and every process-pool task carries an oracle generation token so
+  stale workers fail loudly (:class:`StaleOracleError`) instead of
+  applying the wrong oracle.
 * :class:`SimulatedParallelism` — serial execution with p-worker
   makespan accounting for the scaling experiments.
+
+Oracle results come back as :class:`LazySegmentResult` handles that
+stay in the wire format until a driver reads their gates: POPQC's
+acceptance test needs only ``len()`` (answered from the packed
+header), so rejected oracle outputs are never decoded.  The skipped
+work is tracked by :class:`DecodeStats` and surfaced as
+``OptimizationStats.skipped_decode_bytes``.
 
 The POPQC driver talks to executors through ``map``; executors that
 also provide ``map_segments(oracle, segments)`` (currently
@@ -33,9 +44,9 @@ also provide ``map_segments(oracle, segments)`` (currently
 driver will use it unless told otherwise (``popqc(...,
 transport="pickle")``).
 
-Remaining scaling directions (see ROADMAP "Open items"): a distributed
+Remaining scaling direction (see ROADMAP "Open items"): a distributed
 multi-host transport carrying the same packed wire format over
-sockets, and thread-based workers once oracles release the GIL.
+sockets.
 """
 
 from .executor import (
@@ -47,6 +58,7 @@ from .executor import (
     ThreadMap,
     default_workers,
 )
+from .results import DecodeStats, LazySegmentResult
 from .scheduling import (
     adaptive_chunksize,
     batch_segments,
@@ -60,6 +72,8 @@ from .simulated import SimulatedParallelism
 __all__ = [
     "HAVE_SHM",
     "TRANSPORTS",
+    "DecodeStats",
+    "LazySegmentResult",
     "ParallelMap",
     "ProcessMap",
     "SerialMap",

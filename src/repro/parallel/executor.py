@@ -53,10 +53,12 @@ from ..circuits.encoding import (
     encode_segment,
     pack_segment_into,
     packed_segment_nbytes,
+    packed_segment_span,
     unpack_segment_from,
 )
 from ..circuits.gate import Gate
 from . import shm
+from .results import DecodeStats, LazySegmentResult
 from .scheduling import adaptive_chunksize, batch_segments
 
 T = TypeVar("T")
@@ -73,7 +75,7 @@ __all__ = [
 ]
 
 #: Oracle-transport modes supported by :class:`ProcessMap`.
-TRANSPORTS = ("shm", "encoded", "pickle")
+TRANSPORTS = ("shm", "encoded", "pickle", "threads")
 
 
 class StaleOracleError(RuntimeError):
@@ -117,9 +119,11 @@ class SerialMap:
     workers = 1
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item, in order, in the calling thread."""
         return [fn(item) for item in items]
 
     def close(self) -> None:
+        """No pooled resources; nothing to release."""
         return None
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -143,11 +147,13 @@ class ThreadMap:
         return self._pool
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` over the shared thread pool, preserving order."""
         if len(items) <= 1:
             return [fn(item) for item in items]
         return list(self._ensure().map(fn, items))
 
     def close(self) -> None:
+        """Shut the shared pool down (a later ``map`` re-creates it)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -196,11 +202,36 @@ def _require_worker_oracle(
     return _WORKER_ORACLE
 
 
-def _apply_registered_oracle(
-    generation: int, encoded: EncodedSegment
-) -> EncodedSegment:
-    oracle = _require_worker_oracle(generation)
+def _oracle_encoded_result(oracle, encoded: EncodedSegment) -> EncodedSegment:
+    """Run ``oracle`` on a packed segment, staying packed when possible.
+
+    Oracles implementing the ``run_packed`` protocol hook (e.g.
+    :class:`repro.oracles.NamOracle` with the vector engine) transform
+    the wire format directly; everything else round-trips through
+    ``Gate`` objects.
+    """
+    run_packed = getattr(oracle, "run_packed", None)
+    if run_packed is not None:
+        return run_packed(encoded)
     return encode_segment(oracle(decode_segment(encoded)))
+
+
+def _pack_to_bytes(encoded: EncodedSegment) -> bytes:
+    """One packed segment as a standalone byte string."""
+    buf = bytearray(packed_segment_nbytes(encoded))
+    pack_segment_into(encoded, buf, 0)
+    return bytes(buf)
+
+
+def _apply_registered_oracle(generation: int, encoded: EncodedSegment) -> bytes:
+    """Worker task of the encoded transport.
+
+    Returns the oracle's output in the flat wire format so the parent
+    can defer (and usually skip) decoding — see
+    :class:`repro.parallel.results.LazySegmentResult`.
+    """
+    oracle = _require_worker_oracle(generation)
+    return _pack_to_bytes(_oracle_encoded_result(oracle, encoded))
 
 
 def _attach_worker_arena(name: str, keep: tuple[str, ...] = ()):
@@ -226,7 +257,7 @@ def _attach_worker_arena(name: str, keep: tuple[str, ...] = ()):
 
 def _apply_oracle_shm(
     task: tuple[str, str, int, int, int, int],
-) -> list[EncodedSegment | None]:
+) -> list[bytes | None]:
     """Run the registered oracle over one batch of arena segments.
 
     ``task`` is ``(input arena, result arena, round id, oracle
@@ -234,7 +265,7 @@ def _apply_oracle_shm(
     input arena; each encoded result is packed into the segment's
     reserved region of the result arena when it fits (returning
     ``None`` as an "in the arena" marker) and returned through the pipe
-    only on overflow.
+    as packed bytes only on overflow.
     """
     in_name, out_name, round_id, generation, start, end = task
     oracle = _require_worker_oracle(generation)
@@ -245,16 +276,16 @@ def _apply_oracle_shm(
     shm.check_round(out_buf, round_id, out_name)
     offsets = shm.read_input_directory(in_buf, n)
     regions = shm.read_result_directory(out_buf, n)
-    results: list[EncodedSegment | None] = []
+    results: list[bytes | None] = []
     for i in range(start, end):
         encoded, _ = unpack_segment_from(in_buf, int(offsets[i]))
-        out = encode_segment(oracle(decode_segment(encoded)))
+        out = _oracle_encoded_result(oracle, encoded)
         offset, capacity = int(regions[i, 0]), int(regions[i, 1])
         if packed_segment_nbytes(out) <= capacity:
             pack_segment_into(out, out_buf, offset)
             results.append(None)
         else:  # oracle grew the segment past the reserved slack
-            results.append(out)
+            results.append(_pack_to_bytes(out))
     return results
 
 
@@ -296,25 +327,38 @@ class ProcessMap:
         round's segments into one pooled shared-memory arena
         (:mod:`repro.parallel.shm`) and dispatches batched
         ``(arena, start, end)`` descriptors, so the pipe never carries
-        segment bytes; ``"pickle"`` reproduces the seed behaviour — the
-        oracle and every ``list[Gate]`` are pickled on every call — and
-        exists as the benchmark baseline.  Requesting ``"shm"`` on a
-        platform without ``multiprocessing.shared_memory`` falls back
-        to ``"encoded"`` (``requested_transport`` keeps the original).
+        segment bytes; ``"threads"`` skips pipes and arenas entirely —
+        oracle calls run on a shared :class:`ThreadPoolExecutor` over
+        the parent's own buffers, which pays off when the oracle
+        releases the GIL (the vectorized rule engine,
+        :mod:`repro.oracles.vector_engine`); ``"pickle"`` reproduces
+        the seed behaviour — the oracle and every ``list[Gate]`` are
+        pickled on every call — and exists as the benchmark baseline.
+        Requesting ``"shm"`` on a platform without
+        ``multiprocessing.shared_memory`` falls back to ``"encoded"``
+        (``requested_transport`` keeps the original).
+
+    All transports return :class:`~repro.parallel.results.
+    LazySegmentResult` handles from :meth:`map_segments`: results stay
+    in the wire format until a driver actually reads their gates, so
+    rejected oracle outputs are never decoded (see
+    :class:`~repro.parallel.results.DecodeStats`).
 
     Attributes
     ----------
     serialization_time:
-        Accumulated parent-side encode/decode seconds across all
-        :meth:`map_segments` calls (``"encoded"``/``"shm"`` transports
-        only; the pickle transport's serialization happens inside the
-        pool machinery and is not separable).
+        Accumulated parent-side encode/pack seconds across all
+        :meth:`map_segments` calls (``"encoded"``/``"shm"``/
+        ``"threads"`` transports; the pickle transport's serialization
+        happens inside the pool machinery and is not separable).
+        Result *decoding* is lazy and attributed to whoever reads the
+        gates, not counted here.
     last_serialization_time:
-        Parent-side encode/decode seconds of the most recent
+        Parent-side encode/pack seconds of the most recent
         :meth:`map_segments` call.
     pool_dispatches:
         Number of :meth:`map` / :meth:`map_segments` calls that
-        actually crossed the process boundary (batches at or below
+        actually crossed into a pool (batches at or below
         ``serial_cutoff`` run inline and don't count).
     batch_dispatches / segments_batched:
         Pool tasks dispatched and segments carried by the shm
@@ -322,6 +366,10 @@ class ProcessMap:
         width.
     last_batch_sizes:
         Batch widths of the most recent shm :meth:`map_segments` call.
+    thread_task_seconds / thread_wall_seconds:
+        Summed per-task oracle seconds vs. wall-clock seconds of the
+        threads transport's pool maps; their ratio estimates effective
+        thread concurrency, i.e. how much GIL the oracle released.
     """
 
     def __init__(
@@ -352,7 +400,11 @@ class ProcessMap:
         self.batch_dispatches = 0
         self.segments_batched = 0
         self.last_batch_sizes: list[int] = []
+        self.thread_task_seconds = 0.0
+        self.thread_wall_seconds = 0.0
+        self._decode_stats = DecodeStats()
         self._pool: ProcessPoolExecutor | None = None
+        self._thread_pool: ThreadPoolExecutor | None = None
         self._registered_oracle: object | None = None
         self._oracle_generation = 0
         self._task_seconds_est = 0.0
@@ -369,6 +421,7 @@ class ProcessMap:
         return self._pool
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` over the process pool (inline under the cutoff)."""
         if len(items) <= self.serial_cutoff:
             return [fn(item) for item in items]
         # balance-only chunking: the learned task-time estimate belongs
@@ -407,12 +460,16 @@ class ProcessMap:
         self,
         oracle: Callable[[list[Gate]], list[Gate]],
         segments: Sequence[list[Gate]],
-    ) -> list[list[Gate]]:
+    ) -> list:
         """Apply ``oracle`` to every segment, preserving order.
 
         The oracle crosses the process boundary at most once per worker
-        (``"encoded"``/``"shm"`` transports); segments travel as numpy
-        buffers through the pipe or as zero-copy shared-memory views.
+        (``"encoded"``/``"shm"`` transports) or not at all
+        (``"threads"``); segments travel as numpy buffers through the
+        pipe, as zero-copy shared-memory views, or stay in-process.
+        Pool-backed calls return
+        :class:`~repro.parallel.results.LazySegmentResult` handles that
+        decode only when read.
         """
         self.last_serialization_time = 0.0
         self.last_batch_sizes = []
@@ -421,6 +478,8 @@ class ProcessMap:
 
         if self.transport == "shm":
             return self._map_segments_shm(oracle, segments)
+        if self.transport == "threads":
+            return self._map_segments_threads(oracle, segments)
 
         chunk = adaptive_chunksize(len(segments), self.workers, self._task_seconds_est)
         self.pool_dispatches += 1
@@ -428,11 +487,12 @@ class ProcessMap:
         was_warm = prev_pool is not None
         t_map = time.perf_counter()
         if self.transport == "pickle":
-            results = list(
-                self._ensure().map(
+            results = [
+                LazySegmentResult.from_gates(out)
+                for out in self._ensure().map(
                     _PickledOracleCall(oracle), segments, chunksize=chunk
                 )
-            )
+            ]
             if was_warm:
                 self._observe(time.perf_counter() - t_map, len(segments), chunk)
             return results
@@ -444,19 +504,85 @@ class ProcessMap:
         was_warm = was_warm and pool is prev_pool  # oracle swap rebuilds cold
         generations = [self._oracle_generation] * len(encoded)
         t_map = time.perf_counter()
-        out = list(
-            pool.map(_apply_registered_oracle, generations, encoded, chunksize=chunk)
-        )
+        results = [
+            LazySegmentResult.from_packed(payload, self._decode_stats)
+            for payload in pool.map(
+                _apply_registered_oracle, generations, encoded, chunksize=chunk
+            )
+        ]
         pool_elapsed = time.perf_counter() - t_map
-        t0 = time.perf_counter()
-        results = [decode_segment(enc) for enc in out]
-        ser += time.perf_counter() - t0
         self.last_serialization_time = ser
         self.serialization_time += ser
         if was_warm:
-            # only the pool interval: parent-side encode/decode is
+            # only the pool interval: parent-side encoding is
             # serialization, not task time
             self._observe(pool_elapsed, len(segments), chunk)
+        return results
+
+    def _ensure_threads(self) -> ThreadPoolExecutor:
+        """The shared thread pool of the ``"threads"`` transport."""
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._thread_pool
+
+    def _map_segments_threads(
+        self,
+        oracle: Callable[[list[Gate]], list[Gate]],
+        segments: Sequence[list[Gate]],
+    ) -> list:
+        """One round over the thread transport: no pipes, no arenas.
+
+        Workers share the parent's address space, so nothing is
+        serialized and the oracle needs no registration or generation
+        token.  Oracles implementing ``run_packed`` receive the packed
+        layout (built parent-side, counted as serialization time) and
+        their results stay packed for lazy decoding; plain oracles run
+        on the gate lists directly.  Per-task durations are recorded so
+        the executor can estimate how much GIL the oracle released
+        (``thread_task_seconds`` / ``thread_wall_seconds``).
+        """
+        pool = self._ensure_threads()
+        self.pool_dispatches += 1
+        # Only a *natively* packed oracle is worth feeding the wire
+        # format here: for gate-list oracles, encoding inputs just to
+        # win lazy result decode costs more than it saves (unlike the
+        # process transports, where the bytes must exist anyway).
+        run_packed = (
+            getattr(oracle, "run_packed", None)
+            if getattr(oracle, "packed_native", False)
+            else None
+        )
+        t_round = time.perf_counter()
+        if run_packed is not None:
+            t0 = time.perf_counter()
+            encoded = [encode_segment(seg) for seg in segments]
+            ser = time.perf_counter() - t0
+
+            def task(enc: EncodedSegment) -> tuple[EncodedSegment, float]:
+                t = time.perf_counter()
+                out = run_packed(enc)
+                return out, time.perf_counter() - t
+
+            outs = list(pool.map(task, encoded))
+            results = [
+                LazySegmentResult.from_encoded(out, self._decode_stats)
+                for out, _ in outs
+            ]
+        else:
+            ser = 0.0
+
+            def task(seg: list[Gate]) -> tuple[list[Gate], float]:
+                t = time.perf_counter()
+                out = oracle(seg)
+                return out, time.perf_counter() - t
+
+            outs = list(pool.map(task, segments))
+            results = [LazySegmentResult.from_gates(out) for out, _ in outs]
+        wall = time.perf_counter() - t_round - ser
+        self.thread_task_seconds += sum(dt for _, dt in outs)
+        self.thread_wall_seconds += wall
+        self.last_serialization_time = ser
+        self.serialization_time += ser
         return results
 
     def _map_segments_shm(
@@ -520,14 +646,21 @@ class ProcessMap:
             ]
             pool_elapsed = time.perf_counter() - t_map
 
+            # Copy each packed result out of the arena (header-sized
+            # span read + one memcpy) so the block can be recycled;
+            # decoding stays lazy and usually never happens.
             t0 = time.perf_counter()
-            results: list[list[Gate]] = []
+            results: list[LazySegmentResult] = []
+            out_buf = out_block.buf
             for marker, (offset, _) in zip(markers, out_regions):
                 if marker is None:
-                    enc, _end = unpack_segment_from(out_block.buf, offset)
+                    _, end = packed_segment_span(out_buf, offset)
+                    payload = bytes(out_buf[offset:end])
                 else:  # overflow fallback: result came through the pipe
-                    enc = marker
-                results.append(decode_segment(enc))
+                    payload = marker
+                results.append(
+                    LazySegmentResult.from_packed(payload, self._decode_stats)
+                )
             ser += time.perf_counter() - t0
             round_ok = True
         finally:
@@ -582,11 +715,37 @@ class ProcessMap:
         """Current capacity of the arena ring (live blocks, bytes)."""
         return self._arenas.ring_bytes if self._arenas is not None else 0
 
+    # -- lazy-decode instrumentation -----------------------------------------
+
+    @property
+    def results_returned(self) -> int:
+        """Byte-carrying oracle results handed back by ``map_segments``."""
+        return self._decode_stats.results_returned
+
+    @property
+    def results_decoded(self) -> int:
+        """Returned results whose gates were actually materialized."""
+        return self._decode_stats.results_decoded
+
+    @property
+    def result_bytes_returned(self) -> int:
+        """Wire bytes of all returned results."""
+        return self._decode_stats.result_bytes_returned
+
+    @property
+    def result_bytes_decoded(self) -> int:
+        """Wire bytes of the results that were decoded."""
+        return self._decode_stats.result_bytes_decoded
+
     def close(self) -> None:
+        """Shut down pools and release arenas (safe to call twice)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
             self._registered_oracle = None
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
         if self._arenas is not None:
             self._arenas.close()
             self._arenas = None

@@ -1,0 +1,188 @@
+"""Lazy oracle-result decoding for the segment transports.
+
+POPQC's acceptance test (Algorithm 3) needs only a *cost* to decide
+whether an oracle rewrite is kept, and the default cost is the gate
+count — which the packed wire format stores in its header.  Decoding a
+rejected result into ``Gate`` objects is therefore pure waste, and on
+converged workloads most results are rejected.  This module makes the
+waste structural instead of accidental: every transport returns
+:class:`LazySegmentResult` handles, ``len()`` answers from the packed
+header, and the per-gate decode runs only when a driver actually
+indexes or iterates the result — i.e. only for segments it accepted.
+
+The handles are plain ``Sequence[Gate]`` objects, so drivers and tests
+that treated results as gate lists keep working unchanged; comparing a
+handle to a list decodes it, as does any element access.
+
+Decode accounting flows through :class:`DecodeStats` (one per
+executor): how many byte-carrying results came back, how many were ever
+decoded, and the byte volumes of both.  The difference is the work lazy
+decoding skipped; drivers surface it as
+``OptimizationStats.skipped_decode_bytes``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Iterator, Optional
+
+from ..circuits import encoding
+from ..circuits.gate import Gate
+
+__all__ = ["DecodeStats", "LazySegmentResult"]
+
+
+class DecodeStats:
+    """Counters for lazy result decoding, owned by an executor.
+
+    ``results_returned`` / ``result_bytes_returned`` count every
+    byte-carrying result handed back by :meth:`ProcessMap.map_segments`;
+    ``results_decoded`` / ``result_bytes_decoded`` count the subset
+    whose gates were ever materialized.  Results born from gate lists
+    (pickle transport, inline fallbacks) carry no decodable bytes and
+    are not counted.
+    """
+
+    __slots__ = (
+        "results_returned",
+        "results_decoded",
+        "result_bytes_returned",
+        "result_bytes_decoded",
+    )
+
+    def __init__(self) -> None:
+        self.results_returned = 0
+        self.results_decoded = 0
+        self.result_bytes_returned = 0
+        self.result_bytes_decoded = 0
+
+    def note_returned(self, nbytes: int) -> None:
+        """Record a byte-carrying result crossing back to the driver."""
+        self.results_returned += 1
+        self.result_bytes_returned += nbytes
+
+    def note_decoded(self, nbytes: int) -> None:
+        """Record the first (and only) decode of a returned result."""
+        self.results_decoded += 1
+        self.result_bytes_decoded += nbytes
+
+
+class LazySegmentResult(Sequence):
+    """An oracle result that decodes its gates only on first access.
+
+    Three birth states, one per transport situation:
+
+    * :meth:`from_packed` — the flat wire format as bytes (encoded and
+      shm transports); ``len()`` reads the packed header.
+    * :meth:`from_encoded` — an :class:`~repro.circuits.encoding.
+      EncodedSegment` (threads transport with a packed-native oracle).
+    * :meth:`from_gates` — an already-decoded gate list (pickle
+      transport, inline fallbacks); nothing left to skip.
+
+    All decoding routes through the :mod:`repro.circuits.encoding`
+    module attributes, so tests can spy on ``decode_segment`` /
+    ``unpack_segment_from`` to prove rejected results never decode.
+    """
+
+    __slots__ = ("_gates", "_packed", "_encoded", "_length", "_nbytes", "_stats")
+
+    def __init__(
+        self,
+        *,
+        gates: Optional[list[Gate]] = None,
+        packed: Optional[bytes] = None,
+        encoded: Optional[encoding.EncodedSegment] = None,
+        length: int = 0,
+        nbytes: int = 0,
+        stats: Optional[DecodeStats] = None,
+    ):
+        self._gates = gates
+        self._packed = packed
+        self._encoded = encoded
+        self._length = length
+        self._nbytes = nbytes
+        self._stats = stats
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_packed(
+        cls, payload: bytes, stats: Optional[DecodeStats] = None
+    ) -> "LazySegmentResult":
+        """Wrap one packed segment (the whole ``payload``)."""
+        length, _end = encoding.packed_segment_span(payload, 0)
+        result = cls(
+            packed=payload, length=length, nbytes=len(payload), stats=stats
+        )
+        if stats is not None:
+            stats.note_returned(len(payload))
+        return result
+
+    @classmethod
+    def from_encoded(
+        cls,
+        encoded: encoding.EncodedSegment,
+        stats: Optional[DecodeStats] = None,
+    ) -> "LazySegmentResult":
+        """Wrap an in-process :class:`EncodedSegment` (threads transport)."""
+        result = cls(
+            encoded=encoded,
+            length=encoded.length,
+            nbytes=encoded.nbytes,
+            stats=stats,
+        )
+        if stats is not None:
+            stats.note_returned(encoded.nbytes)
+        return result
+
+    @classmethod
+    def from_gates(cls, gates: list[Gate]) -> "LazySegmentResult":
+        """Wrap an already-decoded gate list (no bytes to skip)."""
+        return cls(gates=gates, length=len(gates))
+
+    # -- lazy decode ---------------------------------------------------------
+
+    def gates(self) -> list[Gate]:
+        """The decoded gate list (decoded once, then cached)."""
+        if self._gates is None:
+            if self._encoded is None:
+                assert self._packed is not None
+                self._encoded, _ = encoding.unpack_segment_from(self._packed, 0)
+            self._gates = encoding.decode_segment(self._encoded)
+            self._packed = None
+            self._encoded = None
+            if self._stats is not None:
+                self._stats.note_decoded(self._nbytes)
+        return self._gates
+
+    @property
+    def decoded(self) -> bool:
+        """Whether the gates have been materialized."""
+        return self._gates is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the result (0 for gate-list births)."""
+        return self._nbytes
+
+    # -- Sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        return self.gates()[index]
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LazySegmentResult):
+            return self.gates() == other.gates()
+        if isinstance(other, (list, tuple)):
+            return self.gates() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "decoded" if self.decoded else f"packed:{self._nbytes}B"
+        return f"LazySegmentResult(len={self._length}, {state})"

@@ -68,6 +68,7 @@ class SimulatedParallelism:
         self.durations_log: list[list[float]] = []
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Run every task serially while accounting a p-worker makespan."""
         durations: list[float] = []
         results: list[R] = []
         for item in items:
@@ -91,6 +92,7 @@ class SimulatedParallelism:
         return sum(greedy_makespan(d, workers) for d in self.durations_log)
 
     def close(self) -> None:
+        """No pooled resources; nothing to release."""
         return None
 
     def reset(self) -> None:

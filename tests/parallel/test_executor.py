@@ -176,6 +176,7 @@ class TestMapSegments:
         # token exists to catch: without it the worker would silently
         # apply the stale oracle)
         from repro.circuits import encode_segment
+        from repro.circuits.encoding import unpack_segment_from
         from repro.oracles import IdentityOracle
         from repro.parallel import StaleOracleError
         from repro.parallel import executor as executor_mod
@@ -183,7 +184,11 @@ class TestMapSegments:
         executor_mod._register_worker_oracle(IdentityOracle(), 1)
         try:
             encoded = encode_segment(self._segments(1)[0])
-            assert executor_mod._apply_registered_oracle(1, encoded) == encoded
+            # the worker replies in the flat wire format (lazy decode)
+            payload = executor_mod._apply_registered_oracle(1, encoded)
+            assert isinstance(payload, bytes)
+            roundtripped, _ = unpack_segment_from(payload)
+            assert roundtripped == encoded
             with pytest.raises(StaleOracleError, match="generation 2"):
                 executor_mod._apply_registered_oracle(2, encoded)
         finally:
@@ -197,6 +202,83 @@ class TestMapSegments:
             pm.map_segments(NamOracle(), self._segments(8))
             assert pm.last_serialization_time > 0.0
             assert pm.serialization_time >= pm.last_serialization_time
+        finally:
+            pm.close()
+
+
+class TestThreadsTransport:
+    """The in-process thread-pool oracle transport."""
+
+    def _segments(self, count=6):
+        from repro.circuits import CNOT, H, X
+
+        return [[H(0), H(0), X(1), CNOT(0, 1)] for _ in range(count)]
+
+    def test_matches_serial_oracle(self):
+        from repro.oracles import NamOracle
+
+        oracle = NamOracle()
+        segments = self._segments(8)
+        want = [oracle(list(seg)) for seg in segments]
+        pm = ProcessMap(2, serial_cutoff=0, transport="threads")
+        try:
+            assert pm.map_segments(oracle, segments) == want
+        finally:
+            pm.close()
+
+    def test_no_process_pool_spawned(self):
+        from repro.oracles import NamOracle
+
+        pm = ProcessMap(2, serial_cutoff=0, transport="threads")
+        try:
+            pm.map_segments(NamOracle(), self._segments(8))
+            assert pm._pool is None  # no process pool, only threads
+            assert pm._thread_pool is not None
+        finally:
+            pm.close()
+        assert pm._thread_pool is None  # close() shut the thread pool
+
+    def test_thread_pool_reused_across_rounds(self):
+        from repro.oracles import NamOracle
+
+        pm = ProcessMap(2, serial_cutoff=0, transport="threads")
+        try:
+            pm.map_segments(NamOracle(), self._segments(8))
+            pool = pm._thread_pool
+            pm.map_segments(NamOracle(), self._segments(8))
+            assert pm._thread_pool is pool
+        finally:
+            pm.close()
+
+    def test_packed_native_oracle_returns_lazy_results(self):
+        from repro.oracles import NamOracle
+        from repro.parallel import LazySegmentResult
+
+        oracle = NamOracle(engine="vector")
+        pm = ProcessMap(2, serial_cutoff=0, transport="threads")
+        try:
+            out = pm.map_segments(oracle, self._segments(8))
+            assert all(isinstance(r, LazySegmentResult) for r in out)
+            assert all(not r.decoded for r in out)  # still packed
+            assert pm.results_returned == 8
+            assert pm.results_decoded == 0
+            # reading the gates decodes, once
+            assert out[0] == oracle(self._segments(1)[0])
+            assert pm.results_decoded == 1
+        finally:
+            pm.close()
+
+    def test_gate_list_oracle_skips_encoding(self):
+        from repro.oracles import NamOracle
+
+        pm = ProcessMap(2, serial_cutoff=0, transport="threads")
+        try:
+            pm.map_segments(NamOracle(), self._segments(8))
+            # no packed bytes exist for a plain gate-list oracle
+            assert pm.results_returned == 0
+            assert pm.last_serialization_time == 0.0
+            assert pm.thread_wall_seconds > 0.0
+            assert pm.thread_task_seconds > 0.0
         finally:
             pm.close()
 

@@ -3,9 +3,9 @@
 POPQC's output must be a pure function of (circuit, oracle, Ω) no
 matter which executor or wire format carried the segments.  This suite
 runs a fixed set of seeded circuits through SerialMap, ThreadMap and
-ProcessMap with both the encoded (persistent-worker) and pickle
-transports and requires byte-identical optimized circuits plus
-identical round/oracle accounting.
+ProcessMap with the encoded, shm, threads and pickle transports and
+requires byte-identical optimized circuits plus identical round/oracle
+accounting.
 """
 
 import pytest
@@ -43,6 +43,7 @@ def serial_results():
         (lambda: ThreadMap(2), {}),
         (lambda: ProcessMap(2, serial_cutoff=0, transport="encoded"), {}),
         (lambda: ProcessMap(2, serial_cutoff=0, transport="shm"), {}),
+        (lambda: ProcessMap(2, serial_cutoff=0, transport="threads"), {}),
         (lambda: ProcessMap(2, serial_cutoff=0, transport="pickle"), {}),
         (
             lambda: ProcessMap(2, serial_cutoff=0),
@@ -53,6 +54,7 @@ def serial_results():
         "thread",
         "process-encoded",
         "process-shm",
+        "process-threads",
         "process-pickle",
         "process-legacy-map",
     ],
@@ -87,6 +89,44 @@ def test_shm_transport_recorded_in_stats():
     assert all(r.stats.shm_arena_bytes > 0 for r in results)
     # the second and third runs recycle the first run's arena ring
     assert results[-1].stats.arena_reuse_rate > 0.5
+
+
+def test_threads_transport_recorded_in_stats():
+    pm = ProcessMap(2, serial_cutoff=0, transport="threads")
+    results = _run_suite(pm)
+    assert all(r.stats.transport == "threads" for r in results)
+    # per-task and wall accounting flow into the run stats ...
+    assert all(r.stats.thread_wall_seconds > 0.0 for r in results)
+    assert all(r.stats.thread_task_seconds > 0.0 for r in results)
+    assert all(0.0 <= r.stats.gil_release_fraction <= 1.0 for r in results)
+    # ... and lazy-decode accounting reports what was skipped (a plain
+    # gate-list oracle on threads has no bytes to skip, so use stats
+    # only where defined)
+    assert all(r.stats.decode_skip_fraction >= 0.0 for r in results)
+
+
+def test_threads_equivalence_with_vector_oracle():
+    """threads + the packed-native vector oracle == pickle + the same
+    oracle, byte for byte (the acceptance pin for the threads wire)."""
+    oracle = NamOracle(engine="vector")
+    want = [popqc(c, oracle, OMEGA) for c in SUITE]
+    for transport in ("pickle", "threads"):
+        pm = ProcessMap(2, serial_cutoff=0, transport=transport)
+        try:
+            got = [popqc(c, oracle, OMEGA, parmap=pm) for c in SUITE]
+        finally:
+            pm.close()
+        for g, w in zip(got, want):
+            assert g.circuit.gates == w.circuit.gates
+            assert to_qasm(g.circuit) == to_qasm(w.circuit)
+            assert g.stats.rounds == w.stats.rounds
+    # the packed-native path reports skipped decodes on threads
+    pm = ProcessMap(2, serial_cutoff=0, transport="threads")
+    try:
+        res = popqc(SUITE[0], oracle, OMEGA, parmap=pm)
+    finally:
+        pm.close()
+    assert res.stats.results_returned > 0
 
 
 @pytest.mark.parametrize("transport", ["auto", "pickle"])
