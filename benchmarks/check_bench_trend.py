@@ -58,7 +58,7 @@ def main(argv: list[str] | None = None) -> int:
         f"serial-map throughput: {got:.0f} segments/s "
         f"(baseline {want:.0f}, floor {floor:.0f}) -> {verdict}"
     )
-    for name in ("pickle", "encoded", "shm", "threads"):
+    for name in ("pickle", "encoded", "shm", "threads", "socket"):
         cur = current["results"].get(name, {}).get("segments_per_s")
         base = baseline["results"].get(name, {}).get("segments_per_s")
         if cur is not None and base is not None:
@@ -66,6 +66,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"{name:>8}: {cur:.0f} segments/s "
                 f"(baseline {base:.0f}, informational)"
             )
+    sock = current["results"].get("socket", {})
+    if sock:
+        print(
+            f"socket wire: {sock.get('hosts', 0)} hosts, "
+            f"{sock.get('bytes_sent', 0)} B out / "
+            f"{sock.get('bytes_received', 0)} B in, "
+            f"{sock.get('reconnects', 0)} reconnects"
+        )
     engine = current.get("derived", {}).get("vector_engine_packed_speedup")
     if engine is not None:
         print(f"vector-engine packed speedup vs seed engine: {engine:.2f}x")

@@ -1,4 +1,4 @@
-"""Oracle-transport benchmark: pickle vs encoded vs shm vs threads.
+"""Oracle-transport benchmark: pickle vs encoded vs shm vs threads vs socket.
 
 The seed ``ProcessMap`` re-pickled the oracle callable and every
 ``list[Gate]`` segment on every round.  PR 1's encoded transport
@@ -8,12 +8,15 @@ segments into one pooled shared-memory arena with batched task
 dispatch, so the executor pipe carries only small descriptor tuples;
 the threads transport drops pipes and arenas entirely and relies on
 the GIL-releasing vectorized rule engine
-(:mod:`repro.oracles.vector_engine`).  These benchmarks measure all
-four wire formats on the segment stream of a ≥20k-gate circuit, prove
-the transports byte-identical end to end, compare the two rule-engine
+(:mod:`repro.oracles.vector_engine`); the socket transport ships the
+same packed bytes as length-prefixed frames over TCP to worker hosts
+(:mod:`repro.parallel.dist`), measured here against a localhost
+multi-worker cluster.  These benchmarks measure all five wire formats
+on the segment stream of a ≥20k-gate circuit, prove the transports
+byte-identical end to end, compare the two rule-engine
 implementations, record what lazy result decode skipped, and emit a
-machine-readable ``BENCH_transport.json`` that CI uploads on every
-push and diffs against the committed baseline (see
+machine-readable ``BENCH_transport.json`` (schema v3) that CI uploads
+on every push and diffs against the committed baseline (see
 ``benchmarks/README.md``).
 
 Timing assertions use min-of-repeats, the standard way to compare two
@@ -40,7 +43,7 @@ from repro.circuits import (
 )
 from repro.core import popqc
 from repro.oracles import IdentityOracle, NamOracle
-from repro.parallel import ProcessMap
+from repro.parallel import ProcessMap, local_cluster
 
 OMEGA = 100
 
@@ -70,11 +73,16 @@ SMOKE_WORKERS = min(4, os.cpu_count() or 1)
 
 
 def _round_time(
-    transport: str, workers: int, oracle=ORACLE, segments=None, repeats: int = 3
+    transport: str,
+    workers: int,
+    oracle=ORACLE,
+    segments=None,
+    repeats: int = 3,
+    hosts=None,
 ) -> float:
     """Min wall-clock of one full segment-stream map over a warm pool."""
     segments = SEGMENTS if segments is None else segments
-    pm = ProcessMap(workers, serial_cutoff=0, transport=transport)
+    pm = ProcessMap(workers, serial_cutoff=0, transport=transport, hosts=hosts)
     try:
         pm.map_segments(oracle, segments[:4])  # spawn + warm the workers
         best = float("inf")
@@ -186,11 +194,21 @@ def serial_reference():
     return popqc(EQUIV_CIRCUIT, NamOracle(), 50)
 
 
-@pytest.mark.parametrize("transport", ["pickle", "encoded", "shm", "threads"])
-def test_cross_transport_equivalence(transport, serial_reference):
-    """pickle/encoded/shm/threads must produce byte-identical optimized
+@pytest.fixture(scope="module")
+def socket_cluster():
+    """A localhost multi-worker cluster for the socket transport."""
+    with local_cluster(2) as hosts:
+        yield hosts
+
+
+@pytest.mark.parametrize(
+    "transport", ["pickle", "encoded", "shm", "threads", "socket"]
+)
+def test_cross_transport_equivalence(transport, serial_reference, socket_cluster):
+    """All five transports must produce byte-identical optimized
     circuits — same gates, same QASM bytes, same dynamics."""
-    pm = ProcessMap(2, serial_cutoff=0, transport=transport)
+    hosts = socket_cluster if transport == "socket" else None
+    pm = ProcessMap(2, serial_cutoff=0, transport=transport, hosts=hosts)
     try:
         res = popqc(EQUIV_CIRCUIT, NamOracle(), 50, parmap=pm)
     finally:
@@ -312,10 +330,39 @@ def test_vector_engine_beats_python_engine_per_segment(engine_results):
     )
 
 
-def test_four_way_comparison_emits_bench_json(engine_results):
-    """Measure serial/pickle/encoded/shm/threads round throughput at
-    smoke scale, the rule-engine comparison and the lazy-decode stats,
-    and write ``BENCH_transport.json`` for the CI trend job.
+def _socket_record(smoke_segments, hosts) -> dict:
+    """Throughput + wire accounting of one socket-transport round over
+    the localhost cluster (the BENCH_transport.json `socket` section).
+
+    Timing goes through ``_round_time`` so the socket row uses exactly
+    the same warm-up and min-of-repeats methodology as the other
+    transports; wire-byte accounting comes from one separate round.
+    """
+    best = _round_time(
+        "socket", len(hosts), segments=smoke_segments, repeats=2, hosts=hosts
+    )
+    pm = ProcessMap(
+        len(hosts), serial_cutoff=0, transport="socket", hosts=hosts
+    )
+    try:
+        pm.map_segments(ORACLE, smoke_segments)
+        return {
+            "seconds_per_round": best,
+            "segments_per_s": len(smoke_segments) / best,
+            "hosts": len(hosts),
+            "bytes_sent": pm.socket_bytes_sent,
+            "bytes_received": pm.socket_bytes_received,
+            "reconnects": pm.socket_reconnects,
+        }
+    finally:
+        pm.close()
+
+
+def test_five_way_comparison_emits_bench_json(engine_results, socket_cluster):
+    """Measure serial/pickle/encoded/shm/threads/socket round
+    throughput at smoke scale (socket against the localhost cluster),
+    the rule-engine comparison and the lazy-decode stats, and write
+    ``BENCH_transport.json`` (schema v3) for the CI trend job.
 
     This test only asserts sanity (positive throughputs, complete
     record, lazy decode skipping bytes on a rejecting workload); the
@@ -339,12 +386,13 @@ def test_four_way_comparison_emits_bench_json(engine_results):
             "seconds_per_round": elapsed,
             "segments_per_s": len(smoke_segments) / elapsed,
         }
+    results["socket"] = _socket_record(smoke_segments, socket_cluster)
 
     engines = engine_results
     lazy = _lazy_decode_record()
 
     record = {
-        "schema": "popqc-bench-transport/v2",
+        "schema": "popqc-bench-transport/v3",
         "generated_unix": time.time(),
         "workload": {
             "circuit_gates": CIRCUIT.num_gates,
@@ -368,6 +416,8 @@ def test_four_way_comparison_emits_bench_json(engine_results):
             / results["shm"]["seconds_per_round"],
             "threads_speedup_vs_pickle": results["pickle"]["seconds_per_round"]
             / results["threads"]["seconds_per_round"],
+            "socket_speedup_vs_pickle": results["pickle"]["seconds_per_round"]
+            / results["socket"]["seconds_per_round"],
             "vector_engine_packed_speedup": engines["python"][
                 "packed_seconds_per_segment"
             ]
@@ -381,7 +431,14 @@ def test_four_way_comparison_emits_bench_json(engine_results):
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
 
     assert all(r["segments_per_s"] > 0 for r in results.values())
-    assert set(results) == {"serial", "pickle", "encoded", "shm", "threads"}
+    assert set(results) == {
+        "serial", "pickle", "encoded", "shm", "threads", "socket",
+    }
+    # the socket section must come from a real multi-worker run with
+    # bytes actually on the wire
+    assert results["socket"]["hosts"] >= 2
+    assert results["socket"]["bytes_sent"] > 0
+    assert results["socket"]["bytes_received"] > 0
     # the lazy-decode acceptance pin: a rejecting workload must report
     # skipped decode bytes
     assert lazy["bytes_skipped"] > 0
@@ -418,6 +475,23 @@ def test_threads_round_benchmark(benchmark):
     try:
         pm.map_segments(oracle, SEGMENTS[:4])
         out = benchmark(lambda: pm.map_segments(oracle, SEGMENTS))
+    finally:
+        pm.close()
+    assert len(out) == len(SEGMENTS)
+
+
+def test_socket_round_benchmark(benchmark, socket_cluster):
+    """Throughput of one socket-transport round over the localhost
+    cluster (for trend tracking)."""
+    pm = ProcessMap(
+        len(socket_cluster),
+        serial_cutoff=0,
+        transport="socket",
+        hosts=socket_cluster,
+    )
+    try:
+        pm.map_segments(ORACLE, SEGMENTS[:4])
+        out = benchmark(lambda: pm.map_segments(ORACLE, SEGMENTS))
     finally:
         pm.close()
     assert len(out) == len(SEGMENTS)

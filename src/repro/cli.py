@@ -4,6 +4,9 @@ Subcommands:
 
 * ``optimize FILE.qasm`` — optimize a QASM circuit and write the result;
 * ``bench FAMILY`` — generate and optimize a benchmark instance;
+* ``worker`` — serve oracle segments over TCP for the distributed
+  socket transport (``--transport socket --hosts ...`` on the driver
+  side);
 * ``tables`` / ``figures`` — regenerate the paper's evaluation artifacts.
 """
 
@@ -53,11 +56,22 @@ _FIGURES = {
 }
 
 
-def _make_parmap(spec: str, transport: str | None = None):
+def _make_parmap(spec: str, transport: str | None = None, hosts: str | None = None):
+    if hosts is not None and transport != "socket":
+        raise SystemExit("--hosts requires --transport socket")
+    if transport == "socket" and hosts is None:
+        raise SystemExit(
+            "--transport socket requires --hosts HOST:PORT[,HOST:PORT...] "
+            "(start workers with `popqc worker --bind HOST:PORT`)"
+        )
     if spec.startswith("process"):
         _, _, count = spec.partition(":")
         return ProcessMap(
-            int(count) if count else None, transport=transport or "encoded"
+            int(count) if count else None,
+            transport=transport or "encoded",
+            hosts=[h.strip() for h in hosts.split(",") if h.strip()]
+            if hosts
+            else None,
         )
     if transport is not None:
         raise SystemExit(f"--transport only applies to process executors, not {spec!r}")
@@ -105,7 +119,14 @@ def main(argv: list[str] | None = None) -> int:
         "shm: zero-copy shared-memory arenas with batched dispatch, "
         "falls back to encoded where unsupported; threads: shared-"
         "memory thread pool, best with GIL-releasing oracles such as "
-        "the vectorized rule engine; pickle: legacy)",
+        "the vectorized rule engine; socket: distributed worker hosts "
+        "over TCP, needs --hosts; pickle: legacy)",
+    )
+    p_opt.add_argument(
+        "--hosts",
+        default=None,
+        help="comma-separated worker host addresses (HOST:PORT) for "
+        "--transport socket; start each with `popqc worker --bind HOST:PORT`",
     )
     p_opt.add_argument(
         "--oracle-engine",
@@ -122,11 +143,23 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--omega", type=int, default=100)
     p_bench.add_argument("--executor", default="serial")
     p_bench.add_argument("--transport", default=None, choices=list(TRANSPORTS))
+    p_bench.add_argument("--hosts", default=None)
     p_bench.add_argument(
         "--oracle-engine", default="python", choices=["python", "vector"]
     )
     p_bench.add_argument(
         "--baseline", action="store_true", help="also run the whole-circuit baseline"
+    )
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve oracle segments over TCP (distributed socket transport)",
+    )
+    p_worker.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="HOST:PORT to listen on (port 0 picks an ephemeral port, "
+        "printed on startup)",
     )
 
     p_an = sub.add_parser("analyze", help="report circuit metrics")
@@ -153,13 +186,34 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
 
+    if args.command == "worker":
+        from .parallel import WorkerHost
+        from .parallel.dist import parse_address
+
+        host, port = parse_address(args.bind)
+        worker = WorkerHost(host, port)
+        print(f"popqc worker listening on {worker.address}", flush=True)
+        try:
+            worker.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        finally:
+            worker.stop()
+            print(
+                f"popqc worker served {worker.segments_served} segments in "
+                f"{worker.batches_served} batches "
+                f"({worker.bytes_received} B in, {worker.bytes_sent} B out)",
+                flush=True,
+            )
+        return 0
+
     if args.command == "optimize":
         circuit = read_qasm(args.input)
         res = popqc(
             circuit,
             NamOracle(engine=args.oracle_engine),
             args.omega,
-            parmap=_make_parmap(args.executor, args.transport),
+            parmap=_make_parmap(args.executor, args.transport, args.hosts),
         )
         print(res.stats.summary())
         if args.output:
@@ -175,7 +229,7 @@ def main(argv: list[str] | None = None) -> int:
             circuit,
             NamOracle(engine=args.oracle_engine),
             args.omega,
-            parmap=_make_parmap(args.executor, args.transport),
+            parmap=_make_parmap(args.executor, args.transport, args.hosts),
         )
         print("popqc:   ", res.stats.summary())
         if args.baseline:

@@ -49,9 +49,11 @@ class FenwickTree:
 
     @property
     def total(self) -> int:
+        """Number of live slots in the whole array."""
         return self.before(self._size)
 
     def is_live(self, index: int) -> bool:
+        """Whether slot ``index`` is live (not tombstoned)."""
         self._check_index(index)
         return bool(self._live[index])
 
@@ -82,6 +84,7 @@ class FenwickTree:
         return pos  # 0-based index of the slot holding the target rank
 
     def next_live(self, index: int) -> int | None:
+        """The first live slot at or after ``index`` (None past the end)."""
         if index < 0:
             index = 0
         if index >= self._size:
@@ -94,6 +97,7 @@ class FenwickTree:
         return self.select(rank)
 
     def set_live(self, index: int, live: bool) -> None:
+        """Set slot ``index``'s liveness, updating prefix sums in O(lg n)."""
         self._check_index(index)
         delta = int(live) - int(self._live[index])
         if delta == 0:
@@ -107,10 +111,12 @@ class FenwickTree:
             i += i & -i
 
     def set_live_batch(self, updates: Iterable[tuple[int, bool]]) -> None:
+        """Apply many ``(index, live)`` updates (point updates in a loop)."""
         for index, live in updates:
             self.set_live(index, live)
 
     def live_indices(self) -> np.ndarray:
+        """Indices of all live slots, ascending."""
         return np.nonzero(self._live)[0]
 
     def _check_index(self, index: int) -> None:

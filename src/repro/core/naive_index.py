@@ -30,18 +30,22 @@ class NaiveIndex:
 
     @property
     def total(self) -> int:
+        """Number of live slots in the whole array."""
         return sum(self._flags)
 
     def is_live(self, index: int) -> bool:
+        """Whether slot ``index`` is live (not tombstoned)."""
         self._check(index)
         return bool(self._flags[index])
 
     def before(self, index: int) -> int:
+        """Number of live slots strictly before ``index`` (linear scan)."""
         if index < 0 or index > len(self._flags):
             raise IndexError(f"index {index} out of range [0, {len(self._flags)}]")
         return sum(self._flags[:index])
 
     def select(self, rank: int) -> int:
+        """Array index of the live slot with 0-based rank ``rank``."""
         if rank < 0:
             raise IndexError(rank)
         seen = 0
@@ -53,20 +57,24 @@ class NaiveIndex:
         raise IndexError(f"rank {rank} out of range [0, {self.total})")
 
     def next_live(self, index: int) -> int | None:
+        """The first live slot at or after ``index`` (None past the end)."""
         for i in range(max(0, index), len(self._flags)):
             if self._flags[i]:
                 return i
         return None
 
     def set_live(self, index: int, live: bool) -> None:
+        """Set slot ``index``'s liveness."""
         self._check(index)
         self._flags[index] = int(live)
 
     def set_live_batch(self, updates: Iterable[tuple[int, bool]]) -> None:
+        """Apply many ``(index, live)`` updates."""
         for index, live in updates:
             self.set_live(index, live)
 
     def live_indices(self) -> np.ndarray:
+        """Indices of all live slots, ascending."""
         return np.nonzero(self._flags)[0]
 
     def _check(self, index: int) -> None:

@@ -85,7 +85,8 @@ def resolve_segment_transport(pmap: ParallelMap, transport: str) -> bool:
 
     ``"auto"`` uses the executor's persistent-worker transport when it
     offers one; ``"pickle"`` forces the legacy object-map path.  A
-    concrete wire format (``"encoded"``/``"shm"``/``"threads"``)
+    concrete wire format
+    (``"encoded"``/``"shm"``/``"threads"``/``"socket"``)
     requires a transport-capable executor configured for that format —
     except that requesting ``"shm"`` from an executor that *fell back*
     to ``"encoded"`` (platform without shared memory) is accepted, so
@@ -172,7 +173,9 @@ def popqc(
         (default) uses the executor's persistent-worker transport when
         it offers one (``map_segments``, currently
         :class:`~repro.parallel.ProcessMap`) and plain ``map``
-        otherwise.  ``"encoded"``, ``"shm"`` and ``"threads"`` require
+        otherwise.  ``"encoded"``, ``"shm"``, ``"threads"`` and
+        ``"socket"`` (distributed worker hosts over TCP, see
+        :mod:`repro.parallel.dist`) require
         a transport-capable executor configured for that wire format
         (raises :class:`ValueError` otherwise; see
         :func:`resolve_segment_transport`); ``"pickle"`` forces the

@@ -87,6 +87,14 @@ class OptimizationStats:
     #: concurrency (1.0 = fully GIL-bound).
     thread_task_seconds: float = 0.0
     thread_wall_seconds: float = 0.0
+    #: Socket-transport accounting: frame bytes on the wire in each
+    #: direction and reconnect-and-requeue cycles after host failures.
+    socket_bytes_sent: int = 0
+    socket_bytes_received: int = 0
+    socket_reconnects: int = 0
+    #: Per-host throughput of the socket transport: address →
+    #: ``{"segments", "seconds", "segments_per_s"}`` for this run.
+    socket_hosts: dict = field(default_factory=dict)
     #: Sum of per-round simulated makespans (SimulatedParallelism only).
     simulated_oracle_time: float = 0.0
     #: Worker count of the executor used.
@@ -142,6 +150,11 @@ class OptimizationStats:
         if self.results_returned == 0:
             return 0.0
         return 1.0 - self.results_decoded / self.results_returned
+
+    @property
+    def socket_wire_bytes(self) -> int:
+        """Total frame bytes the socket transport moved, both directions."""
+        return self.socket_bytes_sent + self.socket_bytes_received
 
     @property
     def thread_concurrency(self) -> float:
@@ -218,7 +231,14 @@ _TRANSPORT_COUNTERS = (
     "result_bytes_decoded",
     "thread_task_seconds",
     "thread_wall_seconds",
+    "socket_bytes_sent",
+    "socket_bytes_received",
+    "socket_reconnects",
 )
+
+#: Per-host dict counters snapshotted alongside the scalar ones; the
+#: per-run delta becomes ``OptimizationStats.socket_hosts``.
+_HOST_COUNTERS = ("socket_host_segments", "socket_host_seconds")
 
 
 def record_transport(
@@ -237,11 +257,15 @@ def record_transport(
         stats.transport = getattr(pmap, "transport", "encoded")
     elif hasattr(pmap, "map_segments"):
         stats.transport = "pickle"
-    return {
+    snapshot = {
         name: getattr(pmap, name)
         for name in _TRANSPORT_COUNTERS
         if hasattr(pmap, name)
     }
+    for name in _HOST_COUNTERS:
+        if hasattr(pmap, name):
+            snapshot[name] = dict(getattr(pmap, name))
+    return snapshot
 
 
 def finalize_transport(
@@ -254,7 +278,9 @@ def finalize_transport(
     if not isinstance(snapshot, dict):
         return
     delta = {
-        name: getattr(pmap, name) - before for name, before in snapshot.items()
+        name: getattr(pmap, name) - before
+        for name, before in snapshot.items()
+        if name not in _HOST_COUNTERS
     }
     if (
         stats.transport != "inline"
@@ -272,6 +298,25 @@ def finalize_transport(
     stats.result_bytes_decoded = delta.get("result_bytes_decoded", 0)
     stats.thread_task_seconds = delta.get("thread_task_seconds", 0.0)
     stats.thread_wall_seconds = delta.get("thread_wall_seconds", 0.0)
+    stats.socket_bytes_sent = delta.get("socket_bytes_sent", 0)
+    stats.socket_bytes_received = delta.get("socket_bytes_received", 0)
+    stats.socket_reconnects = delta.get("socket_reconnects", 0)
+    if "socket_host_segments" in snapshot:
+        seg_before = snapshot["socket_host_segments"]
+        sec_before = snapshot.get("socket_host_seconds", {})
+        seg_now = getattr(pmap, "socket_host_segments", {})
+        sec_now = getattr(pmap, "socket_host_seconds", {})
+        hosts = {}
+        for addr, segs in seg_now.items():
+            d_segs = segs - seg_before.get(addr, 0)
+            d_secs = sec_now.get(addr, 0.0) - sec_before.get(addr, 0.0)
+            if d_segs or d_secs:
+                hosts[addr] = {
+                    "segments": d_segs,
+                    "seconds": d_secs,
+                    "segments_per_s": d_segs / d_secs if d_secs > 0 else 0.0,
+                }
+        stats.socket_hosts = hosts
     # capacity of the executor's arena ring, not a delta: a run served
     # entirely by recycled blocks still reports the memory it ran in
     stats.shm_arena_bytes = getattr(pmap, "arena_bytes", 0)

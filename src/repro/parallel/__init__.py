@@ -44,11 +44,20 @@ also provide ``map_segments(oracle, segments)`` (currently
 driver will use it unless told otherwise (``popqc(...,
 transport="pickle")``).
 
-Remaining scaling direction (see ROADMAP "Open items"): a distributed
-multi-host transport carrying the same packed wire format over
-sockets.
+The fifth transport completes the ladder: ``"socket"``
+(:mod:`repro.parallel.dist`) carries the same packed bytes as
+length-prefixed frames over TCP to ``popqc worker`` hosts — serial →
+pool → shm → threads → multi-host, every rung byte-identical.
 """
 
+from .dist import (
+    FrameProtocolError,
+    RemoteOracleError,
+    SocketHostPool,
+    WorkerHost,
+    WorkerUnavailableError,
+    local_cluster,
+)
 from .executor import (
     TRANSPORTS,
     ParallelMap,
@@ -73,15 +82,21 @@ __all__ = [
     "HAVE_SHM",
     "TRANSPORTS",
     "DecodeStats",
+    "FrameProtocolError",
     "LazySegmentResult",
     "ParallelMap",
     "ProcessMap",
+    "RemoteOracleError",
     "SerialMap",
     "ShmArenaPool",
     "SimulatedParallelism",
+    "SocketHostPool",
     "StaleArenaError",
     "StaleOracleError",
     "ThreadMap",
+    "WorkerHost",
+    "WorkerUnavailableError",
+    "local_cluster",
     "adaptive_chunksize",
     "batch_segments",
     "default_workers",

@@ -1,0 +1,922 @@
+"""Distributed socket transport: the packed wire format over TCP.
+
+The transport ladder so far kept every byte on one machine: the
+``encoded`` transport ships packed segments through an executor pipe,
+``shm`` moves them through pooled shared-memory arenas, ``threads``
+moves nothing at all.  This module adds the cluster rung from the
+ROADMAP — the *same* packed bytes (:func:`repro.circuits.encoding.
+pack_segment_into` / :func:`~repro.circuits.encoding.
+unpack_segment_from`), carried over sockets to worker processes that
+may live on other machines.
+
+Three pieces:
+
+* **A length-prefixed frame codec.**  Every message on the wire is one
+  frame: a fixed 16-byte header (magic, frame type, payload length)
+  followed by the payload.  Segment batches and result batches embed
+  the flat segment wire format unchanged, so a segment's bytes are
+  identical whether they land in a pipe, an arena or a TCP stream.
+  :class:`FrameReader` is an incremental parser fed arbitrary
+  ``recv`` chunks — partial frames simply wait for more bytes, and a
+  stream that *ends* mid-frame raises :class:`FrameProtocolError`
+  instead of yielding a torn message.
+* **A worker host** (:class:`WorkerHost`): a TCP server loop, exposed
+  as the ``popqc worker`` CLI subcommand, that accepts client
+  connections, registers an oracle per connection through the same
+  generation-token protocol the process transports use (a
+  ``REGISTER`` frame carrying the pickled oracle and its generation;
+  segment frames tagged with a different generation are refused with
+  a typed error, never silently served), and answers batched segment
+  frames with batched result frames.
+* **A client-side host registry** (:class:`SocketHostPool`), used by
+  :meth:`repro.parallel.ProcessMap.map_segments` when constructed
+  with ``transport="socket"``: one connection (and one dispatcher
+  thread) per worker host, round-robining the batches produced by
+  :func:`repro.parallel.scheduling.batch_segments` across hosts
+  through a shared work queue.  Heartbeat pings re-validate idle
+  connections between rounds; a connection that dies mid-round has
+  its in-flight batch *requeued* to the surviving hosts and is
+  reconnected (and re-registered) for the next round, so a killed
+  worker costs latency, never correctness.  When every host is gone
+  the round fails with :class:`WorkerUnavailableError` — a typed,
+  catchable failure, not a hang.
+
+Results come back as flat packed segments and flow into
+:class:`~repro.parallel.results.LazySegmentResult` unchanged, so lazy
+decode and byte-identical equivalence hold on the socket transport
+exactly as on the other four.  (Worker-side code in this module calls
+the codec through *direct* imports rather than module attributes, so
+the parent-side decode spies of ``tests/parallel/test_lazy_decode.py``
+observe only what the driver decodes, even with in-process test
+clusters.)
+
+Frame layout (all integers little-endian)::
+
+    frame      <4sBxxxQ: magic b"PQCF", frame type, payload nbytes
+    REGISTER   <Q generation> + pickled oracle
+    REGISTER_OK<Q generation>
+    SEGMENTS   <QQQ: generation, batch id, count> + count packed segments
+    RESULTS    <QQ: batch id, count> + count packed segments
+    ERROR      <B kind> + utf-8 message
+    PING/PONG  empty payload
+    SHUTDOWN   empty payload
+
+Packed segments are 8-byte-aligned blocks, so consecutive segments in
+a SEGMENTS/RESULTS payload are walked with
+:func:`~repro.circuits.encoding.packed_segment_span` alone.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pickle
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..circuits.encoding import (
+    EncodedSegment,
+    pack_segment_into,
+    packed_segment_nbytes,
+    packed_segment_span,
+    unpack_segment_from,
+)
+from .executor import StaleOracleError, _oracle_encoded_result, _pack_to_bytes
+
+__all__ = [
+    "FRAME_ERROR",
+    "FRAME_PING",
+    "FRAME_PONG",
+    "FRAME_REGISTER",
+    "FRAME_REGISTER_OK",
+    "FRAME_RESULTS",
+    "FRAME_SEGMENTS",
+    "FRAME_SHUTDOWN",
+    "ConnectionClosedError",
+    "FrameProtocolError",
+    "FrameReader",
+    "HostConnection",
+    "RemoteOracleError",
+    "SocketHostPool",
+    "WorkerHost",
+    "WorkerUnavailableError",
+    "local_cluster",
+    "pack_frame",
+    "pack_register_payload",
+    "pack_results_payload",
+    "pack_segments_payload",
+    "parse_address",
+    "recv_frame",
+    "split_results_payload",
+    "unpack_register_payload",
+    "unpack_segments_payload",
+]
+
+
+# -- frame codec ---------------------------------------------------------------
+
+#: Magic prefix of every frame; a connection speaking anything else is
+#: rejected at the first header.
+FRAME_MAGIC = b"PQCF"
+
+_FRAME_HEADER = struct.Struct("<4sBxxxQ")
+
+#: Frame types.
+FRAME_REGISTER = 1
+FRAME_REGISTER_OK = 2
+FRAME_SEGMENTS = 3
+FRAME_RESULTS = 4
+FRAME_ERROR = 5
+FRAME_PING = 6
+FRAME_PONG = 7
+FRAME_SHUTDOWN = 8
+
+_KNOWN_FRAMES = frozenset(
+    (
+        FRAME_REGISTER,
+        FRAME_REGISTER_OK,
+        FRAME_SEGMENTS,
+        FRAME_RESULTS,
+        FRAME_ERROR,
+        FRAME_PING,
+        FRAME_PONG,
+        FRAME_SHUTDOWN,
+    )
+)
+
+#: Upper bound on a frame payload (1 GiB); a corrupt length field must
+#: fail loudly instead of waiting forever for bytes that never come.
+MAX_FRAME_BYTES = 1 << 30
+
+_SEGMENTS_HEADER = struct.Struct("<QQQ")  # generation, batch id, count
+_RESULTS_HEADER = struct.Struct("<QQ")  # batch id, count
+_REGISTER_HEADER = struct.Struct("<Q")  # generation
+_ERROR_HEADER = struct.Struct("<B")  # error kind
+
+#: Error kinds carried by ERROR frames.
+ERR_STALE_ORACLE = 1
+ERR_NO_ORACLE = 2
+ERR_ORACLE_FAILED = 3
+ERR_BAD_FRAME = 4
+
+
+class FrameProtocolError(RuntimeError):
+    """The byte stream violates the frame protocol: bad magic, an
+    unknown frame type, an implausible length, or a stream that ended
+    in the middle of a frame."""
+
+
+class ConnectionClosedError(RuntimeError):
+    """The peer closed the connection cleanly at a frame boundary."""
+
+
+class RemoteOracleError(RuntimeError):
+    """The oracle raised an exception on the worker host; the message
+    carries the remote ``repr``."""
+
+
+class WorkerUnavailableError(RuntimeError):
+    """No worker host could be reached (or every host died mid-round
+    and reconnection failed), so the batch queue cannot drain."""
+
+
+def pack_frame(frame_type: int, payload: bytes = b"") -> bytes:
+    """One wire frame: 16-byte header followed by ``payload``."""
+    return _FRAME_HEADER.pack(FRAME_MAGIC, frame_type, len(payload)) + payload
+
+
+class FrameReader:
+    """Incremental frame parser over arbitrarily split byte chunks.
+
+    Feed it whatever ``recv`` returned; :meth:`next_frame` yields a
+    complete ``(frame type, payload)`` pair when one is buffered and
+    ``None`` while bytes are still missing.  The property-test suite
+    drives this with every possible chunking of a frame stream.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Append raw received bytes to the parse buffer."""
+        self._buf += data
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet consumed as a complete frame."""
+        return len(self._buf)
+
+    def next_frame(self) -> Optional[tuple[int, bytes]]:
+        """The next complete frame, or ``None`` if more bytes are needed.
+
+        Raises :class:`FrameProtocolError` on a corrupt header.
+        """
+        if len(self._buf) < _FRAME_HEADER.size:
+            return None
+        magic, frame_type, length = _FRAME_HEADER.unpack_from(self._buf, 0)
+        if magic != FRAME_MAGIC:
+            raise FrameProtocolError(f"bad frame magic {magic!r}")
+        if frame_type not in _KNOWN_FRAMES:
+            raise FrameProtocolError(f"unknown frame type {frame_type}")
+        if length > MAX_FRAME_BYTES:
+            raise FrameProtocolError(f"frame length {length} exceeds the cap")
+        end = _FRAME_HEADER.size + length
+        if len(self._buf) < end:
+            return None
+        payload = bytes(self._buf[_FRAME_HEADER.size : end])
+        del self._buf[:end]
+        return frame_type, payload
+
+
+def recv_frame(sock: socket.socket, reader: FrameReader) -> tuple[int, bytes]:
+    """Block until one complete frame arrives on ``sock``.
+
+    Raises :class:`ConnectionClosedError` when the peer closes cleanly
+    between frames and :class:`FrameProtocolError` when the stream ends
+    mid-frame (a torn message must never be mistaken for a short one).
+    """
+    while True:
+        frame = reader.next_frame()
+        if frame is not None:
+            return frame
+        data = sock.recv(1 << 16)
+        if not data:
+            if reader.pending_bytes:
+                raise FrameProtocolError(
+                    f"connection closed mid-frame with "
+                    f"{reader.pending_bytes} bytes pending"
+                )
+            raise ConnectionClosedError("connection closed")
+        reader.feed(data)
+
+
+# -- payload codecs ------------------------------------------------------------
+
+
+def pack_register_payload(oracle_blob: bytes, generation: int) -> bytes:
+    """REGISTER payload: generation header + the pickled oracle bytes."""
+    return _REGISTER_HEADER.pack(generation) + oracle_blob
+
+
+def unpack_register_payload(payload: bytes) -> tuple[int, object]:
+    """(generation, oracle) from a REGISTER payload."""
+    (generation,) = _REGISTER_HEADER.unpack_from(payload, 0)
+    oracle = pickle.loads(payload[_REGISTER_HEADER.size :])
+    return generation, oracle
+
+
+def pack_segments_payload(
+    generation: int, batch_id: int, encoded: Sequence[EncodedSegment]
+) -> bytes:
+    """SEGMENTS payload: header + the batch in the flat wire format."""
+    sizes = [packed_segment_nbytes(enc) for enc in encoded]
+    buf = bytearray(_SEGMENTS_HEADER.size + sum(sizes))
+    _SEGMENTS_HEADER.pack_into(buf, 0, generation, batch_id, len(encoded))
+    pos = _SEGMENTS_HEADER.size
+    for enc in encoded:
+        pos = pack_segment_into(enc, buf, pos)
+    return bytes(buf)
+
+
+def unpack_segments_payload(
+    payload: bytes,
+) -> tuple[int, int, list[EncodedSegment]]:
+    """(generation, batch id, segments) from a SEGMENTS payload.
+
+    The returned segments are zero-copy views into ``payload``.
+    Raises :class:`FrameProtocolError` when the declared count walks
+    past the end of the payload.
+    """
+    if len(payload) < _SEGMENTS_HEADER.size:
+        raise FrameProtocolError("SEGMENTS payload shorter than its header")
+    generation, batch_id, count = _SEGMENTS_HEADER.unpack_from(payload, 0)
+    pos = _SEGMENTS_HEADER.size
+    segments: list[EncodedSegment] = []
+    try:
+        for _ in range(count):
+            segment, pos = unpack_segment_from(payload, pos)
+            segments.append(segment)
+    except (struct.error, ValueError) as exc:
+        raise FrameProtocolError(f"torn SEGMENTS payload: {exc}") from exc
+    if pos > len(payload):
+        raise FrameProtocolError("SEGMENTS payload truncated mid-segment")
+    return generation, batch_id, segments
+
+
+def pack_results_payload(batch_id: int, packed_results: Sequence[bytes]) -> bytes:
+    """RESULTS payload: header + each result's packed bytes, in order."""
+    head = _RESULTS_HEADER.pack(batch_id, len(packed_results))
+    return head + b"".join(packed_results)
+
+
+def split_results_payload(payload: bytes) -> tuple[int, list[bytes]]:
+    """(batch id, per-segment packed blobs) from a RESULTS payload.
+
+    Splits on :func:`packed_segment_span` header reads only — no
+    per-gate decoding, preserving result laziness end to end.
+    """
+    if len(payload) < _RESULTS_HEADER.size:
+        raise FrameProtocolError("RESULTS payload shorter than its header")
+    batch_id, count = _RESULTS_HEADER.unpack_from(payload, 0)
+    pos = _RESULTS_HEADER.size
+    blobs: list[bytes] = []
+    try:
+        for _ in range(count):
+            _, end = packed_segment_span(payload, pos)
+            if end > len(payload):
+                raise FrameProtocolError("RESULTS payload truncated mid-segment")
+            blobs.append(payload[pos:end])
+            pos = end
+    except struct.error as exc:
+        raise FrameProtocolError(f"torn RESULTS payload: {exc}") from exc
+    return batch_id, blobs
+
+
+def pack_error_payload(kind: int, message: str) -> bytes:
+    """ERROR payload: kind byte + utf-8 message."""
+    return _ERROR_HEADER.pack(kind) + message.encode("utf-8")
+
+
+def unpack_error_payload(payload: bytes) -> tuple[int, str]:
+    """(kind, message) from an ERROR payload."""
+    (kind,) = _ERROR_HEADER.unpack_from(payload, 0)
+    return kind, payload[_ERROR_HEADER.size :].decode("utf-8", "replace")
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (host defaults to loopback)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _raise_remote_error(payload: bytes) -> None:
+    """Turn an ERROR frame into the matching typed client exception."""
+    kind, message = unpack_error_payload(payload)
+    if kind == ERR_STALE_ORACLE:
+        raise StaleOracleError(message)
+    if kind == ERR_ORACLE_FAILED:
+        raise RemoteOracleError(message)
+    raise FrameProtocolError(f"worker refused the frame (kind {kind}): {message}")
+
+
+# -- worker host (server side) -------------------------------------------------
+
+
+class WorkerHost:
+    """TCP server answering segment-batch frames with result frames.
+
+    One handler thread per client connection; each connection carries
+    its own oracle registration (REGISTER frame, pickled oracle +
+    generation token).  SEGMENTS frames tagged with any other
+    generation are answered with a typed ``stale oracle`` error frame,
+    mirroring :class:`~repro.parallel.StaleOracleError` on the process
+    transports.  ``port=0`` binds an ephemeral port; :attr:`address`
+    reports the bound endpoint either way.
+
+    Attributes
+    ----------
+    segments_served / batches_served:
+        Totals across all connections (for the CLI status line).
+    bytes_received / bytes_sent:
+        Frame bytes in and out, payloads included.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.segments_served = 0
+        self.batches_served = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        self._lock = threading.Lock()
+        self._closing = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: list[threading.Thread] = []
+        self._conns: list[socket.socket] = []
+
+    @property
+    def address(self) -> str:
+        """The bound endpoint as ``"host:port"``."""
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`stop` (blocking)."""
+        while not self._closing.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:  # listener shut down by stop()
+                break
+            if self._closing.is_set():
+                # accept() raced stop(): refuse, don't serve
+                with contextlib.suppress(OSError):
+                    conn.close()
+                break
+            with self._lock:
+                self._conns.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            # prune finished handlers so a long-lived worker serving
+            # many reconnecting drivers doesn't grow this list forever
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def start(self) -> "WorkerHost":
+        """Serve in a daemon thread (for in-process clusters); returns self."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every open connection (idempotent).
+
+        Clients blocked on a reply observe the close as a dropped
+        connection — exactly the fault the client registry is built to
+        absorb, which is why the fault-injection suite stops hosts
+        mid-round with this method.
+        """
+        self._closing.set()
+        # shutdown() (not just close()) wakes a thread blocked in
+        # accept(): on Linux, close() alone leaves the in-flight accept
+        # holding the listening socket open, silently accepting the
+        # very reconnects a stopped host must refuse
+        with contextlib.suppress(OSError):
+            self._listener.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            with contextlib.suppress(OSError):
+                conn.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                conn.close()
+        for thread in self._conn_threads:
+            thread.join(timeout=1.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+
+    # -- connection handling ---------------------------------------------------
+
+    def _send(self, conn: socket.socket, frame: bytes) -> None:
+        conn.sendall(frame)
+        with self._lock:
+            self.bytes_sent += len(frame)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """Serve one client until it disconnects or the host stops."""
+        reader = FrameReader()
+        oracle: Optional[Callable] = None
+        generation = -1
+        try:
+            while True:
+                frame_type, payload = self._recv(conn, reader)
+                if frame_type == FRAME_REGISTER:
+                    try:
+                        generation, oracle = unpack_register_payload(payload)
+                    except Exception as exc:  # torn header / corrupt pickle
+                        self._send(
+                            conn,
+                            pack_frame(
+                                FRAME_ERROR,
+                                pack_error_payload(
+                                    ERR_BAD_FRAME,
+                                    f"bad REGISTER payload: {exc!r}",
+                                ),
+                            ),
+                        )
+                        continue  # previous registration stays in force
+                    self._send(
+                        conn,
+                        pack_frame(
+                            FRAME_REGISTER_OK, _REGISTER_HEADER.pack(generation)
+                        ),
+                    )
+                elif frame_type == FRAME_PING:
+                    self._send(conn, pack_frame(FRAME_PONG))
+                elif frame_type == FRAME_SEGMENTS:
+                    self._send(
+                        conn, self._answer_segments(payload, oracle, generation)
+                    )
+                elif frame_type == FRAME_SHUTDOWN:
+                    return
+                else:
+                    self._send(
+                        conn,
+                        pack_frame(
+                            FRAME_ERROR,
+                            pack_error_payload(
+                                ERR_BAD_FRAME,
+                                f"unexpected frame type {frame_type}",
+                            ),
+                        ),
+                    )
+        except (ConnectionClosedError, FrameProtocolError, OSError):
+            return  # client went away; nothing to answer
+        finally:
+            with self._lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+            with contextlib.suppress(OSError):
+                conn.close()
+
+    def _recv(self, conn: socket.socket, reader: FrameReader) -> tuple[int, bytes]:
+        frame_type, payload = recv_frame(conn, reader)
+        with self._lock:
+            self.bytes_received += _FRAME_HEADER.size + len(payload)
+        return frame_type, payload
+
+    def _answer_segments(
+        self, payload: bytes, oracle: Optional[Callable], generation: int
+    ) -> bytes:
+        """The reply frame for one SEGMENTS request."""
+        try:
+            got_generation, batch_id, segments = unpack_segments_payload(payload)
+        except FrameProtocolError as exc:
+            return pack_frame(
+                FRAME_ERROR, pack_error_payload(ERR_BAD_FRAME, str(exc))
+            )
+        if oracle is None:
+            return pack_frame(
+                FRAME_ERROR,
+                pack_error_payload(
+                    ERR_NO_ORACLE, "no oracle registered on this connection"
+                ),
+            )
+        if got_generation != generation:
+            return pack_frame(
+                FRAME_ERROR,
+                pack_error_payload(
+                    ERR_STALE_ORACLE,
+                    f"batch expects oracle generation {got_generation}, "
+                    f"connection registered {generation}",
+                ),
+            )
+        try:
+            results = [
+                _pack_to_bytes(_oracle_encoded_result(oracle, segment))
+                for segment in segments
+            ]
+        except Exception as exc:  # noqa: BLE001 - forwarded to the client
+            return pack_frame(
+                FRAME_ERROR, pack_error_payload(ERR_ORACLE_FAILED, repr(exc))
+            )
+        with self._lock:
+            self.segments_served += len(segments)
+            self.batches_served += 1
+        return pack_frame(FRAME_RESULTS, pack_results_payload(batch_id, results))
+
+
+# -- client side ---------------------------------------------------------------
+
+
+class HostConnection:
+    """One client connection to a :class:`WorkerHost`.
+
+    Request/response is synchronous per connection (the registry runs
+    one dispatcher thread per host, so the cluster as a whole is
+    parallel).  Byte counters feed the executor's wire statistics.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = 5.0,
+        request_timeout: Optional[float] = 120.0,
+    ):
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.last_used = 0.0
+        self._sock: Optional[socket.socket] = None
+        self._reader = FrameReader()
+
+    @property
+    def connected(self) -> bool:
+        """Whether a socket is currently open (not a liveness probe)."""
+        return self._sock is not None
+
+    def connect(self) -> None:
+        """Open the TCP connection (no-op when already open)."""
+        if self._sock is not None:
+            return
+        host, port = parse_address(self.address)
+        sock = socket.create_connection((host, port), timeout=self.connect_timeout)
+        sock.settimeout(self.request_timeout)
+        self._sock = sock
+        self._reader = FrameReader()
+        self.last_used = time.monotonic()
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+            self._sock = None
+
+    def _request(self, frame: bytes) -> tuple[int, bytes]:
+        """Send one frame and block for the peer's reply frame."""
+        if self._sock is None:
+            raise WorkerUnavailableError(f"{self.address} is not connected")
+        self._sock.sendall(frame)
+        self.bytes_sent += len(frame)
+        frame_type, payload = recv_frame(self._sock, self._reader)
+        self.bytes_received += _FRAME_HEADER.size + len(payload)
+        self.last_used = time.monotonic()
+        return frame_type, payload
+
+    def register(self, oracle_blob: bytes, generation: int) -> None:
+        """Install a pickled oracle + generation on the worker."""
+        frame_type, payload = self._request(
+            pack_frame(FRAME_REGISTER, pack_register_payload(oracle_blob, generation))
+        )
+        if frame_type == FRAME_ERROR:
+            _raise_remote_error(payload)
+        if frame_type != FRAME_REGISTER_OK:
+            raise FrameProtocolError(
+                f"expected REGISTER_OK, got frame type {frame_type}"
+            )
+        (echoed,) = _REGISTER_HEADER.unpack_from(payload, 0)
+        if echoed != generation:
+            raise FrameProtocolError(
+                f"worker acknowledged generation {echoed}, expected {generation}"
+            )
+
+    def ping(self) -> None:
+        """Heartbeat round trip; raises if the connection is dead."""
+        frame_type, payload = self._request(pack_frame(FRAME_PING))
+        if frame_type == FRAME_ERROR:
+            _raise_remote_error(payload)
+        if frame_type != FRAME_PONG:
+            raise FrameProtocolError(f"expected PONG, got frame type {frame_type}")
+
+    def run_batch(self, batch_id: int, payload: bytes) -> list[bytes]:
+        """Send one SEGMENTS payload; return the per-segment result blobs."""
+        frame_type, reply = self._request(pack_frame(FRAME_SEGMENTS, payload))
+        if frame_type == FRAME_ERROR:
+            _raise_remote_error(reply)
+        if frame_type != FRAME_RESULTS:
+            raise FrameProtocolError(
+                f"expected RESULTS, got frame type {frame_type}"
+            )
+        got_batch, blobs = split_results_payload(reply)
+        if got_batch != batch_id:
+            raise FrameProtocolError(
+                f"result batch {got_batch} does not match request {batch_id}"
+            )
+        return blobs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.connected else "down"
+        return f"HostConnection({self.address}, {state})"
+
+
+#: Connection failures the registry absorbs by requeueing + reconnect.
+_HOST_FAILURES = (OSError, ConnectionClosedError, FrameProtocolError)
+
+
+class SocketHostPool:
+    """Client-side registry of worker hosts with failover dispatch.
+
+    ``run_round`` drains a queue of segment batches with one dispatcher
+    thread per connected host.  A host failing mid-batch has that batch
+    requeued for the surviving hosts and is reconnected (and
+    re-registered with the current oracle) so it can rejoin; when no
+    host remains the round raises :class:`WorkerUnavailableError`.
+    Remote stale-generation refusals surface as
+    :class:`~repro.parallel.StaleOracleError` and oracle exceptions as
+    :class:`RemoteOracleError` — both abort the round instead of being
+    retried, because they would fail identically everywhere.
+
+    Attributes
+    ----------
+    reconnects:
+        Successful reconnect-and-re-register cycles after a failure.
+    heartbeats:
+        Heartbeat pings sent by :meth:`ensure_ready`.
+    host_segments / host_seconds:
+        Per-address totals of segments served and wall seconds spent
+        serving them (the per-host throughput statistic).
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        connect_timeout: float = 5.0,
+        request_timeout: Optional[float] = 120.0,
+        heartbeat_seconds: float = 30.0,
+    ):
+        if not hosts:
+            raise ValueError("SocketHostPool needs at least one host address")
+        self.heartbeat_seconds = heartbeat_seconds
+        self.reconnects = 0
+        self.heartbeats = 0
+        self.host_segments: dict[str, int] = {addr: 0 for addr in hosts}
+        self.host_seconds: dict[str, float] = {addr: 0.0 for addr in hosts}
+        self._conns = [
+            HostConnection(addr, connect_timeout, request_timeout) for addr in hosts
+        ]
+        self._retired_bytes_sent = 0
+        self._retired_bytes_received = 0
+        self._oracle_blob: Optional[bytes] = None
+        self._generation = -1
+        self._lock = threading.Lock()
+
+    @property
+    def hosts(self) -> list[str]:
+        """The configured host addresses, in order."""
+        return [conn.address for conn in self._conns]
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total frame bytes sent across all connections ever opened."""
+        return self._retired_bytes_sent + sum(c.bytes_sent for c in self._conns)
+
+    @property
+    def bytes_received(self) -> int:
+        """Total frame bytes received across all connections ever opened."""
+        return self._retired_bytes_received + sum(
+            c.bytes_received for c in self._conns
+        )
+
+    def close(self) -> None:
+        """Close every connection (the worker hosts keep running)."""
+        for conn in self._conns:
+            conn.close()
+
+    # -- registration + heartbeat ---------------------------------------------
+
+    def register(self, oracle: object, generation: int) -> None:
+        """Pickle ``oracle`` once and install it on every reachable host.
+
+        Hosts that cannot be reached are left unregistered; they are
+        retried (with registration) by the mid-round reconnect path and
+        by :meth:`ensure_ready`.  Raises
+        :class:`WorkerUnavailableError` when *no* host accepts.
+        """
+        self._oracle_blob = pickle.dumps(oracle)
+        self._generation = generation
+        reachable = 0
+        for conn in self._conns:
+            if self._connect_and_register(conn, count_reconnect=False):
+                reachable += 1
+        if reachable == 0:
+            raise WorkerUnavailableError(
+                f"no worker host reachable among {self.hosts}"
+            )
+
+    def ensure_ready(self) -> None:
+        """Heartbeat idle connections; reconnect the ones that fail.
+
+        Called between rounds: connections idle past
+        ``heartbeat_seconds`` get a PING, and any that fail it (or were
+        down) go through the reconnect-and-re-register cycle so the
+        next round starts with every recoverable host live.
+        """
+        now = time.monotonic()
+        for conn in self._conns:
+            if conn.connected and now - conn.last_used < self.heartbeat_seconds:
+                continue
+            if conn.connected:
+                self.heartbeats += 1
+                try:
+                    conn.ping()
+                    continue
+                except _HOST_FAILURES:
+                    self._retire(conn)
+            self._connect_and_register(conn, count_reconnect=conn.last_used > 0)
+
+    def _retire(self, conn: HostConnection) -> None:
+        """Fold a dead connection's byte counters into the pool tally."""
+        with self._lock:
+            self._retired_bytes_sent += conn.bytes_sent
+            self._retired_bytes_received += conn.bytes_received
+        conn.bytes_sent = 0
+        conn.bytes_received = 0
+        conn.close()
+
+    def _connect_and_register(
+        self, conn: HostConnection, count_reconnect: bool
+    ) -> bool:
+        """(Re)open ``conn`` and install the current oracle on it."""
+        try:
+            conn.connect()
+            if self._oracle_blob is not None:
+                conn.register(self._oracle_blob, self._generation)
+        except _HOST_FAILURES:
+            self._retire(conn)
+            return False
+        if count_reconnect:
+            with self._lock:
+                self.reconnects += 1
+        return True
+
+    # -- round dispatch --------------------------------------------------------
+
+    def run_round(
+        self, batches: Sequence[tuple[int, int, bytes]]
+    ) -> list[list[bytes]]:
+        """Drain ``batches`` across the live hosts; return results in order.
+
+        ``batches`` holds ``(batch id, segment count, SEGMENTS
+        payload)`` triples.  Dispatch is a shared work queue consumed
+        by one thread per live connection — faster hosts naturally take
+        more batches.  Failures requeue (see the class docstring).
+        """
+        queue: deque[tuple[int, int, bytes]] = deque(batches)
+        results: dict[int, list[bytes]] = {}
+        fatal: list[BaseException] = []
+        in_flight = [0]
+        cond = threading.Condition()
+
+        def dispatch(conn: HostConnection) -> None:
+            while True:
+                with cond:
+                    # an empty queue is not the end of the round: a
+                    # batch in flight on a dying host may be requeued,
+                    # and this thread must be there to pick it up
+                    while not fatal and not queue and in_flight[0]:
+                        cond.wait(timeout=0.1)
+                    if fatal or not queue:
+                        return
+                    item = queue.popleft()
+                    in_flight[0] += 1
+                batch_id, nsegs, payload = item
+                t0 = time.perf_counter()
+                try:
+                    blobs = conn.run_batch(batch_id, payload)
+                except _HOST_FAILURES:
+                    with cond:
+                        queue.appendleft(item)
+                        in_flight[0] -= 1
+                        cond.notify_all()
+                    self._retire(conn)
+                    if not self._connect_and_register(conn, count_reconnect=True):
+                        return  # host is gone; survivors drain the queue
+                    continue
+                except BaseException as exc:  # stale oracle / remote error
+                    with cond:
+                        fatal.append(exc)
+                        in_flight[0] -= 1
+                        cond.notify_all()
+                    return
+                elapsed = time.perf_counter() - t0
+                with cond:
+                    results[batch_id] = blobs
+                    self.host_segments[conn.address] += nsegs
+                    self.host_seconds[conn.address] += elapsed
+                    in_flight[0] -= 1
+                    cond.notify_all()
+
+        live = [conn for conn in self._conns if conn.connected]
+        threads = [
+            threading.Thread(target=dispatch, args=(conn,), daemon=True)
+            for conn in live
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if fatal:
+            raise fatal[0]
+        if len(results) != len(batches):
+            raise WorkerUnavailableError(
+                f"{len(batches) - len(results)} batch(es) undelivered: every "
+                f"worker host in {self.hosts} is unreachable"
+            )
+        return [results[batch_id] for batch_id, _, _ in batches]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        up = sum(1 for c in self._conns if c.connected)
+        return f"SocketHostPool(hosts={self.hosts}, up={up})"
+
+
+@contextlib.contextmanager
+def local_cluster(num_hosts: int = 2) -> Iterator[list[str]]:
+    """Start ``num_hosts`` in-process :class:`WorkerHost` servers.
+
+    Yields their ``host:port`` addresses and stops them on exit.  This
+    is the localhost cluster fixture the equivalence suite and the
+    transport benchmark run against; CI's ``dist-smoke`` job exercises
+    the same protocol against real ``popqc worker`` processes.
+    """
+    hosts = [WorkerHost().start() for _ in range(num_hosts)]
+    try:
+        yield [host.address for host in hosts]
+    finally:
+        for host in hosts:
+            host.stop()

@@ -25,7 +25,10 @@ an abstract :class:`ParallelMap` with four implementations:
     workers slice zero-copy views out of the arena and write encoded
     results into a second arena — the pipe never carries segment bytes;
   - ``"pickle"`` — the seed behaviour (re-pickle oracle + gate objects
-    every call), kept as the benchmark baseline.
+    every call), kept as the benchmark baseline;
+  - ``"socket"`` — the same packed bytes as length-prefixed frames
+    over TCP to remote ``popqc worker`` hosts
+    (:mod:`repro.parallel.dist`), for cluster-scale sweeps.
 
   This is the CPython analogue of Rayon handing a borrowed slice to a
   worker: the per-round IPC cost is a few index tuples, not
@@ -75,7 +78,7 @@ __all__ = [
 ]
 
 #: Oracle-transport modes supported by :class:`ProcessMap`.
-TRANSPORTS = ("shm", "encoded", "pickle", "threads")
+TRANSPORTS = ("shm", "encoded", "pickle", "threads", "socket")
 
 
 class StaleOracleError(RuntimeError):
@@ -333,10 +336,20 @@ class ProcessMap:
         releases the GIL (the vectorized rule engine,
         :mod:`repro.oracles.vector_engine`); ``"pickle"`` reproduces
         the seed behaviour — the oracle and every ``list[Gate]`` are
-        pickled on every call — and exists as the benchmark baseline.
-        Requesting ``"shm"`` on a platform without
-        ``multiprocessing.shared_memory`` falls back to ``"encoded"``
-        (``requested_transport`` keeps the original).
+        pickled on every call — and exists as the benchmark baseline;
+        ``"socket"`` ships the same packed bytes as length-prefixed
+        frames over TCP to ``popqc worker`` hosts
+        (:mod:`repro.parallel.dist`) for cluster-scale sweeps, with
+        heartbeat, reconnect-and-requeue on host failure, and the
+        generation-token protocol over the wire.  Requesting ``"shm"``
+        on a platform without ``multiprocessing.shared_memory`` falls
+        back to ``"encoded"`` (``requested_transport`` keeps the
+        original).
+    hosts:
+        Worker host addresses (``"host:port"``) for the socket
+        transport; required for (and only valid with)
+        ``transport="socket"``.  When ``workers`` is not given it
+        defaults to the host count — one dispatcher per connection.
 
     All transports return :class:`~repro.parallel.results.
     LazySegmentResult` handles from :meth:`map_segments`: results stay
@@ -377,6 +390,7 @@ class ProcessMap:
         workers: int | None = None,
         serial_cutoff: int = 2,
         transport: str = "encoded",
+        hosts: Sequence[str] | None = None,
     ):
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -391,6 +405,18 @@ class ProcessMap:
                 stacklevel=2,
             )
             transport = "encoded"
+        if transport == "socket":
+            if not hosts:
+                raise ValueError(
+                    "transport='socket' requires hosts=['host:port', ...] "
+                    "(start them with `popqc worker --bind host:port`)"
+                )
+        elif hosts:
+            raise ValueError("hosts= only applies to transport='socket'")
+        self.hosts = list(hosts) if hosts else []
+        if workers is None and transport == "socket":
+            # cluster parallelism is one dispatcher per connected host
+            workers = max(1, len(self.hosts))
         self.workers = workers or default_workers()
         self.serial_cutoff = serial_cutoff
         self.transport = transport
@@ -410,11 +436,27 @@ class ProcessMap:
         self._task_seconds_est = 0.0
         self._arenas: shm.ShmArenaPool | None = None
         self._round_id = 0
+        self._socket_pool = None  # lazily built SocketHostPool
+        self._socket_oracle: object | None = None
 
     # -- generic map ---------------------------------------------------------
 
+    def _discard_broken_pool(self) -> None:
+        """Drop a pool whose workers died (e.g. a crashed oracle task).
+
+        A :class:`~concurrent.futures.process.BrokenProcessPool` is
+        permanent for the executor that raised it; rebuilding on the
+        next dispatch turns a worker crash into a one-round failure
+        instead of a dead ``ProcessMap``.
+        """
+        if self._pool is not None and getattr(self._pool, "_broken", False):
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            self._registered_oracle = None
+
     def _ensure(self) -> ProcessPoolExecutor:
         """Pool for generic ``map`` (no oracle registered)."""
+        self._discard_broken_pool()
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
             self._registered_oracle = None
@@ -443,6 +485,7 @@ class ProcessMap:
         somehow survives with the old initializer can never silently
         apply the old oracle.
         """
+        self._discard_broken_pool()
         if self._pool is not None and self._registered_oracle is not oracle:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -480,6 +523,8 @@ class ProcessMap:
             return self._map_segments_shm(oracle, segments)
         if self.transport == "threads":
             return self._map_segments_threads(oracle, segments)
+        if self.transport == "socket":
+            return self._map_segments_socket(oracle, segments)
 
         chunk = adaptive_chunksize(len(segments), self.workers, self._task_seconds_est)
         self.pool_dispatches += 1
@@ -585,6 +630,77 @@ class ProcessMap:
         self.serialization_time += ser
         return results
 
+    def _ensure_socket_pool(self):
+        """The lazily built client host registry of the socket transport."""
+        if self._socket_pool is None:
+            from .dist import SocketHostPool  # local: dist imports this module
+
+            self._socket_pool = SocketHostPool(self.hosts)
+        return self._socket_pool
+
+    def _map_segments_socket(
+        self,
+        oracle: Callable[[list[Gate]], list[Gate]],
+        segments: Sequence[list[Gate]],
+    ) -> list:
+        """One round over the distributed socket transport.
+
+        Segments are packed into batched SEGMENTS frames (the same
+        flat wire format as the shm arenas, length-prefixed for the
+        stream) and round-robined across the connected worker hosts by
+        :meth:`repro.parallel.dist.SocketHostPool.run_round`; results
+        come back as packed RESULTS frames and wrap into lazy handles
+        like every other transport.  The oracle crosses the wire once
+        per host per registration (generation-tagged, exactly like the
+        process-pool initializer protocol).
+        """
+        from .dist import pack_segments_payload  # local: avoid import cycle
+
+        n = len(segments)
+        pool = self._ensure_socket_pool()
+        was_warm = self._socket_oracle is oracle
+        if not was_warm:
+            self._oracle_generation += 1
+            pool.register(oracle, self._oracle_generation)
+            self._socket_oracle = oracle
+        else:
+            pool.ensure_ready()
+
+        t0 = time.perf_counter()
+        encoded = [encode_segment(seg) for seg in segments]
+        batches = batch_segments(n, self.workers, self._task_seconds_est)
+        payloads = [
+            (
+                batch_id,
+                end - start,
+                pack_segments_payload(
+                    self._oracle_generation, batch_id, encoded[start:end]
+                ),
+            )
+            for batch_id, (start, end) in enumerate(batches)
+        ]
+        ser = time.perf_counter() - t0
+
+        self.pool_dispatches += 1
+        self.batch_dispatches += len(batches)
+        self.segments_batched += n
+        self.last_batch_sizes = [end - start for start, end in batches]
+
+        t_map = time.perf_counter()
+        blobs_per_batch = pool.run_round(payloads)
+        elapsed = time.perf_counter() - t_map
+
+        results = [
+            LazySegmentResult.from_packed(blob, self._decode_stats)
+            for blobs in blobs_per_batch
+            for blob in blobs
+        ]
+        self.last_serialization_time = ser
+        self.serialization_time += ser
+        if was_warm:
+            self._observe(elapsed, n, max(self.last_batch_sizes))
+        return results
+
     def _map_segments_shm(
         self,
         oracle: Callable[[list[Gate]], list[Gate]],
@@ -608,7 +724,13 @@ class ProcessMap:
         in_offsets, in_total = shm.input_arena_layout(sizes)
         out_regions, out_total = shm.result_arena_layout(sizes)
         in_block = self._arenas.acquire(in_total)
-        out_block = self._arenas.acquire(out_total)
+        try:
+            out_block = self._arenas.acquire(out_total)
+        except BaseException:
+            # arena exhaustion between the two acquires (e.g. ENOSPC on
+            # /dev/shm): hand the first block back before propagating
+            self._arenas.release(in_block)
+            raise
         self._round_id += 1
         round_id = self._round_id
         round_ok = False
@@ -715,6 +837,33 @@ class ProcessMap:
         """Current capacity of the arena ring (live blocks, bytes)."""
         return self._arenas.ring_bytes if self._arenas is not None else 0
 
+    # -- socket transport instrumentation ------------------------------------
+
+    @property
+    def socket_bytes_sent(self) -> int:
+        """Frame bytes sent to worker hosts (socket transport, 0 otherwise)."""
+        return self._socket_pool.bytes_sent if self._socket_pool else 0
+
+    @property
+    def socket_bytes_received(self) -> int:
+        """Frame bytes received from worker hosts (socket transport)."""
+        return self._socket_pool.bytes_received if self._socket_pool else 0
+
+    @property
+    def socket_reconnects(self) -> int:
+        """Reconnect-and-re-register cycles after a host failure."""
+        return self._socket_pool.reconnects if self._socket_pool else 0
+
+    @property
+    def socket_host_segments(self) -> dict[str, int]:
+        """Segments served per worker host address."""
+        return dict(self._socket_pool.host_segments) if self._socket_pool else {}
+
+    @property
+    def socket_host_seconds(self) -> dict[str, float]:
+        """Wall seconds spent serving batches, per worker host address."""
+        return dict(self._socket_pool.host_seconds) if self._socket_pool else {}
+
     # -- lazy-decode instrumentation -----------------------------------------
 
     @property
@@ -749,6 +898,10 @@ class ProcessMap:
         if self._arenas is not None:
             self._arenas.close()
             self._arenas = None
+        if self._socket_pool is not None:
+            self._socket_pool.close()
+            self._socket_pool = None
+            self._socket_oracle = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ProcessMap(workers={self.workers}, transport={self.transport!r})"

@@ -1,0 +1,318 @@
+"""The distributed socket transport: worker host, registry, executor.
+
+Covers the pieces the frame-codec property tests don't: the
+:class:`~repro.parallel.dist.WorkerHost` request loop, the
+generation-token protocol over the wire, the client registry's
+dispatch and statistics, the ``ProcessMap(transport="socket")``
+integration (byte-identical with serial, stats recorded), and the
+``popqc worker`` CLI subcommand against a real subprocess
+(``dist``-marked; CI's ``dist-smoke`` job points it at externally
+launched workers through ``POPQC_DIST_HOSTS``).
+"""
+
+import os
+import pickle
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.circuits import CNOT, H, X, random_redundant_circuit, to_qasm
+from repro.circuits.encoding import encode_segment
+from repro.core import popqc
+from repro.oracles import IdentityOracle, NamOracle
+from repro.parallel import (
+    ProcessMap,
+    SocketHostPool,
+    StaleOracleError,
+    WorkerHost,
+    WorkerUnavailableError,
+    local_cluster,
+)
+from repro.parallel.dist import (
+    HostConnection,
+    RemoteOracleError,
+    pack_segments_payload,
+    parse_address,
+)
+
+
+def _segments(count=8):
+    return [[H(0), H(0), X(1), CNOT(0, 1)] for _ in range(count)]
+
+
+class RaisingOracle:
+    """Fails every call with an ordinary exception."""
+
+    def __call__(self, segment):
+        raise ValueError("boom over the wire")
+
+
+class TestParseAddress:
+    def test_host_and_port(self):
+        assert parse_address("10.0.0.7:9001") == ("10.0.0.7", 9001)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_address(":9001") == ("127.0.0.1", 9001)
+
+    @pytest.mark.parametrize("bad", ["nohost", "host:", "host:abc"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_address(bad)
+
+
+class TestWorkerHostProtocol:
+    def test_register_ping_and_batch(self):
+        with local_cluster(1) as hosts:
+            conn = HostConnection(hosts[0])
+            conn.connect()
+            try:
+                conn.register(pickle.dumps(NamOracle()), 1)
+                conn.ping()
+                payload = pack_segments_payload(
+                    1, 0, [encode_segment(seg) for seg in _segments(3)]
+                )
+                blobs = conn.run_batch(0, payload)
+                assert len(blobs) == 3
+                assert all(isinstance(b, bytes) and b for b in blobs)
+            finally:
+                conn.close()
+
+    def test_stale_generation_refused_with_typed_error(self):
+        with local_cluster(1) as hosts:
+            conn = HostConnection(hosts[0])
+            conn.connect()
+            try:
+                conn.register(pickle.dumps(IdentityOracle()), 3)
+                payload = pack_segments_payload(
+                    4, 0, [encode_segment(_segments(1)[0])]
+                )
+                with pytest.raises(StaleOracleError, match="generation 4"):
+                    conn.run_batch(0, payload)
+            finally:
+                conn.close()
+
+    def test_unregistered_connection_refused(self):
+        from repro.parallel.dist import FrameProtocolError
+
+        with local_cluster(1) as hosts:
+            conn = HostConnection(hosts[0])
+            conn.connect()
+            try:
+                payload = pack_segments_payload(
+                    0, 0, [encode_segment(_segments(1)[0])]
+                )
+                with pytest.raises(FrameProtocolError, match="no oracle"):
+                    conn.run_batch(0, payload)
+            finally:
+                conn.close()
+
+    def test_remote_oracle_exception_propagates(self):
+        with local_cluster(1) as hosts:
+            conn = HostConnection(hosts[0])
+            conn.connect()
+            try:
+                conn.register(pickle.dumps(RaisingOracle()), 1)
+                payload = pack_segments_payload(
+                    1, 0, [encode_segment(_segments(1)[0])]
+                )
+                with pytest.raises(RemoteOracleError, match="boom over the wire"):
+                    conn.run_batch(0, payload)
+                # the connection survives the failed batch
+                conn.ping()
+            finally:
+                conn.close()
+
+    def test_worker_counts_traffic(self):
+        host = WorkerHost().start()
+        try:
+            pm = ProcessMap(serial_cutoff=0, transport="socket", hosts=[host.address])
+            try:
+                pm.map_segments(NamOracle(), _segments())
+            finally:
+                pm.close()
+            assert host.segments_served == 8
+            assert host.batches_served >= 1
+            assert host.bytes_received > 0 and host.bytes_sent > 0
+        finally:
+            host.stop()
+
+
+class TestSocketHostPool:
+    def test_requires_hosts(self):
+        with pytest.raises(ValueError, match="at least one host"):
+            SocketHostPool([])
+
+    def test_register_with_no_reachable_host_raises(self):
+        pool = SocketHostPool(["127.0.0.1:1"])  # port 1: nothing listens
+        with pytest.raises(WorkerUnavailableError, match="no worker host"):
+            pool.register(IdentityOracle(), 1)
+
+    def test_round_spreads_work_across_hosts(self):
+        with local_cluster(2) as hosts:
+            pool = SocketHostPool(hosts)
+            try:
+                pool.register(IdentityOracle(), 1)
+                encoded = [encode_segment(seg) for seg in _segments(12)]
+                batches = [
+                    (i, 2, pack_segments_payload(1, i, encoded[2 * i : 2 * i + 2]))
+                    for i in range(6)
+                ]
+                results = pool.run_round(batches)
+                assert [len(blobs) for blobs in results] == [2] * 6
+                assert sum(pool.host_segments.values()) == 12
+                assert pool.bytes_sent > 0 and pool.bytes_received > 0
+            finally:
+                pool.close()
+
+
+class TestProcessMapSocket:
+    def test_requires_hosts(self):
+        with pytest.raises(ValueError, match="requires hosts"):
+            ProcessMap(transport="socket")
+
+    def test_hosts_rejected_for_other_transports(self):
+        with pytest.raises(ValueError, match="only applies"):
+            ProcessMap(transport="encoded", hosts=["127.0.0.1:9001"])
+
+    def test_workers_default_to_host_count(self):
+        with local_cluster(2) as hosts:
+            pm = ProcessMap(transport="socket", hosts=hosts)
+            try:
+                assert pm.workers == 2
+            finally:
+                pm.close()
+
+    def test_map_segments_matches_inline(self):
+        oracle = NamOracle()
+        segments = _segments(10)
+        want = [oracle(list(seg)) for seg in segments]
+        with local_cluster(2) as hosts:
+            pm = ProcessMap(serial_cutoff=0, transport="socket", hosts=hosts)
+            try:
+                got = pm.map_segments(oracle, segments)
+            finally:
+                pm.close()
+        assert [list(res) for res in got] == want
+
+    def test_popqc_stats_record_socket_run(self):
+        circuit = random_redundant_circuit(5, 300, seed=101, redundancy=0.6)
+        with local_cluster(2) as hosts:
+            pm = ProcessMap(serial_cutoff=0, transport="socket", hosts=hosts)
+            try:
+                res = popqc(circuit, NamOracle(), 16, parmap=pm)
+            finally:
+                pm.close()
+        stats = res.stats
+        assert stats.transport == "socket"
+        assert stats.socket_bytes_sent > 0
+        assert stats.socket_bytes_received > 0
+        assert stats.socket_wire_bytes == (
+            stats.socket_bytes_sent + stats.socket_bytes_received
+        )
+        assert stats.socket_reconnects == 0
+        assert sum(h["segments"] for h in stats.socket_hosts.values()) > 0
+        assert all(h["segments_per_s"] >= 0 for h in stats.socket_hosts.values())
+        assert stats.batch_dispatches > 0
+        assert stats.mean_batch_size >= 1.0
+
+    def test_heartbeat_pings_idle_connections_between_rounds(self):
+        """With a zero heartbeat interval every idle connection is
+        pinged before the next round; a host that died since the last
+        round is detected by the failed ping and reconnected (or
+        dropped) *before* any batch is risked on it."""
+        oracle = IdentityOracle()
+        with local_cluster(2) as hosts:
+            pm = ProcessMap(serial_cutoff=0, transport="socket", hosts=hosts)
+            try:
+                pm.map_segments(oracle, _segments())
+                pm._socket_pool.heartbeat_seconds = 0.0
+                pm.map_segments(oracle, _segments())
+                assert pm._socket_pool.heartbeats >= 2  # both conns pinged
+            finally:
+                pm.close()
+
+    def test_failed_heartbeat_triggers_reconnect(self):
+        oracle = IdentityOracle()
+        host = WorkerHost().start()
+        port = host.port
+        pm = ProcessMap(serial_cutoff=0, transport="socket", hosts=[host.address])
+        try:
+            assert [list(r) for r in pm.map_segments(oracle, _segments())]
+            host.stop()
+            host = WorkerHost(port=port).start()  # same address, fresh server
+            pm._socket_pool.heartbeat_seconds = 0.0
+            got = pm.map_segments(oracle, _segments())
+            assert [list(res) for res in got] == _segments()
+            assert pm.socket_reconnects >= 1
+        finally:
+            pm.close()
+            host.stop()
+
+    def test_oracle_swap_bumps_generation(self):
+        with local_cluster(1) as hosts:
+            pm = ProcessMap(serial_cutoff=0, transport="socket", hosts=hosts)
+            try:
+                pm.map_segments(NamOracle(), _segments())
+                gen_first = pm._oracle_generation
+                pm.map_segments(IdentityOracle(), _segments())
+                assert pm._oracle_generation == gen_first + 1
+            finally:
+                pm.close()
+
+
+@pytest.mark.dist
+class TestWorkerSubprocess:
+    """The socket transport against real ``popqc worker`` processes.
+
+    CI's ``dist-smoke`` job launches the workers itself and passes
+    their addresses through ``POPQC_DIST_HOSTS``; elsewhere the test
+    spawns (and reaps) its own subprocess workers.
+    """
+
+    @pytest.fixture()
+    def worker_addresses(self):
+        env_hosts = os.environ.get("POPQC_DIST_HOSTS")
+        if env_hosts:
+            yield [h.strip() for h in env_hosts.split(",") if h.strip()]
+            return
+        procs, addresses = [], []
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        try:
+            for _ in range(2):
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro.cli", "worker", "--bind",
+                     "127.0.0.1:0"],
+                    stdout=subprocess.PIPE,
+                    text=True,
+                    env=env,
+                )
+                procs.append(proc)
+                line = proc.stdout.readline()
+                match = re.search(r"listening on (\S+)", line)
+                assert match, f"unexpected worker banner: {line!r}"
+                addresses.append(match.group(1))
+            yield addresses
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(timeout=10)
+
+    def test_socket_equivalence_against_real_workers(self, worker_addresses):
+        circuit = random_redundant_circuit(5, 300, seed=101, redundancy=0.6)
+        want = popqc(circuit, NamOracle(), 16)
+        pm = ProcessMap(
+            serial_cutoff=0, transport="socket", hosts=worker_addresses
+        )
+        try:
+            got = popqc(circuit, NamOracle(), 16, parmap=pm)
+        finally:
+            pm.close()
+        assert got.circuit.gates == want.circuit.gates
+        assert to_qasm(got.circuit) == to_qasm(want.circuit)
+        assert got.stats.rounds == want.stats.rounds
+        assert got.stats.oracle_calls == want.stats.oracle_calls
+        assert got.stats.transport == "socket"

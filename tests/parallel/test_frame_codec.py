@@ -1,0 +1,199 @@
+"""Property tests for the socket transport's frame codec.
+
+The distributed transport's correctness rests on one invariant: a
+segment batch framed on one host and parsed on another — through any
+sequence of partial ``recv`` chunks TCP happens to deliver — must
+reproduce the original segments byte for byte, and a *torn* stream
+must raise a typed :class:`~repro.parallel.dist.FrameProtocolError`
+rather than yield a short or corrupt message.  Hypothesis drives the
+codec with arbitrary gate lists (including zero-gate segments),
+arbitrary generation/batch tokens, and arbitrary chunk splits; the
+nightly workflow re-runs it at the raised example budget.
+"""
+
+import socket
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.encoding import decode_segment, encode_segment
+from repro.parallel.dist import (
+    FRAME_MAGIC,
+    FRAME_PING,
+    FRAME_RESULTS,
+    FRAME_SEGMENTS,
+    ConnectionClosedError,
+    FrameProtocolError,
+    FrameReader,
+    pack_frame,
+    pack_results_payload,
+    pack_segments_payload,
+    recv_frame,
+    split_results_payload,
+    unpack_segments_payload,
+)
+
+from ..conftest import gate_list_strategy
+
+
+def _feed_in_chunks(reader, data, cut_points):
+    """Feed ``data`` to ``reader`` split at the (sorted) ``cut_points``."""
+    bounds = sorted({min(c, len(data)) for c in cut_points}) + [len(data)]
+    frames = []
+    pos = 0
+    for bound in bounds:
+        reader.feed(data[pos:bound])
+        pos = bound
+        while True:
+            frame = reader.next_frame()
+            if frame is None:
+                break
+            frames.append(frame)
+    return frames
+
+
+class TestFrameStream:
+    @given(
+        payloads=st.lists(st.binary(max_size=200), max_size=5),
+        cuts=st.lists(st.integers(0, 2000), max_size=8),
+    )
+    def test_frames_survive_arbitrary_chunking(self, payloads, cuts):
+        """Any chunking of a frame stream parses to the same frames."""
+        stream = b"".join(pack_frame(FRAME_SEGMENTS, p) for p in payloads)
+        frames = _feed_in_chunks(FrameReader(), stream, cuts)
+        assert frames == [(FRAME_SEGMENTS, p) for p in payloads]
+
+    @given(st.binary(max_size=64))
+    def test_partial_frame_is_never_yielded(self, payload):
+        """Every proper prefix of a frame parses to nothing (no tearing)."""
+        frame = pack_frame(FRAME_PING, payload)
+        for end in range(len(frame)):
+            reader = FrameReader()
+            reader.feed(frame[:end])
+            assert reader.next_frame() is None
+            assert reader.pending_bytes == end
+
+    def test_bad_magic_rejected(self):
+        reader = FrameReader()
+        reader.feed(b"XXXX" + bytes(12))
+        with pytest.raises(FrameProtocolError, match="magic"):
+            reader.next_frame()
+
+    def test_unknown_frame_type_rejected(self):
+        reader = FrameReader()
+        reader.feed(struct.pack("<4sBxxxQ", FRAME_MAGIC, 99, 0))
+        with pytest.raises(FrameProtocolError, match="unknown frame type"):
+            reader.next_frame()
+
+    def test_implausible_length_rejected(self):
+        """A corrupt length field fails loudly instead of waiting forever."""
+        reader = FrameReader()
+        reader.feed(struct.pack("<4sBxxxQ", FRAME_MAGIC, FRAME_PING, 1 << 40))
+        with pytest.raises(FrameProtocolError, match="cap"):
+            reader.next_frame()
+
+
+class TestSegmentsPayload:
+    @given(
+        batches=st.lists(gate_list_strategy(num_qubits=5, max_gates=20), max_size=4),
+        generation=st.integers(0, 2**63 - 1),
+        batch_id=st.integers(0, 2**63 - 1),
+    )
+    def test_round_trip_with_header_tokens(self, batches, generation, batch_id):
+        """Segments + generation token survive pack → unpack exactly."""
+        encoded = [encode_segment(gates) for gates in batches]
+        payload = pack_segments_payload(generation, batch_id, encoded)
+        got_gen, got_batch, got_segments = unpack_segments_payload(payload)
+        assert got_gen == generation
+        assert got_batch == batch_id
+        assert [decode_segment(seg) for seg in got_segments] == batches
+
+    @given(
+        batches=st.lists(gate_list_strategy(num_qubits=4, max_gates=12), max_size=3),
+        cuts=st.lists(st.integers(0, 4000), max_size=10),
+    )
+    def test_round_trip_through_chunked_frame_stream(self, batches, cuts):
+        """The full wire path: payload → frame → arbitrary recv splits →
+        parse → unpack must be lossless, zero-gate segments included."""
+        encoded = [encode_segment(gates) for gates in batches]
+        stream = pack_frame(FRAME_SEGMENTS, pack_segments_payload(7, 3, encoded))
+        frames = _feed_in_chunks(FrameReader(), stream, cuts)
+        assert len(frames) == 1
+        frame_type, payload = frames[0]
+        assert frame_type == FRAME_SEGMENTS
+        _, _, segments = unpack_segments_payload(payload)
+        assert [decode_segment(seg) for seg in segments] == batches
+
+    def test_zero_gate_segment_round_trips(self):
+        payload = pack_segments_payload(1, 0, [encode_segment([])])
+        _, _, segments = unpack_segments_payload(payload)
+        assert decode_segment(segments[0]) == []
+
+    def test_truncated_payload_rejected(self):
+        from repro.circuits import CNOT, H
+
+        encoded = [encode_segment([H(0), CNOT(0, 1)])]
+        payload = pack_segments_payload(1, 0, encoded)
+        with pytest.raises(FrameProtocolError):
+            unpack_segments_payload(payload[: len(payload) - 9])
+        with pytest.raises(FrameProtocolError):
+            unpack_segments_payload(payload[:10])
+
+
+class TestResultsPayload:
+    @given(st.lists(gate_list_strategy(num_qubits=5, max_gates=15), max_size=4))
+    def test_split_preserves_each_blob(self, batches):
+        """Result blobs split back out byte-identically — the property
+        lazy decode relies on (split reads headers only)."""
+        import repro.circuits.encoding as enc
+
+        blobs = []
+        for gates in batches:
+            encoded = encode_segment(gates)
+            buf = bytearray(enc.packed_segment_nbytes(encoded))
+            enc.pack_segment_into(encoded, buf, 0)
+            blobs.append(bytes(buf))
+        batch_id, got = split_results_payload(pack_results_payload(11, blobs))
+        assert batch_id == 11
+        assert got == blobs
+
+    def test_truncated_results_rejected(self):
+        from repro.circuits import H
+
+        encoded = encode_segment([H(0)])
+        import repro.circuits.encoding as enc
+
+        buf = bytearray(enc.packed_segment_nbytes(encoded))
+        enc.pack_segment_into(encoded, buf, 0)
+        payload = pack_results_payload(0, [bytes(buf)])
+        with pytest.raises(FrameProtocolError):
+            split_results_payload(payload[: len(payload) - 4])
+
+
+class TestRecvFrame:
+    def test_clean_close_between_frames(self):
+        """EOF at a frame boundary is a typed clean close."""
+        a, b = socket.socketpair()
+        try:
+            a.sendall(pack_frame(FRAME_PING))
+            a.close()
+            reader = FrameReader()
+            assert recv_frame(b, reader)[0] == FRAME_PING
+            with pytest.raises(ConnectionClosedError):
+                recv_frame(b, reader)
+        finally:
+            b.close()
+
+    def test_close_mid_frame_is_a_protocol_error(self):
+        """EOF with a half-delivered frame pending must be loud: a torn
+        result silently treated as short would corrupt a round."""
+        a, b = socket.socketpair()
+        try:
+            frame = pack_frame(FRAME_RESULTS, b"x" * 64)
+            a.sendall(frame[: len(frame) - 10])
+            a.close()
+            with pytest.raises(FrameProtocolError, match="mid-frame"):
+                recv_frame(b, FrameReader())
+        finally:
+            b.close()

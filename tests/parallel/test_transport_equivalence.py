@@ -3,17 +3,20 @@
 POPQC's output must be a pure function of (circuit, oracle, Ω) no
 matter which executor or wire format carried the segments.  This suite
 runs a fixed set of seeded circuits through SerialMap, ThreadMap and
-ProcessMap with the encoded, shm, threads and pickle transports and
-requires byte-identical optimized circuits plus identical round/oracle
-accounting.
+ProcessMap with all five transports — encoded, shm, threads, pickle,
+and socket (against a localhost worker cluster) — and requires
+byte-identical optimized circuits plus identical round/oracle
+accounting.  The socket transport additionally gets the lazy-decode
+spy pin of ``tests/parallel/test_lazy_decode.py``: results crossing a
+TCP wire must stay packed until a rewrite is actually accepted.
 """
 
 import pytest
 
-from repro.circuits import random_redundant_circuit, to_qasm
+from repro.circuits import encoding, random_redundant_circuit, to_qasm
 from repro.core import popqc
-from repro.oracles import NamOracle
-from repro.parallel import ProcessMap, SerialMap, ThreadMap
+from repro.oracles import IdentityOracle, NamOracle
+from repro.parallel import ProcessMap, SerialMap, ThreadMap, local_cluster
 
 OMEGA = 16
 
@@ -35,6 +38,13 @@ def _run_suite(parmap, **popqc_kwargs):
 @pytest.fixture(scope="module")
 def serial_results():
     return _run_suite(SerialMap())
+
+
+@pytest.fixture(scope="module")
+def socket_hosts():
+    """A localhost two-worker cluster for the socket transport."""
+    with local_cluster(2) as hosts:
+        yield hosts
 
 
 @pytest.mark.parametrize(
@@ -69,6 +79,67 @@ def test_executors_match_serial(serial_results, make_parmap, kwargs):
         assert got.stats.rounds == want.stats.rounds
         assert got.stats.oracle_calls == want.stats.oracle_calls
         assert got.stats.oracle_accepted == want.stats.oracle_accepted
+
+
+def test_socket_executor_matches_serial(serial_results, socket_hosts):
+    """The fifth transport: packed bytes over TCP must reproduce the
+    serial result byte for byte, completing the five-way matrix."""
+    results = _run_suite(
+        ProcessMap(2, serial_cutoff=0, transport="socket", hosts=socket_hosts)
+    )
+    for got, want in zip(results, serial_results):
+        assert got.circuit.gates == want.circuit.gates
+        assert to_qasm(got.circuit) == to_qasm(want.circuit)
+        assert got.stats.rounds == want.stats.rounds
+        assert got.stats.oracle_calls == want.stats.oracle_calls
+        assert got.stats.oracle_accepted == want.stats.oracle_accepted
+
+
+def test_socket_transport_recorded_in_stats(socket_hosts):
+    pm = ProcessMap(2, serial_cutoff=0, transport="socket", hosts=socket_hosts)
+    results = _run_suite(pm)
+    assert all(r.stats.transport == "socket" for r in results)
+    # wire accounting flows into the run stats ...
+    assert all(r.stats.socket_bytes_sent > 0 for r in results)
+    assert all(r.stats.socket_bytes_received > 0 for r in results)
+    assert all(r.stats.socket_reconnects == 0 for r in results)
+    # ... including per-host throughput over the cluster
+    for r in results:
+        assert sum(h["segments"] for h in r.stats.socket_hosts.values()) > 0
+    assert all(r.stats.batch_dispatches > 0 for r in results)
+
+
+def test_socket_results_stay_lazy(socket_hosts, monkeypatch):
+    """Spy pin (mirroring tests/parallel/test_lazy_decode.py): a fully
+    rejecting run over the socket transport must never unpack a single
+    result in the driver — `len()` comes from the packed header even
+    when the bytes crossed a TCP wire."""
+    calls = {"unpack": 0, "decode": 0}
+    real_unpack = encoding.unpack_segment_from
+    real_decode = encoding.decode_segment
+
+    def spy_unpack(*args, **kwargs):
+        calls["unpack"] += 1
+        return real_unpack(*args, **kwargs)
+
+    def spy_decode(*args, **kwargs):
+        calls["decode"] += 1
+        return real_decode(*args, **kwargs)
+
+    monkeypatch.setattr(encoding, "unpack_segment_from", spy_unpack)
+    monkeypatch.setattr(encoding, "decode_segment", spy_decode)
+    pm = ProcessMap(2, serial_cutoff=0, transport="socket", hosts=socket_hosts)
+    try:
+        res = popqc(SUITE[0], IdentityOracle(), OMEGA, parmap=pm)
+    finally:
+        pm.close()
+    assert res.stats.oracle_accepted == 0
+    assert res.stats.results_returned > 0
+    assert res.stats.results_decoded == 0
+    assert res.stats.skipped_decode_bytes > 0
+    assert calls["unpack"] == 0
+    assert calls["decode"] == 0
+    assert list(res.circuit.gates) == list(SUITE[0].gates)
 
 
 def test_transport_recorded_in_stats(serial_results):

@@ -48,6 +48,29 @@ class TestOptimizeCommand:
             main(["optimize", qasm_file, "--executor", "serial",
                   "--transport", "pickle"])
 
+    def test_socket_transport_requires_hosts(self, qasm_file):
+        with pytest.raises(SystemExit, match="--hosts"):
+            main(["optimize", qasm_file, "--executor", "process:2",
+                  "--transport", "socket"])
+
+    def test_hosts_requires_socket_transport(self, qasm_file):
+        with pytest.raises(SystemExit, match="--transport socket"):
+            main(["optimize", qasm_file, "--executor", "process:2",
+                  "--transport", "encoded", "--hosts", "127.0.0.1:9001"])
+
+    def test_socket_transport_against_local_cluster(self, qasm_file, tmp_path,
+                                                    capsys):
+        from repro.parallel import local_cluster
+
+        out = str(tmp_path / "out.qasm")
+        with local_cluster(2) as hosts:
+            rc = main(["optimize", qasm_file, "-o", out, "--omega", "4",
+                       "--executor", "process:2", "--transport", "socket",
+                       "--hosts", ",".join(hosts)])
+        assert rc == 0
+        assert "reduction" in capsys.readouterr().out
+        assert read_qasm(out).num_gates == 1
+
 
 class TestBenchCommand:
     def test_bench_runs(self, capsys):
