@@ -44,6 +44,7 @@ from repro.circuits import (
 from repro.core import popqc
 from repro.oracles import IdentityOracle, NamOracle
 from repro.parallel import ProcessMap, local_cluster
+from repro.service import SegmentCache
 
 OMEGA = 100
 
@@ -330,6 +331,58 @@ def test_vector_engine_beats_python_engine_per_segment(engine_results):
     )
 
 
+@pytest.fixture(scope="module")
+def service_results():
+    """The segment-cache comparison of the ``service`` record: per-
+    segment cost of resolving a cache *hit* (fingerprint + lookup +
+    lazy handle, fully warm cache) vs. re-executing the oracle, over
+    the full segment stream.  Measured once per bench run, shared by
+    the acceptance assertion and the emitted JSON.
+    """
+    oracle_best = _serial_time(SEGMENTS, repeats=3)
+    cache = SegmentCache()
+    pm = ProcessMap(2, serial_cutoff=0, transport="threads", cache=cache)
+    try:
+        pm.map_segments(ORACLE, SEGMENTS)  # cold pass fills the cache
+        warm_h0, warm_m0 = pm.cache_hits, pm.cache_misses
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            pm.map_segments(ORACLE, SEGMENTS)
+            best = min(best, time.perf_counter() - t0)
+        warm_hits = pm.cache_hits - warm_h0
+        warm_misses = pm.cache_misses - warm_m0
+        hit_rate = warm_hits / (warm_hits + warm_misses)
+    finally:
+        pm.close()
+    n = len(SEGMENTS)
+    hit = best / n
+    oracle = oracle_best / n
+    return {
+        "workload": "warm segment cache over the full segment stream",
+        "segments": n,
+        "cache_hit_seconds_per_segment": hit,
+        "oracle_seconds_per_segment": oracle,
+        "hit_speedup_vs_oracle": oracle / hit,
+        "hit_rate_after_warmup": hit_rate,
+        "cache_entries": len(cache),
+        "cache_bytes": cache.memory_bytes,
+    }
+
+
+def test_cache_hits_resolve_10x_faster_than_oracle(service_results):
+    """Acceptance: a warm cache resolves a repeated segment ≥10x
+    faster than re-running the oracle on it.  Both sides are serial,
+    in-process, min-of-repeats — a ratio stable enough to gate on
+    shared runners, like the rule-engine comparison above."""
+    assert service_results["hit_speedup_vs_oracle"] >= 10.0, (
+        f"cache hit resolution "
+        f"({service_results['cache_hit_seconds_per_segment'] * 1e6:.0f} "
+        f"us/segment) should be ≥10x faster than oracle re-execution "
+        f"({service_results['oracle_seconds_per_segment'] * 1e6:.0f} us/segment)"
+    )
+
+
 def _socket_record(smoke_segments, hosts) -> dict:
     """Throughput + wire accounting of one socket-transport round over
     the localhost cluster (the BENCH_transport.json `socket` section).
@@ -358,11 +411,14 @@ def _socket_record(smoke_segments, hosts) -> dict:
         pm.close()
 
 
-def test_five_way_comparison_emits_bench_json(engine_results, socket_cluster):
+def test_five_way_comparison_emits_bench_json(
+    engine_results, socket_cluster, service_results
+):
     """Measure serial/pickle/encoded/shm/threads/socket round
     throughput at smoke scale (socket against the localhost cluster),
-    the rule-engine comparison and the lazy-decode stats, and write
-    ``BENCH_transport.json`` (schema v3) for the CI trend job.
+    the rule-engine comparison, the lazy-decode stats and the
+    segment-cache comparison, and write ``BENCH_transport.json``
+    (schema v4) for the CI trend job.
 
     This test only asserts sanity (positive throughputs, complete
     record, lazy decode skipping bytes on a rejecting workload); the
@@ -392,7 +448,7 @@ def test_five_way_comparison_emits_bench_json(engine_results, socket_cluster):
     lazy = _lazy_decode_record()
 
     record = {
-        "schema": "popqc-bench-transport/v3",
+        "schema": "popqc-bench-transport/v4",
         "generated_unix": time.time(),
         "workload": {
             "circuit_gates": CIRCUIT.num_gates,
@@ -409,7 +465,11 @@ def test_five_way_comparison_emits_bench_json(engine_results, socket_cluster):
         "results": results,
         "oracle_engine": engines,
         "lazy_decode": lazy,
+        "service": service_results,
         "derived": {
+            "cache_hit_speedup_vs_oracle": service_results[
+                "hit_speedup_vs_oracle"
+            ],
             "encoded_speedup_vs_pickle": results["pickle"]["seconds_per_round"]
             / results["encoded"]["seconds_per_round"],
             "shm_speedup_vs_encoded": results["encoded"]["seconds_per_round"]
@@ -443,6 +503,9 @@ def test_five_way_comparison_emits_bench_json(engine_results, socket_cluster):
     # skipped decode bytes
     assert lazy["bytes_skipped"] > 0
     assert lazy["results_decoded"] == 0
+    # the service section must come from a fully warm cache
+    assert service_results["hit_rate_after_warmup"] == 1.0
+    assert service_results["cache_entries"] > 0
 
 
 def test_transport_round_benchmark(benchmark):

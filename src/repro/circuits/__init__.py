@@ -8,6 +8,7 @@ from .encoding import (
     encoded_nbytes,
     pack_segment_into,
     packed_segment_nbytes,
+    segment_fingerprint,
     unpack_segment_from,
 )
 from .gate import (
@@ -68,6 +69,7 @@ __all__ = [
     "random_redundant_circuit",
     "random_segment",
     "read_qasm",
+    "segment_fingerprint",
     "right_justified",
     "to_qasm",
     "unpack_segment_from",

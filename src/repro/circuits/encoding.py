@@ -45,6 +45,7 @@ bytes over a different carrier.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass
 from typing import Sequence
@@ -62,6 +63,7 @@ __all__ = [
     "pack_segment_into",
     "unpack_segment_from",
     "packed_segment_span",
+    "segment_fingerprint",
 ]
 
 
@@ -290,6 +292,38 @@ def packed_segment_span(buf, offset: int = 0) -> tuple[int, int]:
     pos = _align(pos, 4) + arity_size * n
     pos += -(-n // 8)
     return n, _align(pos, 8)
+
+
+#: Digest size (bytes) of :func:`segment_fingerprint`.  128 bits keeps
+#: the collision probability negligible for any realistic cache volume
+#: (~2^64 distinct segments before a birthday collision is likely).
+FINGERPRINT_BYTES = 16
+
+
+def segment_fingerprint(packed, *, namespace: bytes = b"") -> str:
+    """Canonical content fingerprint of one packed segment (hex string).
+
+    ``packed`` is the segment in the flat wire format as produced by
+    :func:`pack_segment_into` into a *zero-initialized* buffer — the
+    layout is deterministic and padding bytes are zero there, so equal
+    gate lists always hash equal and distinct gate lists hash distinct
+    (up to blake2b collisions, i.e. never in practice).  Do not
+    fingerprint bytes sliced out of a recycled shared-memory arena,
+    where pad gaps may carry stale data: repack first.
+
+    ``namespace`` is mixed into the keyed hash and scopes the
+    fingerprint — the segment-result cache passes a digest of the
+    oracle here, so two oracles can never answer from each other's
+    cache entries.  Namespaces longer than blake2b's 64-byte key limit
+    are compressed through a digest first (truncating would silently
+    drop key material and could collapse two namespaces into one).
+    """
+    if len(namespace) > 64:
+        namespace = hashlib.blake2b(namespace, digest_size=32).digest()
+    digest = hashlib.blake2b(
+        bytes(packed), digest_size=FINGERPRINT_BYTES, key=namespace
+    )
+    return digest.hexdigest()
 
 
 def unpack_segment_from(buf, offset: int = 0) -> tuple[EncodedSegment, int]:

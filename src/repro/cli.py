@@ -7,6 +7,11 @@ Subcommands:
 * ``worker`` — serve oracle segments over TCP for the distributed
   socket transport (``--transport socket --hosts ...`` on the driver
   side);
+* ``serve`` — run the persistent optimization service: many concurrent
+  jobs over one warm fleet, fronted by the content-addressed segment
+  cache (:mod:`repro.service`);
+* ``submit`` — send a circuit to a running ``popqc serve`` daemon and
+  write back the optimized result;
 * ``tables`` / ``figures`` — regenerate the paper's evaluation artifacts.
 """
 
@@ -161,6 +166,80 @@ def main(argv: list[str] | None = None) -> int:
         help="HOST:PORT to listen on (port 0 picks an ephemeral port, "
         "printed on startup)",
     )
+    p_worker.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        help="advertised batch capacity (usually the host's core count); "
+        "drivers weight their round-robin by it, so a --capacity 4 host "
+        "draws 4x the batches of a --capacity 1 host",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent optimization service (jobs over TCP, "
+        "shared worker fleet, content-addressed segment cache)",
+    )
+    p_serve.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="HOST:PORT to listen on (port 0 picks an ephemeral port, "
+        "printed on startup)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None, help="fleet worker count"
+    )
+    p_serve.add_argument(
+        "--transport",
+        default="encoded",
+        choices=list(TRANSPORTS),
+        help="fleet wire format (socket needs --hosts)",
+    )
+    p_serve.add_argument(
+        "--hosts",
+        default=None,
+        help="comma-separated worker host addresses for --transport socket",
+    )
+    p_serve.add_argument(
+        "--oracle-engine", default="python", choices=["python", "vector"]
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the persistent segment-result cache "
+        "(shared across restarts; omit for a memory-only cache)",
+    )
+    p_serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=65536,
+        help="in-memory cache bound (entries)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without a segment cache (every segment pays the oracle)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a circuit to a running popqc serve daemon",
+    )
+    p_submit.add_argument(
+        "input", nargs="?", help="QASM file or FAMILY[:size] (omit with --status)"
+    )
+    p_submit.add_argument(
+        "--server",
+        default="127.0.0.1:7400",
+        help="HOST:PORT of the popqc serve daemon",
+    )
+    p_submit.add_argument("--omega", type=int, default=100)
+    p_submit.add_argument("-o", "--output", help="output QASM path")
+    p_submit.add_argument(
+        "--status",
+        action="store_true",
+        help="also print the server status JSON (alone: status only)",
+    )
 
     p_an = sub.add_parser("analyze", help="report circuit metrics")
     p_an.add_argument("input", help="QASM file or FAMILY[:size]")
@@ -191,7 +270,7 @@ def main(argv: list[str] | None = None) -> int:
         from .parallel.dist import parse_address
 
         host, port = parse_address(args.bind)
-        worker = WorkerHost(host, port)
+        worker = WorkerHost(host, port, capacity=args.capacity)
         print(f"popqc worker listening on {worker.address}", flush=True)
         try:
             worker.serve_forever()
@@ -205,6 +284,78 @@ def main(argv: list[str] | None = None) -> int:
                 f"({worker.bytes_received} B in, {worker.bytes_sent} B out)",
                 flush=True,
             )
+        return 0
+
+    if args.command == "serve":
+        import json as _json
+        import signal
+
+        from .parallel.dist import parse_address
+        from .service import OptimizationService, SegmentCache
+
+        def _sigterm(signum, frame):  # daemon stop must release the fleet
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _sigterm)
+
+        oracle = NamOracle(engine=args.oracle_engine)
+        cache: object = (
+            False
+            if args.no_cache
+            else SegmentCache(
+                max_entries=args.cache_entries, disk_dir=args.cache_dir
+            )
+        )
+        host, port = parse_address(args.bind)
+        hosts = (
+            [h.strip() for h in args.hosts.split(",") if h.strip()]
+            if args.hosts
+            else None
+        )
+        service = OptimizationService(
+            oracle,
+            host,
+            port,
+            workers=args.workers,
+            transport=args.transport,
+            hosts=hosts,
+            cache=cache,
+        )
+        print(f"popqc serve listening on {service.address}", flush=True)
+        try:
+            service.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        finally:
+            service.stop()
+            print(_json.dumps(service.status(), indent=2), flush=True)
+        return 0
+
+    if args.command == "submit":
+        import json as _json
+
+        from .service import ServiceClient
+
+        if args.input is None and not args.status:
+            raise SystemExit("submit needs an input circuit (or --status)")
+        with ServiceClient(args.server) as client:
+            if args.input is not None:
+                circuit = _load_circuit(args.input)
+                job = client.optimize(circuit, omega=args.omega)
+                s = job.stats
+                print(
+                    f"{s['initial_gates']} -> {s['final_gates']} gates "
+                    f"({100.0 * s['gate_reduction']:.1f}% reduction), "
+                    f"{s['rounds']} rounds, {s['oracle_calls']} oracle calls "
+                    f"({s['oracle_calls_saved']} served from cache, "
+                    f"hit rate {100.0 * s['cache_hit_rate']:.0f}%), "
+                    f"{s['wall_seconds']:.3f}s server-side"
+                )
+                if args.output:
+                    write_qasm(job.circuit, args.output)
+                    print(f"wrote {args.output}")
+            if args.status:
+                print(_json.dumps(client.status(), indent=2))
         return 0
 
     if args.command == "optimize":

@@ -93,8 +93,18 @@ class OptimizationStats:
     socket_bytes_received: int = 0
     socket_reconnects: int = 0
     #: Per-host throughput of the socket transport: address →
-    #: ``{"segments", "seconds", "segments_per_s"}`` for this run.
+    #: ``{"segments", "seconds", "segments_per_s", "capacity"}`` for
+    #: this run.
     socket_hosts: dict = field(default_factory=dict)
+    #: Segment-result-cache accounting (executors constructed with a
+    #: :class:`repro.service.cache.SegmentCache`): segments answered
+    #: from the cache vs. dispatched to the oracle, the packed result
+    #: bytes the hits replayed, and the parent-side seconds spent on
+    #: fingerprints and lookups.  Every hit is an oracle call saved.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_saved: int = 0
+    cache_lookup_seconds: float = 0.0
     #: Sum of per-round simulated makespans (SimulatedParallelism only).
     simulated_oracle_time: float = 0.0
     #: Worker count of the executor used.
@@ -155,6 +165,24 @@ class OptimizationStats:
     def socket_wire_bytes(self) -> int:
         """Total frame bytes the socket transport moved, both directions."""
         return self.socket_bytes_sent + self.socket_bytes_received
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of oracle segments answered by the result cache."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    @property
+    def oracle_calls_saved(self) -> int:
+        """Oracle invocations the result cache short-circuited.
+
+        ``oracle_calls`` counts *selected* segments (the paper's Fig. 7
+        quantity); with a cache, only ``oracle_calls -
+        oracle_calls_saved`` of them actually reached the oracle.
+        """
+        return self.cache_hits
 
     @property
     def thread_concurrency(self) -> float:
@@ -234,6 +262,10 @@ _TRANSPORT_COUNTERS = (
     "socket_bytes_sent",
     "socket_bytes_received",
     "socket_reconnects",
+    "cache_hits",
+    "cache_misses",
+    "cache_bytes_saved",
+    "cache_lookup_seconds",
 )
 
 #: Per-host dict counters snapshotted alongside the scalar ones; the
@@ -301,11 +333,16 @@ def finalize_transport(
     stats.socket_bytes_sent = delta.get("socket_bytes_sent", 0)
     stats.socket_bytes_received = delta.get("socket_bytes_received", 0)
     stats.socket_reconnects = delta.get("socket_reconnects", 0)
+    stats.cache_hits = delta.get("cache_hits", 0)
+    stats.cache_misses = delta.get("cache_misses", 0)
+    stats.cache_bytes_saved = delta.get("cache_bytes_saved", 0)
+    stats.cache_lookup_seconds = delta.get("cache_lookup_seconds", 0.0)
     if "socket_host_segments" in snapshot:
         seg_before = snapshot["socket_host_segments"]
         sec_before = snapshot.get("socket_host_seconds", {})
         seg_now = getattr(pmap, "socket_host_segments", {})
         sec_now = getattr(pmap, "socket_host_seconds", {})
+        cap_now = getattr(pmap, "socket_host_capacity", {})
         hosts = {}
         for addr, segs in seg_now.items():
             d_segs = segs - seg_before.get(addr, 0)
@@ -315,6 +352,7 @@ def finalize_transport(
                     "segments": d_segs,
                     "seconds": d_secs,
                     "segments_per_s": d_segs / d_secs if d_secs > 0 else 0.0,
+                    "capacity": cap_now.get(addr, 1),
                 }
         stats.socket_hosts = hosts
     # capacity of the executor's arena ring, not a delta: a run served

@@ -48,6 +48,13 @@ The fifth transport completes the ladder: ``"socket"``
 (:mod:`repro.parallel.dist`) carries the same packed bytes as
 length-prefixed frames over TCP to ``popqc worker`` hosts — serial →
 pool → shm → threads → multi-host, every rung byte-identical.
+
+Above the ladder sits the content-addressed segment result cache
+(:mod:`repro.service.cache`): any :class:`ProcessMap` constructed with
+``cache=`` answers repeated segments from it — on every transport
+identically — instead of paying the oracle again, keyed by
+:func:`oracle_fingerprint` so entries are scoped per oracle
+configuration.
 """
 
 from .dist import (
@@ -66,6 +73,7 @@ from .executor import (
     StaleOracleError,
     ThreadMap,
     default_workers,
+    oracle_fingerprint,
 )
 from .results import DecodeStats, LazySegmentResult
 from .scheduling import (
@@ -103,4 +111,5 @@ __all__ = [
     "greedy_makespan",
     "ideal_makespan",
     "lpt_makespan",
+    "oracle_fingerprint",
 ]

@@ -54,12 +54,21 @@ Frame layout (all integers little-endian)::
 
     frame      <4sBxxxQ: magic b"PQCF", frame type, payload nbytes
     REGISTER   <Q generation> + pickled oracle
-    REGISTER_OK<Q generation>
+    REGISTER_OK<QQ: generation, capacity>
     SEGMENTS   <QQQ: generation, batch id, count> + count packed segments
     RESULTS    <QQ: batch id, count> + count packed segments
     ERROR      <B kind> + utf-8 message
     PING/PONG  empty payload
     SHUTDOWN   empty payload
+    JOB        <QIIQ: job tag, omega, num qubits + 1, max rounds + 1>
+               + the circuit as one packed segment
+    RESULT     <QI: job tag, stats-JSON nbytes> + stats JSON
+               -- pad to 8 -- + the optimized circuit as one packed segment
+    STATUS     empty payload as a request; utf-8 JSON as the reply
+
+JOB/RESULT/STATUS belong to the ``popqc serve`` optimization service
+(:mod:`repro.service`), which speaks this codec on its own port; the
+``popqc worker`` protocol never carries them.
 
 Packed segments are 8-byte-aligned blocks, so consecutive segments in
 a SEGMENTS/RESULTS payload are walked with
@@ -88,13 +97,16 @@ from .executor import StaleOracleError, _oracle_encoded_result, _pack_to_bytes
 
 __all__ = [
     "FRAME_ERROR",
+    "FRAME_JOB",
     "FRAME_PING",
     "FRAME_PONG",
     "FRAME_REGISTER",
     "FRAME_REGISTER_OK",
+    "FRAME_RESULT",
     "FRAME_RESULTS",
     "FRAME_SEGMENTS",
     "FRAME_SHUTDOWN",
+    "FRAME_STATUS",
     "ConnectionClosedError",
     "FrameProtocolError",
     "FrameReader",
@@ -105,13 +117,17 @@ __all__ = [
     "WorkerUnavailableError",
     "local_cluster",
     "pack_frame",
+    "pack_job_payload",
     "pack_register_payload",
+    "pack_result_payload",
     "pack_results_payload",
     "pack_segments_payload",
     "parse_address",
     "recv_frame",
     "split_results_payload",
+    "unpack_job_payload",
     "unpack_register_payload",
+    "unpack_result_payload",
     "unpack_segments_payload",
 ]
 
@@ -133,6 +149,9 @@ FRAME_ERROR = 5
 FRAME_PING = 6
 FRAME_PONG = 7
 FRAME_SHUTDOWN = 8
+FRAME_JOB = 9
+FRAME_RESULT = 10
+FRAME_STATUS = 11
 
 _KNOWN_FRAMES = frozenset(
     (
@@ -144,6 +163,9 @@ _KNOWN_FRAMES = frozenset(
         FRAME_PING,
         FRAME_PONG,
         FRAME_SHUTDOWN,
+        FRAME_JOB,
+        FRAME_RESULT,
+        FRAME_STATUS,
     )
 )
 
@@ -154,13 +176,19 @@ MAX_FRAME_BYTES = 1 << 30
 _SEGMENTS_HEADER = struct.Struct("<QQQ")  # generation, batch id, count
 _RESULTS_HEADER = struct.Struct("<QQ")  # batch id, count
 _REGISTER_HEADER = struct.Struct("<Q")  # generation
+_REGISTER_OK_HEADER = struct.Struct("<QQ")  # generation, capacity
 _ERROR_HEADER = struct.Struct("<B")  # error kind
+_JOB_HEADER = struct.Struct(
+    "<QIIQ"
+)  # job tag, omega, num qubits + 1, max rounds + 1
+_RESULT_HEADER = struct.Struct("<QI")  # job tag, stats-JSON nbytes
 
 #: Error kinds carried by ERROR frames.
 ERR_STALE_ORACLE = 1
 ERR_NO_ORACLE = 2
 ERR_ORACLE_FAILED = 3
 ERR_BAD_FRAME = 4
+ERR_JOB_FAILED = 5
 
 
 class FrameProtocolError(RuntimeError):
@@ -348,6 +376,99 @@ def unpack_error_payload(payload: bytes) -> tuple[int, str]:
     return kind, payload[_ERROR_HEADER.size :].decode("utf-8", "replace")
 
 
+def pack_job_payload(
+    job_tag: int,
+    omega: int,
+    num_qubits: Optional[int],
+    max_rounds: Optional[int],
+    encoded: EncodedSegment,
+) -> bytes:
+    """JOB payload: job header + the circuit as one packed segment.
+
+    ``job_tag`` is a client-chosen identifier echoed in the RESULT
+    frame.  ``num_qubits`` and ``max_rounds`` both wire ``None`` as 0
+    and a value ``v`` as ``v + 1``, so an explicit 0 (a legal
+    ``max_rounds`` meaning "zero rounds") survives the trip.
+    """
+    head = _JOB_HEADER.pack(
+        job_tag,
+        omega,
+        0 if num_qubits is None else num_qubits + 1,
+        0 if max_rounds is None else max_rounds + 1,
+    )
+    buf = bytearray(len(head) + packed_segment_nbytes(encoded))
+    buf[: len(head)] = head
+    pack_segment_into(encoded, buf, len(head))
+    return bytes(buf)
+
+
+def unpack_job_payload(
+    payload: bytes,
+) -> tuple[int, int, Optional[int], Optional[int], EncodedSegment]:
+    """(job tag, omega, num qubits, max rounds, circuit) from a JOB payload.
+
+    The circuit comes back as a zero-copy :class:`EncodedSegment` view
+    into ``payload``.  Raises :class:`FrameProtocolError` on a torn
+    payload.
+    """
+    if len(payload) < _JOB_HEADER.size:
+        raise FrameProtocolError("JOB payload shorter than its header")
+    job_tag, omega, nq1, mr1 = _JOB_HEADER.unpack_from(payload, 0)
+    try:
+        encoded, end = unpack_segment_from(payload, _JOB_HEADER.size)
+    except (struct.error, ValueError) as exc:
+        raise FrameProtocolError(f"torn JOB payload: {exc}") from exc
+    if end > len(payload):
+        raise FrameProtocolError("JOB payload truncated mid-circuit")
+    return (
+        job_tag,
+        omega,
+        nq1 - 1 if nq1 else None,
+        mr1 - 1 if mr1 else None,
+        encoded,
+    )
+
+
+def pack_result_payload(
+    job_tag: int, stats_json: bytes, encoded: EncodedSegment
+) -> bytes:
+    """RESULT payload: header + stats JSON + the packed optimized circuit.
+
+    The packed circuit starts at the first 8-aligned offset after the
+    JSON, so consecutive reads stay on the wire format's natural
+    alignment.
+    """
+    head = _RESULT_HEADER.pack(job_tag, len(stats_json))
+    pos = _RESULT_HEADER.size + len(stats_json)
+    start = pos + (-pos) % 8
+    buf = bytearray(start + packed_segment_nbytes(encoded))
+    buf[: _RESULT_HEADER.size] = head
+    buf[_RESULT_HEADER.size : pos] = stats_json
+    pack_segment_into(encoded, buf, start)
+    return bytes(buf)
+
+
+def unpack_result_payload(
+    payload: bytes,
+) -> tuple[int, bytes, EncodedSegment]:
+    """(job tag, stats JSON bytes, circuit) from a RESULT payload."""
+    if len(payload) < _RESULT_HEADER.size:
+        raise FrameProtocolError("RESULT payload shorter than its header")
+    job_tag, json_len = _RESULT_HEADER.unpack_from(payload, 0)
+    pos = _RESULT_HEADER.size + json_len
+    if pos > len(payload):
+        raise FrameProtocolError("RESULT payload shorter than its stats JSON")
+    stats_json = bytes(payload[_RESULT_HEADER.size : pos])
+    start = pos + (-pos) % 8
+    try:
+        encoded, end = unpack_segment_from(payload, start)
+    except (struct.error, ValueError) as exc:
+        raise FrameProtocolError(f"torn RESULT payload: {exc}") from exc
+    if end > len(payload):
+        raise FrameProtocolError("RESULT payload truncated mid-circuit")
+    return job_tag, stats_json, encoded
+
+
 def parse_address(spec: str) -> tuple[str, int]:
     """``"host:port"`` → ``(host, port)`` (host defaults to loopback)."""
     host, sep, port = spec.rpartition(":")
@@ -380,6 +501,13 @@ class WorkerHost:
     transports.  ``port=0`` binds an ephemeral port; :attr:`address`
     reports the bound endpoint either way.
 
+    ``capacity`` advertises how many batches this host comfortably
+    serves at once (its core count, typically — ``popqc worker
+    --capacity``).  It is reported to every client in the REGISTER
+    reply, and :class:`SocketHostPool` weights its round-robin by it,
+    so a 16-core host in a heterogeneous cluster draws 4x the batches
+    of a 4-core one instead of an equal share.
+
     Attributes
     ----------
     segments_served / batches_served:
@@ -388,7 +516,12 @@ class WorkerHost:
         Frame bytes in and out, payloads included.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, capacity: int = 1
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self.segments_served = 0
@@ -501,7 +634,8 @@ class WorkerHost:
                     self._send(
                         conn,
                         pack_frame(
-                            FRAME_REGISTER_OK, _REGISTER_HEADER.pack(generation)
+                            FRAME_REGISTER_OK,
+                            _REGISTER_OK_HEADER.pack(generation, self.capacity),
                         ),
                     )
                 elif frame_type == FRAME_PING:
@@ -602,6 +736,9 @@ class HostConnection:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.last_used = 0.0
+        #: Batches this host advertises it can serve at once (from the
+        #: REGISTER reply; 1 until a registration succeeds).
+        self.capacity = 1
         self._sock: Optional[socket.socket] = None
         self._reader = FrameReader()
 
@@ -640,7 +777,12 @@ class HostConnection:
         return frame_type, payload
 
     def register(self, oracle_blob: bytes, generation: int) -> None:
-        """Install a pickled oracle + generation on the worker."""
+        """Install a pickled oracle + generation on the worker.
+
+        The REGISTER reply also carries the host's advertised capacity
+        (kept in :attr:`capacity`; pre-capacity workers whose reply has
+        no capacity field read as 1).
+        """
         frame_type, payload = self._request(
             pack_frame(FRAME_REGISTER, pack_register_payload(oracle_blob, generation))
         )
@@ -650,7 +792,12 @@ class HostConnection:
             raise FrameProtocolError(
                 f"expected REGISTER_OK, got frame type {frame_type}"
             )
-        (echoed,) = _REGISTER_HEADER.unpack_from(payload, 0)
+        if len(payload) >= _REGISTER_OK_HEADER.size:
+            echoed, capacity = _REGISTER_OK_HEADER.unpack_from(payload, 0)
+            self.capacity = max(1, capacity)
+        else:
+            (echoed,) = _REGISTER_HEADER.unpack_from(payload, 0)
+            self.capacity = 1
         if echoed != generation:
             raise FrameProtocolError(
                 f"worker acknowledged generation {echoed}, expected {generation}"
@@ -693,10 +840,17 @@ class SocketHostPool:
     """Client-side registry of worker hosts with failover dispatch.
 
     ``run_round`` drains a queue of segment batches with one dispatcher
-    thread per connected host.  A host failing mid-batch has that batch
-    requeued for the surviving hosts and is reconnected (and
-    re-registered with the current oracle) so it can rejoin; when no
-    host remains the round raises :class:`WorkerUnavailableError`.
+    thread per connected host, each taking up to its host's advertised
+    ``capacity`` batches per trip to the queue (capped at a fair share
+    of the remaining queue, so a big host never hoards the tail while
+    smaller live hosts idle) — a host advertising 4x the capacity
+    draws roughly 4x the batches of its neighbours (weighted
+    round-robin for heterogeneous clusters), while homogeneous
+    clusters degrade to the plain shared-queue drain.  A host failing
+    mid-batch has its untried batches requeued for the surviving hosts
+    and is reconnected (and re-registered with the current oracle) so
+    it can rejoin; when no host remains the round raises
+    :class:`WorkerUnavailableError`.
     Remote stale-generation refusals surface as
     :class:`~repro.parallel.StaleOracleError` and oracle exceptions as
     :class:`RemoteOracleError` — both abort the round instead of being
@@ -740,6 +894,11 @@ class SocketHostPool:
     def hosts(self) -> list[str]:
         """The configured host addresses, in order."""
         return [conn.address for conn in self._conns]
+
+    @property
+    def host_capacity(self) -> dict[str, int]:
+        """Advertised capacity per host address (1 until registered)."""
+        return {conn.address: conn.capacity for conn in self._conns}
 
     @property
     def bytes_sent(self) -> int:
@@ -834,8 +993,10 @@ class SocketHostPool:
 
         ``batches`` holds ``(batch id, segment count, SEGMENTS
         payload)`` triples.  Dispatch is a shared work queue consumed
-        by one thread per live connection — faster hosts naturally take
-        more batches.  Failures requeue (see the class docstring).
+        by one thread per live connection, each taking up to its
+        host's advertised capacity per trip — faster and
+        higher-capacity hosts take more batches.  Failures requeue
+        (see the class docstring).
         """
         queue: deque[tuple[int, int, bytes]] = deque(batches)
         results: dict[int, list[bytes]] = {}
@@ -853,34 +1014,51 @@ class SocketHostPool:
                         cond.wait(timeout=0.1)
                     if fatal or not queue:
                         return
-                    item = queue.popleft()
-                    in_flight[0] += 1
-                batch_id, nsegs, payload = item
-                t0 = time.perf_counter()
-                try:
-                    blobs = conn.run_batch(batch_id, payload)
-                except _HOST_FAILURES:
+                    # capacity-weighted drain: take up to the host's
+                    # advertised batch appetite per trip, capped at a
+                    # fair share of what remains — a big host must not
+                    # hoard the tail of the queue while smaller live
+                    # hosts idle (batches on one connection execute
+                    # sequentially, so hoarding buys no parallelism)
+                    live = sum(1 for c in self._conns if c.connected) or 1
+                    fair = -(-len(queue) // live)
+                    take = max(1, min(conn.capacity, fair))
+                    items = []
+                    while queue and len(items) < take:
+                        items.append(queue.popleft())
+                    in_flight[0] += len(items)
+                for taken, item in enumerate(items):
+                    batch_id, nsegs, payload = item
+                    t0 = time.perf_counter()
+                    try:
+                        blobs = conn.run_batch(batch_id, payload)
+                    except _HOST_FAILURES:
+                        with cond:
+                            # give the in-flight batch and the untried
+                            # remainder back to the survivors
+                            for untried in reversed(items[taken:]):
+                                queue.appendleft(untried)
+                            in_flight[0] -= len(items) - taken
+                            cond.notify_all()
+                        self._retire(conn)
+                        if not self._connect_and_register(
+                            conn, count_reconnect=True
+                        ):
+                            return  # host is gone; survivors drain
+                        break  # rejoined: back to the queue
+                    except BaseException as exc:  # stale oracle / remote error
+                        with cond:
+                            fatal.append(exc)
+                            in_flight[0] -= len(items) - taken
+                            cond.notify_all()
+                        return
+                    elapsed = time.perf_counter() - t0
                     with cond:
-                        queue.appendleft(item)
+                        results[batch_id] = blobs
+                        self.host_segments[conn.address] += nsegs
+                        self.host_seconds[conn.address] += elapsed
                         in_flight[0] -= 1
                         cond.notify_all()
-                    self._retire(conn)
-                    if not self._connect_and_register(conn, count_reconnect=True):
-                        return  # host is gone; survivors drain the queue
-                    continue
-                except BaseException as exc:  # stale oracle / remote error
-                    with cond:
-                        fatal.append(exc)
-                        in_flight[0] -= 1
-                        cond.notify_all()
-                    return
-                elapsed = time.perf_counter() - t0
-                with cond:
-                    results[batch_id] = blobs
-                    self.host_segments[conn.address] += nsegs
-                    self.host_seconds[conn.address] += elapsed
-                    in_flight[0] -= 1
-                    cond.notify_all()
 
         live = [conn for conn in self._conns if conn.connected]
         threads = [
@@ -906,15 +1084,27 @@ class SocketHostPool:
 
 
 @contextlib.contextmanager
-def local_cluster(num_hosts: int = 2) -> Iterator[list[str]]:
+def local_cluster(
+    num_hosts: int = 2, capacities: Optional[Sequence[int]] = None
+) -> Iterator[list[str]]:
     """Start ``num_hosts`` in-process :class:`WorkerHost` servers.
 
-    Yields their ``host:port`` addresses and stops them on exit.  This
+    Yields their ``host:port`` addresses and stops them on exit.
+    ``capacities`` optionally assigns a per-host capacity
+    advertisement (default 1 each, the homogeneous cluster); its
+    length must match ``num_hosts``.  This
     is the localhost cluster fixture the equivalence suite and the
     transport benchmark run against; CI's ``dist-smoke`` job exercises
     the same protocol against real ``popqc worker`` processes.
     """
-    hosts = [WorkerHost().start() for _ in range(num_hosts)]
+    if capacities is not None and len(capacities) != num_hosts:
+        raise ValueError(
+            f"capacities has {len(capacities)} entries for {num_hosts} hosts"
+        )
+    hosts = [
+        WorkerHost(capacity=capacities[i] if capacities else 1).start()
+        for i in range(num_hosts)
+    ]
     try:
         yield [host.address for host in hosts]
     finally:

@@ -44,7 +44,9 @@ POPQC driver relies on.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -74,6 +76,7 @@ __all__ = [
     "ProcessMap",
     "StaleOracleError",
     "default_workers",
+    "oracle_fingerprint",
     "TRANSPORTS",
 ]
 
@@ -91,6 +94,38 @@ class StaleOracleError(RuntimeError):
 def default_workers() -> int:
     """Worker count used when none is given (``os.cpu_count()``)."""
     return os.cpu_count() or 1
+
+
+def oracle_fingerprint(oracle: object) -> bytes:
+    """A 16-byte digest identifying ``oracle`` for cache key scoping.
+
+    Hashes the oracle's pickle bytes — the serialization the process
+    and socket transports ship to their workers — so two oracle
+    objects share a fingerprint iff a worker could not tell them
+    apart, and any configuration difference (rule set, engine,
+    thresholds) separates their cache namespaces.  Raises whatever
+    ``pickle`` raises for unpicklable oracles; cache callers go
+    through :func:`oracle_cache_namespace`, which degrades instead.
+    """
+    return hashlib.blake2b(pickle.dumps(oracle), digest_size=16).digest()
+
+
+def oracle_cache_namespace(oracle: object) -> bytes:
+    """Cache-scoping key material for ``oracle``, never raising.
+
+    Unpicklable oracles (lambdas, closures) are legal on the threads
+    transport and the inline fallback, so the cache front must not
+    crash on them: they get a random one-off namespace instead of a
+    content fingerprint.  Callers memoize per oracle *identity*, so
+    such an oracle still hits its own earlier entries within one
+    executor/scheduler pairing — it just never shares entries across
+    processes or restarts (which content addressing could not promise
+    for an unserializable oracle anyway).
+    """
+    try:
+        return oracle_fingerprint(oracle)
+    except Exception:  # pickle errors vary by payload; all mean "opaque"
+        return os.urandom(16)
 
 
 class ParallelMap(Protocol):
@@ -226,6 +261,55 @@ def _pack_to_bytes(encoded: EncodedSegment) -> bytes:
     return bytes(buf)
 
 
+def _result_wire_bytes(result) -> bytes:
+    """One oracle result as standalone packed bytes (for cache storage).
+
+    Lazy handles answer from their wire payload without decoding;
+    plain gate lists (inline fallbacks below the serial cutoff, or
+    oracles returning lists directly) are encoded and packed here.
+    """
+    packed_bytes = getattr(result, "packed_bytes", None)
+    if packed_bytes is not None:
+        return packed_bytes()
+    return _pack_to_bytes(encode_segment(list(result)))
+
+
+def _cached_round(cache, namespace, segments, dispatch, decode_stats=None):
+    """The cache-front protocol shared by the executor hook and the
+    fleet scheduler.
+
+    Derives every segment's key from its canonical packed bytes scoped
+    by ``namespace``, answers hits as lazy handles over the stored
+    packed results, routes the misses (in order) through ``dispatch``
+    — a callable taking the missing segments and returning their
+    results — and stores the miss results on the way out.  Returns
+    ``(results, hits, misses, bytes served from cache, lookup
+    seconds)``; results are in segment order and byte-identical to an
+    uncached round.
+    """
+    t0 = time.perf_counter()
+    keys = [
+        cache.key_for(_pack_to_bytes(encode_segment(seg)), extra=namespace)
+        for seg in segments
+    ]
+    cached = [cache.get(key) for key in keys]
+    lookup = time.perf_counter() - t0
+    miss_idx = [i for i, hit in enumerate(cached) if hit is None]
+    results: list = [None] * len(segments)
+    bytes_saved = 0
+    for i, hit in enumerate(cached):
+        if hit is not None:
+            bytes_saved += len(hit)
+            results[i] = LazySegmentResult.from_packed(hit, decode_stats)
+    if miss_idx:
+        missed = dispatch([segments[i] for i in miss_idx])
+        for i, res in zip(miss_idx, missed):
+            results[i] = res
+            cache.put(keys[i], _result_wire_bytes(res))
+    hits = len(segments) - len(miss_idx)
+    return results, hits, len(miss_idx), bytes_saved, lookup
+
+
 def _apply_registered_oracle(generation: int, encoded: EncodedSegment) -> bytes:
     """Worker task of the encoded transport.
 
@@ -350,6 +434,16 @@ class ProcessMap:
         transport; required for (and only valid with)
         ``transport="socket"``.  When ``workers`` is not given it
         defaults to the host count — one dispatcher per connection.
+    cache:
+        Optional content-addressed segment result cache
+        (:class:`repro.service.cache.SegmentCache`).  When set,
+        :meth:`map_segments` fingerprints each segment's canonical
+        packed bytes (keyed by :func:`oracle_fingerprint`, so entries
+        are oracle-scoped), answers hits from the cache without
+        touching the oracle or the transport, dispatches only the
+        misses, and stores their packed results — so a repeated
+        segment costs one hash and one lookup instead of an oracle
+        call, on every transport identically.
 
     All transports return :class:`~repro.parallel.results.
     LazySegmentResult` handles from :meth:`map_segments`: results stay
@@ -383,6 +477,17 @@ class ProcessMap:
         Summed per-task oracle seconds vs. wall-clock seconds of the
         threads transport's pool maps; their ratio estimates effective
         thread concurrency, i.e. how much GIL the oracle released.
+    cache_hits / cache_misses:
+        Segment lookups answered by / past the result cache (0 when no
+        cache is configured).  Every hit is an oracle call that was
+        never made.
+    cache_bytes_saved:
+        Packed result bytes served from the cache instead of a
+        transport round trip.
+    cache_lookup_seconds:
+        Parent-side seconds spent fingerprinting and probing the cache
+        (the price of admission; compare against the oracle time the
+        hits saved).
     """
 
     def __init__(
@@ -391,6 +496,7 @@ class ProcessMap:
         serial_cutoff: int = 2,
         transport: str = "encoded",
         hosts: Sequence[str] | None = None,
+        cache: object | None = None,
     ):
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -438,6 +544,16 @@ class ProcessMap:
         self._round_id = 0
         self._socket_pool = None  # lazily built SocketHostPool
         self._socket_oracle: object | None = None
+        self.cache = cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_bytes_saved = 0
+        self.cache_lookup_seconds = 0.0
+        # oracle digest memoized by identity: one pickle per oracle,
+        # not one per round.  Kept as a single (oracle, digest) tuple
+        # so a concurrent reader can never observe one oracle paired
+        # with another oracle's digest.
+        self._cache_ns_memo: tuple[object, bytes] = (None, b"")
 
     # -- generic map ---------------------------------------------------------
 
@@ -513,7 +629,69 @@ class ProcessMap:
         Pool-backed calls return
         :class:`~repro.parallel.results.LazySegmentResult` handles that
         decode only when read.
+
+        With a result ``cache`` configured, known segments are answered
+        from it and only the misses reach the transport (see
+        :meth:`_map_segments_cached`); the result contents are
+        byte-identical either way.
         """
+        if self.cache is not None:
+            return self._map_segments_cached(oracle, segments)
+        return self._map_segments_dispatch(oracle, segments)
+
+    def _cache_namespace(self, oracle: object) -> bytes:
+        """Oracle-scoping key material for cache lookups (memoized).
+
+        The memo is read and replaced as one tuple: under concurrent
+        callers the worst case is a redundant recompute, never a
+        cross-oracle pairing.
+        """
+        memo_oracle, memo_ns = self._cache_ns_memo
+        if memo_oracle is not oracle:
+            memo_ns = oracle_cache_namespace(oracle)
+            self._cache_ns_memo = (oracle, memo_ns)
+        return memo_ns
+
+    def _map_segments_cached(
+        self,
+        oracle: Callable[[list[Gate]], list[Gate]],
+        segments: Sequence[list[Gate]],
+    ) -> list:
+        """Cache-aware front of :meth:`map_segments`.
+
+        Every segment is encoded and packed into its canonical wire
+        bytes (work the transport would do anyway for a miss), hashed,
+        and looked up; hits become lazy handles over the cached packed
+        result, misses go through the configured transport in one
+        batch and their packed results are stored on the way out
+        (:func:`_cached_round` is the shared protocol).
+        """
+        results, hits, misses, bytes_saved, lookup = _cached_round(
+            self.cache,
+            self._cache_namespace(oracle),
+            segments,
+            lambda missed: self._map_segments_dispatch(oracle, missed),
+            self._decode_stats,
+        )
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_bytes_saved += bytes_saved
+        self.cache_lookup_seconds += lookup
+        if misses == 0:  # dispatch never ran to reset the per-call stats
+            self.last_serialization_time = 0.0
+            self.last_batch_sizes = []
+        # key derivation is serialization work: it packs the same bytes
+        # the wire would carry
+        self.last_serialization_time += lookup
+        self.serialization_time += lookup
+        return results
+
+    def _map_segments_dispatch(
+        self,
+        oracle: Callable[[list[Gate]], list[Gate]],
+        segments: Sequence[list[Gate]],
+    ) -> list:
+        """Transport dispatch of :meth:`map_segments` (cache already consulted)."""
         self.last_serialization_time = 0.0
         self.last_batch_sizes = []
         if len(segments) <= self.serial_cutoff:
@@ -863,6 +1041,11 @@ class ProcessMap:
     def socket_host_seconds(self) -> dict[str, float]:
         """Wall seconds spent serving batches, per worker host address."""
         return dict(self._socket_pool.host_seconds) if self._socket_pool else {}
+
+    @property
+    def socket_host_capacity(self) -> dict[str, int]:
+        """Advertised capacity per worker host address (weighted dispatch)."""
+        return dict(self._socket_pool.host_capacity) if self._socket_pool else {}
 
     # -- lazy-decode instrumentation -----------------------------------------
 

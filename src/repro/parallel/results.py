@@ -155,6 +155,25 @@ class LazySegmentResult(Sequence):
                 self._stats.note_decoded(self._nbytes)
         return self._gates
 
+    def packed_bytes(self) -> bytes:
+        """The result in the flat wire format (for the segment cache).
+
+        Byte-carrying births return their payload as-is; encoded and
+        gate-list births pack on demand.  This is a *serialization*, not
+        a decode — it never materializes gates and is not counted by
+        :class:`DecodeStats`, so caching a rejected result keeps the
+        lazy-decode guarantee intact.
+        """
+        if self._packed is not None:
+            return self._packed
+        encoded = self._encoded
+        if encoded is None:
+            assert self._gates is not None
+            encoded = encoding.encode_segment(self._gates)
+        buf = bytearray(encoding.packed_segment_nbytes(encoded))
+        encoding.pack_segment_into(encoded, buf, 0)
+        return bytes(buf)
+
     @property
     def decoded(self) -> bool:
         """Whether the gates have been materialized."""

@@ -1,0 +1,44 @@
+"""The ``popqc serve`` layer: a persistent optimization service.
+
+PRs 1–4 built the per-run hot path — five oracle transports from
+in-process pipes to multi-host sockets, all carrying the same packed
+wire format byte-identically.  This package is the layer above: a
+long-running daemon (``popqc serve``) that multiplexes many concurrent
+optimization *jobs* over one warm worker fleet, and never pays the
+oracle twice for a segment it has already optimized.
+
+Three pieces:
+
+* :mod:`repro.service.cache` — a content-addressed **segment result
+  cache**: canonical fingerprint of a segment's packed wire bytes →
+  the oracle's packed result bytes, with an in-memory LRU in front of
+  an optional disk store that survives server restarts.  The cache is
+  wired into :class:`repro.parallel.ProcessMap` (``cache=``), so every
+  transport short-circuits repeated segments to a hash lookup.
+* :mod:`repro.service.scheduler` — the cross-job round scheduler: each
+  job optimizes through a :class:`~repro.service.scheduler.FleetView`
+  proxy, and segments from concurrently running jobs are merged into
+  shared ``batch_segments`` rounds over the one persistent fleet.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  ``popqc serve`` daemon speaking JOB/RESULT/STATUS frames on the
+  same length-prefixed frame protocol as the socket transport
+  (:mod:`repro.parallel.dist`), and the :class:`ServiceClient` /
+  ``popqc submit`` side of it.
+"""
+
+from .cache import CacheStats, SegmentCache, oracle_namespace
+from .client import JobResult, ServiceClient
+from .scheduler import FleetScheduler, FleetView
+from .server import OptimizationService, ServiceError
+
+__all__ = [
+    "CacheStats",
+    "FleetScheduler",
+    "FleetView",
+    "JobResult",
+    "OptimizationService",
+    "SegmentCache",
+    "ServiceClient",
+    "ServiceError",
+    "oracle_namespace",
+]

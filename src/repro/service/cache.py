@@ -1,0 +1,286 @@
+"""Content-addressed segment result cache.
+
+Real optimization workloads — parameter sweeps, iterative compilation,
+benchmark suites — are full of *repeated* segments: the same 2Ω-gate
+window shows up in job after job (and round after round, once a region
+of the circuit has converged).  The oracle is a pure function of the
+segment, so re-running it on bytes it has already answered is pure
+waste.  This module makes the answer addressable by content:
+
+    key    = blake2b(packed segment bytes, keyed by an oracle digest)
+    value  = the oracle's result in the same packed wire format
+
+The key derivation (:func:`repro.circuits.encoding.segment_fingerprint`)
+hashes the segment's *canonical packed bytes* — the exact bytes every
+transport already produces — so the cache key costs one hash over a
+buffer that exists anyway, and two segments share an entry iff they
+would be byte-identical on the wire.  The oracle digest
+(:func:`oracle_namespace`) keys the hash, so entries written under one
+oracle are unreachable under any other: a cache can even be shared on
+disk between servers running different rule sets without cross-talk.
+
+Storage is two-level:
+
+* an **in-memory LRU** bounded by entry count and byte volume (the hot
+  working set of the running server);
+* an optional **disk store** (one file per entry, written atomically
+  via rename) that survives server restarts and can be shared by
+  several servers.  A truncated or corrupt entry — a crashed writer,
+  a torn disk — reads as a *miss*, never an exception, and the bad
+  file is removed so it cannot poison later lookups.
+
+Values are packed result bytes, so a cache hit feeds straight into
+:meth:`repro.parallel.results.LazySegmentResult.from_packed` — the
+same lazy handle an oracle round would have produced, byte for byte.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import struct
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional
+
+from ..circuits.encoding import segment_fingerprint
+from ..parallel.executor import oracle_fingerprint
+
+__all__ = ["CacheStats", "SegmentCache", "oracle_namespace"]
+
+#: On-disk entry header: magic + payload length.  The length makes
+#: truncation detectable without trusting the filesystem's size alone.
+_DISK_HEADER = struct.Struct("<4sQ")
+_DISK_MAGIC = b"PQCS"
+
+#: A 16-byte digest identifying an oracle for cache scoping — the
+#: service-layer name for :func:`repro.parallel.executor.
+#: oracle_fingerprint` (two oracles share a namespace iff they pickle
+#: identically, i.e. would behave identically on a transport worker).
+oracle_namespace = oracle_fingerprint
+
+
+class CacheStats:
+    """Counters for one :class:`SegmentCache`.
+
+    ``hits`` counts lookups answered from memory or disk;
+    ``disk_hits`` is the subset that had to be read back from the disk
+    store.  ``bytes_saved`` sums the packed result bytes served from
+    the cache — wire bytes (and oracle work) that were never paid
+    again.  ``corrupt_entries`` counts disk entries dropped because
+    they failed validation.
+    """
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "stores",
+        "evictions",
+        "disk_hits",
+        "corrupt_entries",
+        "bytes_saved",
+    )
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.disk_hits = 0
+        self.corrupt_entries = 0
+        self.bytes_saved = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (for STATUS frames and logs)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "corrupt_entries": self.corrupt_entries,
+            "bytes_saved": self.bytes_saved,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SegmentCache:
+    """Two-level (memory LRU + optional disk) packed-result cache.
+
+    Parameters
+    ----------
+    max_entries / max_bytes:
+        Bounds on the in-memory level; the least recently used entries
+        are evicted when either is exceeded.  The disk store, when
+        configured, is unbounded — entries evicted from memory remain
+        readable from disk.
+    disk_dir:
+        Directory of the persistent level (created if missing).
+        ``None`` keeps the cache memory-only.
+    namespace:
+        Key material mixed into every fingerprint, normally
+        :func:`oracle_namespace` of the oracle being fronted.  Entries
+        from different namespaces can share both levels safely.
+
+    All methods are thread-safe; the server's connection handlers and
+    the fleet scheduler hit one shared instance concurrently.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        max_bytes: int = 256 * 1024 * 1024,
+        disk_dir: Optional[str | Path] = None,
+        namespace: bytes = b"",
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.namespace = namespace
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, bytes] = OrderedDict()
+        self._memory_bytes = 0
+        self._disk: Optional[Path] = None
+        if disk_dir is not None:
+            self._disk = Path(disk_dir)
+            self._disk.mkdir(parents=True, exist_ok=True)
+
+    # -- key derivation --------------------------------------------------------
+
+    def key_for(self, packed, extra: bytes = b"") -> str:
+        """The cache key of one canonically packed segment.
+
+        ``extra`` is additional key material appended to the cache's
+        own namespace — the executor's cache hook passes the digest of
+        the oracle currently being mapped, so even a cache constructed
+        without a namespace can never serve one oracle's results to
+        another.
+        """
+        return segment_fingerprint(packed, namespace=self.namespace + extra)
+
+    # -- lookup / store --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The packed result bytes for ``key``, or ``None`` on a miss.
+
+        Memory hits refresh LRU recency; disk hits are promoted into
+        the memory level.  A corrupt disk entry is deleted and reported
+        as a miss.
+        """
+        with self._lock:
+            value = self._memory.get(key)
+            if value is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.bytes_saved += len(value)
+                return value
+        value = self._disk_read(key)
+        with self._lock:
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self.stats.bytes_saved += len(value)
+            self._install(key, value)
+        return value
+
+    def put(self, key: str, value: bytes) -> None:
+        """Store packed result bytes under ``key`` in both levels."""
+        value = bytes(value)
+        with self._lock:
+            self.stats.stores += 1
+            self._install(key, value)
+        self._disk_write(key, value)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Byte volume currently held by the in-memory level."""
+        return self._memory_bytes
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory level (the disk store is untouched)."""
+        with self._lock:
+            self._memory.clear()
+            self._memory_bytes = 0
+
+    # -- memory level ----------------------------------------------------------
+
+    def _install(self, key: str, value: bytes) -> None:
+        """Insert/refresh ``key`` in memory and evict past the bounds."""
+        old = self._memory.pop(key, None)
+        if old is not None:
+            self._memory_bytes -= len(old)
+        self._memory[key] = value
+        self._memory_bytes += len(value)
+        while len(self._memory) > self.max_entries or (
+            self._memory_bytes > self.max_bytes and len(self._memory) > 1
+        ):
+            _, evicted = self._memory.popitem(last=False)
+            self._memory_bytes -= len(evicted)
+            self.stats.evictions += 1
+
+    # -- disk level ------------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        assert self._disk is not None
+        return self._disk / f"{key}.seg"
+
+    def _disk_read(self, key: str) -> Optional[bytes]:
+        """One validated disk entry, or ``None`` (missing or corrupt)."""
+        if self._disk is None:
+            return None
+        path = self._entry_path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        if len(raw) >= _DISK_HEADER.size:
+            magic, length = _DISK_HEADER.unpack_from(raw, 0)
+            if magic == _DISK_MAGIC and len(raw) == _DISK_HEADER.size + length:
+                return raw[_DISK_HEADER.size :]
+        # truncated or foreign bytes: drop the entry so it cannot keep
+        # costing a read+validate on every lookup
+        with self._lock:
+            self.stats.corrupt_entries += 1
+        with contextlib.suppress(OSError):
+            path.unlink()
+        return None
+
+    def _disk_write(self, key: str, value: bytes) -> None:
+        """Write one entry atomically (write-to-temp + rename)."""
+        if self._disk is None:
+            return
+        path = self._entry_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            tmp.write_bytes(_DISK_HEADER.pack(_DISK_MAGIC, len(value)) + value)
+            os.replace(tmp, path)
+        except OSError:
+            # a full or read-only disk degrades the cache, never the run
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        disk = str(self._disk) if self._disk else "none"
+        return (
+            f"SegmentCache(entries={len(self._memory)}, "
+            f"bytes={self._memory_bytes}, disk={disk})"
+        )

@@ -1,0 +1,174 @@
+"""Client side of the ``popqc serve`` protocol.
+
+:class:`ServiceClient` is the Python API (``popqc submit`` is the CLI
+wrapper): it packs a circuit into one JOB frame, blocks for the RESULT
+frame, and returns the optimized circuit together with the server's
+per-job stats object.  One client holds one connection; jobs on it run
+sequentially, and concurrency comes from running several clients (the
+server merges their rounds into shared fleet rounds).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import socket
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..circuits import Circuit
+from ..circuits.encoding import decode_segment, encode_segment
+from ..circuits.gate import Gate
+from ..parallel.dist import (
+    FRAME_ERROR,
+    FRAME_JOB,
+    FRAME_PING,
+    FRAME_PONG,
+    FRAME_RESULT,
+    FRAME_STATUS,
+    FrameProtocolError,
+    FrameReader,
+    pack_frame,
+    pack_job_payload,
+    parse_address,
+    recv_frame,
+    unpack_error_payload,
+    unpack_result_payload,
+)
+from .server import ServiceError
+
+__all__ = ["JobResult", "ServiceClient"]
+
+
+@dataclass
+class JobResult:
+    """One served job: the optimized circuit plus the server's stats.
+
+    ``stats`` is the JSON object from the RESULT frame — gate counts,
+    rounds, cache hit rate and oracle calls saved, server-side wall
+    seconds (see ``OptimizationService._job_stats``).
+    """
+
+    circuit: Circuit
+    stats: dict
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this job's segments answered by the server cache."""
+        return float(self.stats.get("cache_hit_rate", 0.0))
+
+
+class ServiceClient:
+    """Blocking client for one ``popqc serve`` endpoint.
+
+    Usable as a context manager; the connection opens lazily on the
+    first request.  Server-side job failures raise
+    :class:`~repro.service.server.ServiceError`; transport problems
+    raise the frame-protocol errors of :mod:`repro.parallel.dist`.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = 5.0,
+        request_timeout: Optional[float] = 600.0,
+    ):
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self._sock: Optional[socket.socket] = None
+        self._reader = FrameReader()
+        self._job_tag = 0
+
+    # -- connection ------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        """Open the TCP connection (no-op when already open)."""
+        if self._sock is None:
+            host, port = parse_address(self.address)
+            self._sock = socket.create_connection(
+                (host, port), timeout=self.connect_timeout
+            )
+            self._sock.settimeout(self.request_timeout)
+            self._reader = FrameReader()
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, frame: bytes) -> tuple[int, bytes]:
+        """Send one frame and block for the server's reply frame."""
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall(frame)
+        frame_type, payload = recv_frame(self._sock, self._reader)
+        if frame_type == FRAME_ERROR:
+            kind, message = unpack_error_payload(payload)
+            raise ServiceError(f"server refused the request (kind {kind}): {message}")
+        return frame_type, payload
+
+    # -- requests --------------------------------------------------------------
+
+    def optimize(
+        self,
+        circuit: Circuit | Sequence[Gate],
+        omega: int = 100,
+        max_rounds: Optional[int] = None,
+    ) -> JobResult:
+        """Submit one optimization job and block for its result."""
+        if isinstance(circuit, Circuit):
+            gates, num_qubits = list(circuit.gates), circuit.num_qubits
+        else:
+            gates, num_qubits = list(circuit), None
+        self._job_tag += 1
+        tag = self._job_tag
+        frame_type, payload = self._request(
+            pack_frame(
+                FRAME_JOB,
+                pack_job_payload(
+                    tag, omega, num_qubits, max_rounds, encode_segment(gates)
+                ),
+            )
+        )
+        if frame_type != FRAME_RESULT:
+            raise FrameProtocolError(
+                f"expected RESULT, got frame type {frame_type}"
+            )
+        got_tag, stats_json, encoded = unpack_result_payload(payload)
+        if got_tag != tag:
+            raise FrameProtocolError(
+                f"result tag {got_tag} does not match job tag {tag}"
+            )
+        return JobResult(
+            circuit=Circuit(decode_segment(encoded), num_qubits),
+            stats=json.loads(stats_json.decode("utf-8")),
+        )
+
+    def status(self) -> dict:
+        """The server's status object (jobs, cache, fleet, latency)."""
+        frame_type, payload = self._request(pack_frame(FRAME_STATUS))
+        if frame_type != FRAME_STATUS:
+            raise FrameProtocolError(
+                f"expected STATUS reply, got frame type {frame_type}"
+            )
+        return json.loads(payload.decode("utf-8"))
+
+    def ping(self) -> None:
+        """Heartbeat round trip; raises if the server is gone."""
+        frame_type, _payload = self._request(pack_frame(FRAME_PING))
+        if frame_type != FRAME_PONG:
+            raise FrameProtocolError(f"expected PONG, got frame type {frame_type}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self._sock is not None else "down"
+        return f"ServiceClient({self.address}, {state})"

@@ -1,0 +1,304 @@
+"""Cross-job round scheduling over one persistent worker fleet.
+
+A ``popqc serve`` daemon runs many optimization jobs concurrently, but
+owns exactly one warm :class:`~repro.parallel.ProcessMap` fleet — the
+expensive thing (spawned workers, registered oracle, pooled arenas,
+connected hosts) that the whole service exists to amortize.  This
+module multiplexes the jobs onto it:
+
+* Each job optimizes through a :class:`FleetView` — an object shaped
+  like a ``ParallelMap`` (it has ``map_segments``), so the unmodified
+  POPQC driver runs against it.
+* Every ``map_segments`` round a job issues becomes a *round request*
+  on the shared :class:`FleetScheduler`.  The scheduler front-ends the
+  request with the content-addressed segment cache (hits are answered
+  immediately and never enter the queue — per-job hit accounting falls
+  out for free), then merges the cache-missing segments of every
+  concurrently pending request into **one** combined
+  ``fleet.map_segments`` call.  The fleet's own
+  :func:`~repro.parallel.scheduling.batch_segments` policy then splits
+  the combined round across workers exactly as it would a single big
+  job — so two half-width jobs fill the fleet as well as one full-width
+  job, instead of each using half of it.
+* Results are split back per request, cache-missing outputs are stored
+  as packed bytes on the way out, and each job's driver resumes.
+
+Merging is opportunistic: the dispatcher grabs whatever requests are
+pending (after a short gather window, giving concurrent jobs that are
+mid-round a beat to arrive) and never delays a lone request by more
+than that window.  Per-segment results are independent of the round
+composition on every transport, so a job's output is byte-identical
+whether its rounds ran alone, merged, or from the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+from ..circuits.gate import Gate
+from ..parallel.executor import _cached_round, oracle_cache_namespace
+from .cache import SegmentCache
+
+__all__ = ["FleetScheduler", "FleetView"]
+
+
+class _RoundRequest:
+    """One job's pending oracle round (its cache misses only)."""
+
+    __slots__ = ("oracle", "segments", "done", "results", "error")
+
+    def __init__(self, oracle, segments):
+        self.oracle = oracle
+        self.segments = segments
+        self.done = threading.Event()
+        self.results: Optional[list] = None
+        self.error: Optional[BaseException] = None
+
+
+class FleetScheduler:
+    """Serializes concurrent jobs' rounds onto one shared fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The persistent executor (any transport).  The scheduler owns
+        its dispatch: jobs must reach it only through
+        :class:`FleetView`.  Configure the fleet *without* a cache —
+        the scheduler fronts it here so hits are attributed per job.
+    cache:
+        Optional :class:`~repro.service.cache.SegmentCache` consulted
+        before any segment is queued for dispatch.
+    gather_window_seconds:
+        How long the dispatcher waits, after the first pending request,
+        for concurrent jobs' rounds to arrive and merge.  The cost of a
+        lone job's round is bounded by this; the win is whole-fleet
+        batching for overlapping jobs.
+
+    Attributes
+    ----------
+    rounds_dispatched / requests_merged / segments_dispatched:
+        Combined fleet rounds run, job round-requests they carried, and
+        segments they carried.  ``requests_merged > rounds_dispatched``
+        is cross-job batching actually happening.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        cache: Optional[SegmentCache] = None,
+        gather_window_seconds: float = 0.002,
+    ):
+        self.fleet = fleet
+        self.cache = cache
+        self.gather_window_seconds = gather_window_seconds
+        self.rounds_dispatched = 0
+        self.requests_merged = 0
+        self.segments_dispatched = 0
+        self._pending: list[_RoundRequest] = []
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closing = False
+        # oracle digest memoized by identity: one pickle per oracle,
+        # not one per job round.  A single (oracle, digest) tuple —
+        # run_round is called from many connection threads, and a
+        # torn two-field memo could pair one oracle with another's
+        # digest; the tuple makes the worst case a recompute.
+        self._ns_memo: tuple[object, bytes] = (None, b"")
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="fleet-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def view(self) -> "FleetView":
+        """A fresh per-job executor proxy bound to this scheduler."""
+        return FleetView(self)
+
+    def close(self) -> None:
+        """Stop the dispatcher and close the fleet (idempotent).
+
+        Pending and future requests fail with :class:`RuntimeError`
+        rather than hanging.
+        """
+        with self._wake:
+            if self._closing:
+                return
+            self._closing = True
+            pending, self._pending = self._pending, []
+            self._wake.notify_all()
+        for req in pending:
+            req.error = RuntimeError("fleet scheduler closed")
+            req.done.set()
+        self._thread.join(timeout=5.0)
+        self.fleet.close()
+
+    # -- job-facing entry point ------------------------------------------------
+
+    def _namespace(self, oracle: object) -> bytes:
+        """Oracle-scoping key material for cache lookups (memoized).
+
+        Tuple-swapped memo: concurrent job threads can at worst
+        recompute the digest, never observe a cross-oracle pairing.
+        """
+        memo_oracle, memo_ns = self._ns_memo
+        if memo_oracle is not oracle:
+            memo_ns = oracle_cache_namespace(oracle)
+            self._ns_memo = (oracle, memo_ns)
+        return memo_ns
+
+    def run_round(
+        self,
+        oracle: Callable[[list[Gate]], list[Gate]],
+        segments: Sequence[list[Gate]],
+    ) -> tuple[list, int, int, int, float]:
+        """One job round: cache front, then merged fleet dispatch.
+
+        Returns ``(results, cache hits, cache misses, bytes served
+        from cache, lookup seconds)``; results are in segment order
+        and byte-identical to an uncached, unmerged round.  Without a
+        cache every counter is 0 — segments dispatched straight to the
+        fleet are not "misses", there was no lookup.  The cache
+        protocol is :func:`repro.parallel.executor._cached_round` —
+        the same one ``ProcessMap(cache=...)`` runs, so a disk store
+        is readable by both paths interchangeably — with the
+        merged-dispatch queue as its miss route, so hits never enter
+        the queue at all.
+        """
+        n = len(segments)
+        if n == 0:
+            return [], 0, 0, 0, 0.0
+        if self.cache is None:
+            return self._dispatch(list(segments), oracle), 0, 0, 0, 0.0
+        return _cached_round(
+            self.cache,
+            self._namespace(oracle),
+            segments,
+            lambda missed: self._dispatch(missed, oracle),
+            getattr(self.fleet, "_decode_stats", None),
+        )
+
+    # -- merged dispatch -------------------------------------------------------
+
+    def _dispatch(self, segments: list, oracle) -> list:
+        """Queue one round request and block until the fleet answers."""
+        req = _RoundRequest(oracle, segments)
+        with self._wake:
+            if self._closing:
+                raise RuntimeError("fleet scheduler closed")
+            self._pending.append(req)
+            self._wake.notify_all()
+        req.done.wait()
+        if req.error is not None:
+            raise req.error
+        assert req.results is not None
+        return req.results
+
+    def _take_batch(self) -> list[_RoundRequest]:
+        """Pending requests to merge into one fleet round.
+
+        Blocks until at least one request is queued, lingers for the
+        gather window, then takes every pending request sharing the
+        first one's oracle (the fleet registers one oracle per round;
+        a job running a different oracle simply waits one round).
+        """
+        with self._wake:
+            while not self._pending and not self._closing:
+                self._wake.wait()
+            if self._closing:
+                return []
+        if self.gather_window_seconds > 0:
+            time.sleep(self.gather_window_seconds)
+        with self._wake:
+            if not self._pending:
+                return []
+            lead = self._pending[0].oracle
+            batch = [r for r in self._pending if r.oracle is lead]
+            self._pending = [r for r in self._pending if r.oracle is not lead]
+            return batch
+
+    def _dispatch_loop(self) -> None:
+        """Dispatcher thread: merge, run, split, repeat until closed."""
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                with self._lock:
+                    if self._closing:
+                        return
+                continue
+            merged: list = []
+            for req in batch:
+                merged.extend(req.segments)
+            try:
+                flat = self.fleet.map_segments(batch[0].oracle, merged)
+            except BaseException as exc:  # noqa: BLE001 - forwarded per job
+                for req in batch:
+                    req.error = exc
+                    req.done.set()
+                continue
+            self.rounds_dispatched += 1
+            self.requests_merged += len(batch)
+            self.segments_dispatched += len(merged)
+            pos = 0
+            for req in batch:
+                req.results = list(flat[pos : pos + len(req.segments)])
+                pos += len(req.segments)
+                req.done.set()
+
+
+class FleetView:
+    """A per-job ``ParallelMap`` proxy over the shared scheduler.
+
+    Implements just enough of the executor surface for the POPQC
+    driver: ``map_segments`` (routed through
+    :meth:`FleetScheduler.run_round`), a serial ``map`` fallback, and
+    the per-job cache counters the stats layer snapshots
+    (``cache_hits`` / ``cache_misses`` / ``cache_bytes_saved`` /
+    ``cache_lookup_seconds``), so ``OptimizationStats.cache_hit_rate``
+    and the lookup-cost accounting are exact for *this* job even while
+    other jobs share the cache and the fleet.
+    """
+
+    def __init__(self, scheduler: FleetScheduler):
+        self._scheduler = scheduler
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_bytes_saved = 0
+        self.cache_lookup_seconds = 0.0
+        self.last_serialization_time = 0.0
+
+    @property
+    def workers(self) -> int:
+        """The shared fleet's worker count."""
+        return self._scheduler.fleet.workers
+
+    @property
+    def transport(self) -> str:
+        """The shared fleet's wire format (labels per-job stats)."""
+        return getattr(self._scheduler.fleet, "transport", "encoded")
+
+    def map_segments(
+        self,
+        oracle: Callable[[list[Gate]], list[Gate]],
+        segments: Sequence[list[Gate]],
+    ) -> list:
+        """One oracle round through the cache and the shared fleet."""
+        results, hits, misses, saved, lookup = self._scheduler.run_round(
+            oracle, segments
+        )
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_bytes_saved += saved
+        self.cache_lookup_seconds += lookup
+        return results
+
+    def map(self, fn, items):
+        """Serial fallback map (jobs parallelize through segments only)."""
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        """No-op: the scheduler owns the fleet's lifetime."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FleetView(scheduler={self._scheduler!r})"

@@ -1,0 +1,342 @@
+"""The ``popqc serve`` daemon: optimization jobs as a network service.
+
+One long-running process owns the expensive state — a warm worker
+fleet (any of the five transports), a registered oracle, and the
+content-addressed segment cache — and serves optimization *jobs*
+submitted over TCP.  The wire protocol is the same length-prefixed
+frame codec as the distributed worker transport
+(:mod:`repro.parallel.dist`), extended with three frame types:
+
+* ``JOB`` — a circuit (as one packed segment) plus Ω and run options;
+* ``RESULT`` — the optimized circuit (packed) plus a per-job stats
+  JSON object (gate reduction, rounds, cache hit rate, latency);
+* ``STATUS`` — an empty request answered with a server-status JSON
+  (jobs served, cache hit rate, per-job latency, fleet shape).
+
+Each client connection is served by its own thread, one job at a time
+per connection; *across* connections, jobs run concurrently and their
+oracle rounds are merged into shared fleet rounds by the
+:class:`~repro.service.scheduler.FleetScheduler`, with the segment
+cache short-circuiting any segment the service has optimized before.
+A job's output is byte-identical to a standalone ``popqc`` run of the
+same circuit with the same oracle and Ω.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import socket
+import threading
+import time
+from collections import deque
+from typing import Optional, Sequence
+
+from ..circuits import Circuit
+from ..circuits.encoding import decode_segment, encode_segment
+from ..core import popqc
+from ..parallel import ProcessMap
+from ..parallel.dist import (
+    ERR_BAD_FRAME,
+    ERR_JOB_FAILED,
+    FRAME_ERROR,
+    FRAME_JOB,
+    FRAME_PING,
+    FRAME_PONG,
+    FRAME_RESULT,
+    FRAME_SHUTDOWN,
+    FRAME_STATUS,
+    ConnectionClosedError,
+    FrameProtocolError,
+    FrameReader,
+    pack_error_payload,
+    pack_frame,
+    pack_result_payload,
+    recv_frame,
+    unpack_job_payload,
+)
+from .cache import SegmentCache
+from .scheduler import FleetScheduler
+
+__all__ = ["OptimizationService", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A job failed server-side; the message carries the remote repr."""
+
+
+class OptimizationService:
+    """TCP daemon multiplexing optimization jobs over one warm fleet.
+
+    Parameters
+    ----------
+    oracle:
+        The oracle every job is optimized against (jobs choose Ω and
+        round caps, not the oracle — the fleet registers exactly one).
+    host / port:
+        Bind endpoint; ``port=0`` picks an ephemeral port
+        (:attr:`address` reports the bound one).
+    workers / transport / hosts:
+        Fleet shape, passed to :class:`~repro.parallel.ProcessMap`
+        (``hosts`` for ``transport="socket"``).
+    cache:
+        A :class:`~repro.service.cache.SegmentCache`, or ``None`` to
+        build a default in-memory cache, or ``False`` to serve without
+        one (every segment pays the oracle).  Keys are scoped per
+        oracle by the scheduler's lookup protocol itself, so a cache
+        (or its disk store) needs no namespace of its own and is
+        interchangeable with the ``ProcessMap(cache=...)`` path.
+    gather_window_seconds:
+        Cross-job merge window of the round scheduler.
+
+    Attributes
+    ----------
+    jobs_completed / jobs_failed:
+        Totals across all connections.
+    bytes_received / bytes_sent:
+        Frame bytes in and out, payloads included.
+    """
+
+    def __init__(
+        self,
+        oracle: object,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: Optional[int] = None,
+        transport: str = "encoded",
+        hosts: Optional[Sequence[str]] = None,
+        cache: object = None,
+        gather_window_seconds: float = 0.002,
+    ):
+        self.oracle = oracle
+        if cache is None:
+            cache = SegmentCache()
+        elif cache is False:
+            cache = None
+        self.cache = cache
+        fleet = ProcessMap(workers, transport=transport, hosts=hosts)
+        self._scheduler = FleetScheduler(
+            fleet, cache=cache, gather_window_seconds=gather_window_seconds
+        )
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        self._jobs_active = 0
+        self._latencies: deque[float] = deque(maxlen=256)
+        self._started = time.monotonic()
+        self._lock = threading.Lock()
+        self._closing = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: list[threading.Thread] = []
+        self._conns: list[socket.socket] = []
+
+    @property
+    def address(self) -> str:
+        """The bound endpoint as ``"host:port"``."""
+        return f"{self.host}:{self.port}"
+
+    @property
+    def jobs_active(self) -> int:
+        """Jobs currently being optimized."""
+        return self._jobs_active
+
+    # -- lifecycle (mirrors WorkerHost) ---------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`stop` (blocking)."""
+        while not self._closing.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:  # listener shut down by stop()
+                break
+            if self._closing.is_set():
+                with contextlib.suppress(OSError):
+                    conn.close()
+                break
+            with self._lock:
+                self._conns.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def start(self) -> "OptimizationService":
+        """Serve in a daemon thread (for in-process tests); returns self."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Close the listener, connections, scheduler and fleet."""
+        self._closing.set()
+        with contextlib.suppress(OSError):
+            self._listener.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            with contextlib.suppress(OSError):
+                conn.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                conn.close()
+        for thread in self._conn_threads:
+            thread.join(timeout=5.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+        self._scheduler.close()
+
+    # -- connection handling ---------------------------------------------------
+
+    def _send(self, conn: socket.socket, frame: bytes) -> None:
+        conn.sendall(frame)
+        with self._lock:
+            self.bytes_sent += len(frame)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """Serve one client until it disconnects or the service stops."""
+        reader = FrameReader()
+        try:
+            while True:
+                frame_type, payload = recv_frame(conn, reader)
+                with self._lock:
+                    self.bytes_received += 16 + len(payload)
+                if frame_type == FRAME_JOB:
+                    self._send(conn, self._answer_job(payload))
+                elif frame_type == FRAME_STATUS:
+                    body = json.dumps(self.status()).encode("utf-8")
+                    self._send(conn, pack_frame(FRAME_STATUS, body))
+                elif frame_type == FRAME_PING:
+                    self._send(conn, pack_frame(FRAME_PONG))
+                elif frame_type == FRAME_SHUTDOWN:
+                    return
+                else:
+                    self._send(
+                        conn,
+                        pack_frame(
+                            FRAME_ERROR,
+                            pack_error_payload(
+                                ERR_BAD_FRAME,
+                                f"unexpected frame type {frame_type}",
+                            ),
+                        ),
+                    )
+        except (ConnectionClosedError, FrameProtocolError, OSError):
+            return  # client went away; nothing to answer
+        finally:
+            with self._lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+            with contextlib.suppress(OSError):
+                conn.close()
+
+    # -- job execution ---------------------------------------------------------
+
+    def _answer_job(self, payload: bytes) -> bytes:
+        """The reply frame for one JOB request."""
+        try:
+            job_tag, omega, num_qubits, max_rounds, encoded = unpack_job_payload(
+                payload
+            )
+        except FrameProtocolError as exc:
+            return pack_frame(
+                FRAME_ERROR, pack_error_payload(ERR_BAD_FRAME, str(exc))
+            )
+        with self._lock:
+            self._jobs_active += 1
+        t0 = time.perf_counter()
+        try:
+            circuit = Circuit(decode_segment(encoded), num_qubits)
+            view = self._scheduler.view()
+            result = popqc(
+                circuit,
+                self.oracle,
+                omega,
+                parmap=view,
+                max_rounds=max_rounds,
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to the client
+            with self._lock:
+                self._jobs_active -= 1
+                self.jobs_failed += 1
+            return pack_frame(
+                FRAME_ERROR, pack_error_payload(ERR_JOB_FAILED, repr(exc))
+            )
+        elapsed = time.perf_counter() - t0
+        stats_json = json.dumps(
+            self._job_stats(result.stats, elapsed)
+        ).encode("utf-8")
+        out = encode_segment(result.circuit.gates)
+        with self._lock:
+            self._jobs_active -= 1
+            self.jobs_completed += 1
+            self._latencies.append(elapsed)
+        return pack_frame(
+            FRAME_RESULT, pack_result_payload(job_tag, stats_json, out)
+        )
+
+    @staticmethod
+    def _job_stats(stats, wall_seconds: float) -> dict:
+        """The per-job stats object shipped in a RESULT frame."""
+        return {
+            "initial_gates": stats.initial_gates,
+            "final_gates": stats.final_gates,
+            "gate_reduction": stats.gate_reduction,
+            "rounds": stats.rounds,
+            "oracle_calls": stats.oracle_calls,
+            "oracle_calls_saved": stats.oracle_calls_saved,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "cache_hit_rate": stats.cache_hit_rate,
+            "cache_bytes_saved": stats.cache_bytes_saved,
+            "cache_lookup_seconds": stats.cache_lookup_seconds,
+            "transport": stats.transport,
+            "workers": stats.workers,
+            "total_seconds": stats.total_time,
+            "wall_seconds": wall_seconds,
+        }
+
+    def status(self) -> dict:
+        """The server-status object answered to STATUS frames."""
+        with self._lock:
+            latencies = list(self._latencies)
+            status = {
+                "address": self.address,
+                "uptime_seconds": time.monotonic() - self._started,
+                "jobs_completed": self.jobs_completed,
+                "jobs_failed": self.jobs_failed,
+                "jobs_active": self._jobs_active,
+            }
+        status["scheduler"] = {
+            "rounds_dispatched": self._scheduler.rounds_dispatched,
+            "requests_merged": self._scheduler.requests_merged,
+            "segments_dispatched": self._scheduler.segments_dispatched,
+        }
+        fleet = self._scheduler.fleet
+        status["fleet"] = {
+            "workers": fleet.workers,
+            "transport": getattr(fleet, "transport", "encoded"),
+        }
+        status["cache"] = (
+            self.cache.stats.as_dict() if self.cache is not None else None
+        )
+        status["job_latency"] = {
+            "count": len(latencies),
+            "mean_seconds": sum(latencies) / len(latencies) if latencies else 0.0,
+            "max_seconds": max(latencies) if latencies else 0.0,
+            "last_seconds": latencies[-1] if latencies else 0.0,
+        }
+        return status
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"OptimizationService({self.address}, "
+            f"jobs={self.jobs_completed}, active={self._jobs_active})"
+        )

@@ -316,3 +316,92 @@ class TestWorkerSubprocess:
         assert got.stats.rounds == want.stats.rounds
         assert got.stats.oracle_calls == want.stats.oracle_calls
         assert got.stats.transport == "socket"
+
+
+class TestCapacityAdvertisement:
+    """Worker-host capacity: advertised in REGISTER_OK, weighted drain."""
+
+    def test_register_reply_carries_capacity(self):
+        host = WorkerHost(capacity=4).start()
+        try:
+            conn = HostConnection(host.address)
+            conn.connect()
+            try:
+                assert conn.capacity == 1  # until a registration succeeds
+                conn.register(pickle.dumps(IdentityOracle()), 1)
+                assert conn.capacity == 4
+            finally:
+                conn.close()
+        finally:
+            host.stop()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            WorkerHost(capacity=0)
+
+    def test_pool_exposes_host_capacity(self):
+        with local_cluster(2, capacities=[3, 1]) as hosts:
+            pool = SocketHostPool(hosts)
+            try:
+                assert pool.host_capacity == {hosts[0]: 1, hosts[1]: 1}
+                pool.register(IdentityOracle(), 1)
+                assert pool.host_capacity == {hosts[0]: 3, hosts[1]: 1}
+            finally:
+                pool.close()
+
+    def test_weighted_round_is_complete_and_ordered(self):
+        """A heterogeneous cluster still returns every batch's results
+        in request order (the weighted drain changes who serves a
+        batch, never what comes back)."""
+        with local_cluster(2, capacities=[4, 1]) as hosts:
+            pool = SocketHostPool(hosts)
+            try:
+                pool.register(IdentityOracle(), 1)
+                encoded = [encode_segment(seg) for seg in _segments(12)]
+                batches = [
+                    (i, 1, pack_segments_payload(1, i, [encoded[i]]))
+                    for i in range(12)
+                ]
+                results = pool.run_round(batches)
+                assert [len(blobs) for blobs in results] == [1] * 12
+                assert sum(pool.host_segments.values()) == 12
+            finally:
+                pool.close()
+
+    def test_sole_capacity_host_takes_whole_round_in_one_trip(self):
+        """With one host of capacity >= the batch count, the drain
+        takes the entire round in a single queue trip."""
+        with local_cluster(1, capacities=[8]) as hosts:
+            pool = SocketHostPool(hosts)
+            try:
+                pool.register(IdentityOracle(), 1)
+                encoded = [encode_segment(seg) for seg in _segments(6)]
+                batches = [
+                    (i, 1, pack_segments_payload(1, i, [encoded[i]]))
+                    for i in range(6)
+                ]
+                results = pool.run_round(batches)
+                assert len(results) == 6
+                assert pool.host_segments[hosts[0]] == 6
+            finally:
+                pool.close()
+
+    def test_capacity_reported_in_popqc_stats(self):
+        circuit = random_redundant_circuit(5, 300, seed=103, redundancy=0.6)
+        with local_cluster(2, capacities=[2, 1]) as hosts:
+            pm = ProcessMap(serial_cutoff=0, transport="socket", hosts=hosts)
+            try:
+                res = popqc(circuit, NamOracle(), 16, parmap=pm)
+            finally:
+                pm.close()
+        capacities = {
+            addr: entry["capacity"]
+            for addr, entry in res.stats.socket_hosts.items()
+        }
+        for addr, capacity in capacities.items():
+            assert capacity == (2 if addr == hosts[0] else 1)
+
+    def test_capacities_length_must_match(self):
+        with pytest.raises(ValueError, match="capacities"):
+            with local_cluster(3, capacities=[2]):
+                pass  # pragma: no cover - must raise before yielding

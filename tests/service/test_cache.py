@@ -1,0 +1,188 @@
+"""The content-addressed segment result cache.
+
+Property tests pin the key derivation (injective over distinct packed
+segments, stable across pack/unpack round trips, oracle-scoped), and
+the storage levels are exercised directly: LRU eviction by entry count
+and byte volume, disk persistence across instances, and corruption of
+disk entries (truncation, foreign bytes, bad magic) reading as a miss
+— never an exception — with the bad file removed.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits import CNOT, H, X
+from repro.circuits.encoding import (
+    encode_segment,
+    pack_segment_into,
+    packed_segment_nbytes,
+    segment_fingerprint,
+    unpack_segment_from,
+)
+from repro.oracles import IdentityOracle, NamOracle
+from repro.service import SegmentCache, oracle_namespace
+
+from ..conftest import gate_list_strategy
+
+
+def _packed(gates) -> bytes:
+    enc = encode_segment(gates)
+    buf = bytearray(packed_segment_nbytes(enc))
+    pack_segment_into(enc, buf, 0)
+    return bytes(buf)
+
+
+class TestFingerprint:
+    @given(gate_list_strategy(), gate_list_strategy())
+    def test_injective_over_distinct_packed_segments(self, a, b):
+        """Distinct gate lists pack to distinct bytes and distinct
+        fingerprints; equal gate lists always agree."""
+        fa = segment_fingerprint(_packed(a))
+        fb = segment_fingerprint(_packed(b))
+        if a == b:
+            assert fa == fb
+        else:
+            assert fa != fb
+
+    @settings(max_examples=25)
+    @given(gate_list_strategy())
+    def test_stable_across_pack_unpack_round_trips(self, gates):
+        """Re-packing an unpacked segment reproduces the fingerprint:
+        the wire bytes are canonical, so a segment keeps its cache
+        identity no matter how many carriers it crossed."""
+        first = _packed(gates)
+        unpacked, _ = unpack_segment_from(first, 0)
+        buf = bytearray(packed_segment_nbytes(unpacked))
+        pack_segment_into(unpacked, buf, 0)
+        assert segment_fingerprint(bytes(buf)) == segment_fingerprint(first)
+
+    def test_namespace_scopes_keys(self):
+        packed = _packed([H(0), CNOT(0, 1)])
+        plain = segment_fingerprint(packed)
+        scoped = segment_fingerprint(packed, namespace=b"oracle-A")
+        other = segment_fingerprint(packed, namespace=b"oracle-B")
+        assert len({plain, scoped, other}) == 3
+
+    def test_overlong_namespaces_stay_distinct(self):
+        """Namespaces past blake2b's 64-byte key limit are compressed,
+        not truncated: a long cache namespace must never swallow the
+        oracle digest appended after it."""
+        packed = _packed([H(0)])
+        base = b"n" * 64
+        a = segment_fingerprint(packed, namespace=base + b"oracle-A")
+        b = segment_fingerprint(packed, namespace=base + b"oracle-B")
+        assert a != b
+
+    def test_oracle_namespace_separates_configurations(self):
+        """Two oracles that pickle differently must never share keys."""
+        assert oracle_namespace(NamOracle()) != oracle_namespace(IdentityOracle())
+        assert oracle_namespace(NamOracle()) == oracle_namespace(NamOracle())
+
+    def test_cache_key_for_appends_extra_material(self):
+        cache = SegmentCache(namespace=b"ns")
+        packed = _packed([X(2)])
+        assert cache.key_for(packed) != cache.key_for(packed, extra=b"oracle")
+
+
+class TestMemoryLevel:
+    def test_round_trip_and_hit_accounting(self):
+        cache = SegmentCache()
+        key = cache.key_for(_packed([H(0)]))
+        assert cache.get(key) is None
+        cache.put(key, b"result-bytes")
+        assert cache.get(key) == b"result-bytes"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.bytes_saved == len(b"result-bytes")
+        assert 0.0 < cache.stats.hit_rate < 1.0
+
+    def test_lru_evicts_by_entry_count(self):
+        cache = SegmentCache(max_entries=2)
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.get("a")  # refresh: b is now the least recently used
+        cache.put("c", b"3")
+        assert cache.get("a") == b"1"
+        assert cache.get("c") == b"3"
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+
+    def test_lru_evicts_by_byte_volume(self):
+        cache = SegmentCache(max_bytes=100)
+        cache.put("a", b"x" * 60)
+        cache.put("b", b"y" * 60)  # 120 B > 100 B: a evicted
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.memory_bytes == 60
+
+    def test_single_oversized_entry_is_kept(self):
+        """An entry larger than max_bytes still caches (evicting to an
+        empty cache would make the bound a denial of service)."""
+        cache = SegmentCache(max_bytes=10)
+        cache.put("big", b"z" * 50)
+        assert cache.get("big") == b"z" * 50
+
+    def test_overwrite_updates_byte_accounting(self):
+        cache = SegmentCache()
+        cache.put("k", b"aaaa")
+        cache.put("k", b"bb")
+        assert cache.memory_bytes == 2
+        assert len(cache) == 1
+
+
+class TestDiskLevel:
+    def test_persists_across_instances(self, tmp_path):
+        first = SegmentCache(disk_dir=tmp_path)
+        key = first.key_for(_packed([H(0), H(0)]))
+        first.put(key, b"persisted")
+        reborn = SegmentCache(disk_dir=tmp_path)
+        assert reborn.get(key) == b"persisted"
+        assert reborn.stats.disk_hits == 1
+
+    def test_memory_eviction_falls_back_to_disk(self, tmp_path):
+        cache = SegmentCache(max_entries=1, disk_dir=tmp_path)
+        cache.put("a", b"1")
+        cache.put("b", b"2")  # evicts a from memory, not from disk
+        assert cache.get("a") == b"1"
+        assert cache.stats.disk_hits == 1
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["truncate", "empty", "bad-magic", "wrong-length", "garbage"],
+    )
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path, corruption):
+        cache = SegmentCache(disk_dir=tmp_path)
+        cache.put("k", b"good-bytes")
+        cache.clear_memory()
+        (path,) = tmp_path.glob("*.seg")
+        raw = path.read_bytes()
+        if corruption == "truncate":
+            path.write_bytes(raw[: len(raw) - 3])
+        elif corruption == "empty":
+            path.write_bytes(b"")
+        elif corruption == "bad-magic":
+            path.write_bytes(b"XXXX" + raw[4:])
+        elif corruption == "wrong-length":
+            path.write_bytes(raw[:4] + struct.pack("<Q", 10**6) + raw[12:])
+        else:
+            path.write_bytes(b"\x00\x01\x02")
+        assert cache.get("k") is None
+        assert cache.stats.corrupt_entries == 1
+        # the bad entry is gone: the next lookup is a plain miss
+        assert not path.exists()
+        assert cache.get("k") is None
+        assert cache.stats.corrupt_entries == 1
+
+    def test_rewrite_after_corruption_recovers(self, tmp_path):
+        cache = SegmentCache(disk_dir=tmp_path)
+        cache.put("k", b"v1")
+        cache.clear_memory()
+        (path,) = tmp_path.glob("*.seg")
+        path.write_bytes(b"torn")
+        assert cache.get("k") is None
+        cache.put("k", b"v2")
+        cache.clear_memory()
+        assert cache.get("k") == b"v2"

@@ -1,0 +1,309 @@
+"""The optimization service end to end (in-process server).
+
+Pins the tentpole acceptance behaviours: a job through the service is
+byte-identical to a standalone ``popqc`` run, two *concurrent* jobs
+through one server both match their serial references, repeated
+submissions are served from the cache (nonzero hit rate, ≥ the first
+job's), the disk cache survives a server restart, and failures travel
+as typed errors instead of hanging the connection.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.circuits import CNOT, Circuit, H, random_redundant_circuit, to_qasm
+from repro.core import popqc
+from repro.oracles import NamOracle
+from repro.parallel.dist import (
+    FRAME_SEGMENTS,
+    FrameProtocolError,
+    pack_frame,
+    pack_job_payload,
+    unpack_job_payload,
+    unpack_result_payload,
+)
+from repro.circuits.encoding import encode_segment
+from repro.service import (
+    FleetScheduler,
+    OptimizationService,
+    SegmentCache,
+    ServiceClient,
+    ServiceError,
+)
+
+CIRCUIT_A = random_redundant_circuit(8, 1200, seed=31, redundancy=0.5)
+CIRCUIT_B = random_redundant_circuit(7, 1000, seed=32, redundancy=0.6)
+OMEGA = 40
+
+
+@pytest.fixture(scope="module")
+def reference_a():
+    return popqc(CIRCUIT_A, NamOracle(), OMEGA)
+
+
+@pytest.fixture(scope="module")
+def reference_b():
+    return popqc(CIRCUIT_B, NamOracle(), OMEGA)
+
+
+@pytest.fixture()
+def service():
+    srv = OptimizationService(NamOracle(), workers=2, transport="threads").start()
+    yield srv
+    srv.stop()
+
+
+class TestJobProtocol:
+    def test_job_payload_round_trip(self):
+        gates = [H(0), CNOT(0, 1)]
+        payload = pack_job_payload(7, 50, 2, 10, encode_segment(gates))
+        tag, omega, nq, max_rounds, encoded = unpack_job_payload(payload)
+        assert (tag, omega, nq, max_rounds) == (7, 50, 2, 10)
+        from repro.circuits.encoding import decode_segment
+
+        assert decode_segment(encoded) == gates
+
+    def test_job_payload_none_fields(self):
+        payload = pack_job_payload(1, 100, None, None, encode_segment([]))
+        _, _, nq, max_rounds, encoded = unpack_job_payload(payload)
+        assert nq is None and max_rounds is None and len(encoded) == 0
+
+    def test_job_payload_zero_fields_survive(self):
+        """An explicit 0 (legal for both fields) must not decay to
+        None on the wire — max_rounds=0 means zero rounds, not
+        unlimited."""
+        payload = pack_job_payload(1, 100, 0, 0, encode_segment([]))
+        _, _, nq, max_rounds, _ = unpack_job_payload(payload)
+        assert nq == 0 and max_rounds == 0
+
+    @pytest.mark.parametrize("cut", [4, 20, 30])
+    def test_torn_job_payload_raises(self, cut):
+        payload = pack_job_payload(
+            1, 50, 3, None, encode_segment([H(0), CNOT(0, 1), H(2)])
+        )
+        with pytest.raises(FrameProtocolError):
+            unpack_job_payload(payload[:cut])
+
+    def test_torn_result_payload_raises(self):
+        from repro.parallel.dist import pack_result_payload
+
+        payload = pack_result_payload(3, b'{"x":1}', encode_segment([H(0)]))
+        with pytest.raises(FrameProtocolError):
+            unpack_result_payload(payload[: len(payload) - 4])
+
+
+class TestSingleJob:
+    def test_matches_standalone_popqc(self, service, reference_a):
+        with ServiceClient(service.address) as client:
+            job = client.optimize(CIRCUIT_A, omega=OMEGA)
+        assert job.circuit.gates == reference_a.circuit.gates
+        assert to_qasm(job.circuit) == to_qasm(reference_a.circuit)
+        assert job.stats["rounds"] == reference_a.stats.rounds
+        assert job.stats["oracle_calls"] == reference_a.stats.oracle_calls
+        assert job.stats["wall_seconds"] > 0.0
+
+    def test_repeat_submission_is_fully_cached(self, service, reference_a):
+        with ServiceClient(service.address) as client:
+            first = client.optimize(CIRCUIT_A, omega=OMEGA)
+            second = client.optimize(CIRCUIT_A, omega=OMEGA)
+        assert second.circuit.gates == first.circuit.gates
+        assert second.cache_hit_rate == 1.0
+        assert second.stats["oracle_calls_saved"] == second.stats["oracle_calls"]
+        assert second.cache_hit_rate > first.cache_hit_rate
+        # the price of admission is accounted per job, not dropped
+        assert second.stats["cache_lookup_seconds"] > 0.0
+
+    def test_max_rounds_honored(self, service):
+        with ServiceClient(service.address) as client:
+            job = client.optimize(CIRCUIT_A, omega=OMEGA, max_rounds=1)
+        assert job.stats["rounds"] == 1
+
+    def test_max_rounds_zero_returns_input_unchanged(self, service):
+        with ServiceClient(service.address) as client:
+            job = client.optimize(CIRCUIT_A, omega=OMEGA, max_rounds=0)
+        assert job.stats["rounds"] == 0
+        assert list(job.circuit.gates) == list(CIRCUIT_A.gates)
+
+    def test_status_reports_jobs_cache_and_latency(self, service):
+        with ServiceClient(service.address) as client:
+            client.ping()
+            client.optimize(CIRCUIT_B, omega=OMEGA)
+            status = client.status()
+        assert status["jobs_completed"] == 1
+        assert status["jobs_failed"] == 0
+        assert status["fleet"] == {"workers": 2, "transport": "threads"}
+        assert status["cache"]["hits"] + status["cache"]["misses"] > 0
+        assert status["job_latency"]["count"] == 1
+        assert status["job_latency"]["last_seconds"] > 0.0
+        assert status["scheduler"]["segments_dispatched"] > 0
+        json.dumps(status)  # the whole object is JSON-serializable
+
+    def test_unexpected_frame_answered_with_typed_error(self, service):
+        client = ServiceClient(service.address)
+        try:
+            with pytest.raises(ServiceError, match="unexpected frame type"):
+                client._request(pack_frame(FRAME_SEGMENTS, b""))
+        finally:
+            client.close()
+
+    def test_torn_job_frame_answered_with_typed_error(self, service):
+        from repro.parallel.dist import FRAME_JOB
+
+        client = ServiceClient(service.address)
+        try:
+            with pytest.raises(ServiceError, match="JOB payload"):
+                client._request(pack_frame(FRAME_JOB, b"\x00" * 8))
+        finally:
+            client.close()
+
+
+class TestConcurrentJobs:
+    def test_two_jobs_match_two_serial_runs(
+        self, service, reference_a, reference_b
+    ):
+        """Two overlapping jobs through one server produce the same
+        circuits as two standalone serial runs, and the scheduler
+        actually interleaved them into shared fleet rounds."""
+        results: dict[str, object] = {}
+        errors: list[BaseException] = []
+
+        def run(name, circuit):
+            try:
+                with ServiceClient(service.address) as client:
+                    results[name] = client.optimize(circuit, omega=OMEGA)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=("a", CIRCUIT_A)),
+            threading.Thread(target=run, args=("b", CIRCUIT_B)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert results["a"].circuit.gates == reference_a.circuit.gates
+        assert results["b"].circuit.gates == reference_b.circuit.gates
+        assert service.jobs_completed == 2
+
+    def test_concurrent_identical_jobs_share_the_cache(self, service):
+        """N identical jobs in flight: together they pay the oracle for
+        at most the distinct segments — the rest hits, so the summed
+        hit count is positive even while all jobs overlap."""
+        n = 3
+        jobs = [None] * n
+        def run(i):
+            with ServiceClient(service.address) as client:
+                jobs[i] = client.optimize(CIRCUIT_A, omega=OMEGA)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        gates = [tuple(job.circuit.gates) for job in jobs]
+        assert len(set(gates)) == 1
+        assert sum(job.stats["cache_hits"] for job in jobs) > 0
+
+
+class TestServerLifecycle:
+    def test_disk_cache_survives_restart(self, tmp_path):
+        oracle = NamOracle()
+
+        def serve_once():
+            cache = SegmentCache(disk_dir=tmp_path)
+            srv = OptimizationService(
+                oracle, workers=2, transport="threads", cache=cache
+            ).start()
+            try:
+                with ServiceClient(srv.address) as client:
+                    return client.optimize(CIRCUIT_B, omega=OMEGA)
+            finally:
+                srv.stop()
+
+        first = serve_once()
+        second = serve_once()  # a fresh server over the same disk store
+        assert second.circuit.gates == first.circuit.gates
+        assert second.cache_hit_rate == 1.0
+
+    def test_disk_store_shared_with_executor_cache_path(self, tmp_path):
+        """The service and ``ProcessMap(cache=...)`` derive identical
+        keys, so a disk store warmed by a standalone run serves a
+        server's first job entirely from cache (and vice versa)."""
+        from repro.parallel import ProcessMap
+
+        oracle = NamOracle()
+        pm = ProcessMap(
+            2,
+            serial_cutoff=0,
+            transport="threads",
+            cache=SegmentCache(disk_dir=tmp_path),
+        )
+        try:
+            standalone = popqc(CIRCUIT_B, oracle, OMEGA, parmap=pm)
+        finally:
+            pm.close()
+        srv = OptimizationService(
+            oracle,
+            workers=2,
+            transport="threads",
+            cache=SegmentCache(disk_dir=tmp_path),
+        ).start()
+        try:
+            with ServiceClient(srv.address) as client:
+                job = client.optimize(CIRCUIT_B, omega=OMEGA)
+        finally:
+            srv.stop()
+        assert job.circuit.gates == standalone.circuit.gates
+        assert job.cache_hit_rate == 1.0
+
+    def test_no_cache_mode(self):
+        srv = OptimizationService(
+            NamOracle(), workers=2, transport="threads", cache=False
+        ).start()
+        try:
+            with ServiceClient(srv.address) as client:
+                first = client.optimize(CIRCUIT_B, omega=OMEGA)
+                second = client.optimize(CIRCUIT_B, omega=OMEGA)
+        finally:
+            srv.stop()
+        assert second.circuit.gates == first.circuit.gates
+        assert second.stats["cache_hits"] == 0
+        # no cache, no lookups: dispatching straight to the fleet is
+        # not a "miss"
+        assert second.stats["cache_misses"] == 0
+        assert second.cache_hit_rate == 0.0
+
+    def test_scheduler_close_fails_pending_cleanly(self):
+        from repro.parallel import ProcessMap
+
+        sched = FleetScheduler(ProcessMap(2, transport="threads"))
+        sched.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sched.run_round(NamOracle(), [CIRCUIT_B.gates[:10]] * 4)
+        sched.close()  # idempotent
+
+    def test_stop_is_idempotent(self):
+        srv = OptimizationService(NamOracle(), workers=2, transport="threads")
+        srv.start()
+        srv.stop()
+        srv.stop()
+
+
+def test_fleet_view_label_and_serial_map():
+    from repro.parallel import ProcessMap
+
+    sched = FleetScheduler(ProcessMap(2, transport="threads"))
+    try:
+        view = sched.view()
+        assert view.workers == 2
+        assert view.transport == "threads"
+        assert view.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        res = popqc(Circuit([H(0), H(0)] * 30, 1), NamOracle(), 8, parmap=view)
+        assert res.stats.transport in ("threads", "inline")
+        assert res.circuit.num_gates == 0
+    finally:
+        sched.close()

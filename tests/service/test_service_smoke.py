@@ -1,0 +1,88 @@
+"""The service against a real ``popqc serve`` process.
+
+CI's ``service-smoke`` job launches the daemon itself and passes its
+address through ``POPQC_SERVE_HOST``; elsewhere the test spawns (and
+reaps) its own subprocess server.  The smoke assertions are the
+acceptance criteria of the service PR: two overlapping jobs through
+one real server come back byte-identical to standalone serial runs,
+and the repeated submission reports a nonzero cache hit rate.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.circuits import random_redundant_circuit, to_qasm
+from repro.core import popqc
+from repro.oracles import NamOracle
+from repro.service import ServiceClient
+
+CIRCUIT = random_redundant_circuit(7, 900, seed=41, redundancy=0.5)
+OMEGA = 40
+
+
+@pytest.mark.service
+class TestServeSubprocess:
+    @pytest.fixture()
+    def server_address(self):
+        env_host = os.environ.get("POPQC_SERVE_HOST")
+        if env_host:
+            yield env_host.strip()
+            return
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--bind",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--transport",
+                "threads",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on (\S+)", line)
+            assert match, f"unexpected serve banner: {line!r}"
+            yield match.group(1)
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_concurrent_jobs_and_cache_against_real_server(self, server_address):
+        reference = popqc(CIRCUIT, NamOracle(), OMEGA)
+        first = [None, None]
+
+        def run(i):
+            with ServiceClient(server_address) as client:
+                first[i] = client.optimize(CIRCUIT, omega=OMEGA)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert all(job is not None for job in first), "a job never finished"
+        for job in first:
+            assert job.circuit.gates == reference.circuit.gates
+            assert to_qasm(job.circuit) == to_qasm(reference.circuit)
+        with ServiceClient(server_address) as client:
+            repeat = client.optimize(CIRCUIT, omega=OMEGA)
+            status = client.status()
+        assert repeat.circuit.gates == reference.circuit.gates
+        assert repeat.cache_hit_rate > 0.0  # the acceptance pin
+        assert repeat.stats["oracle_calls_saved"] > 0
+        assert status["jobs_completed"] >= 3
+        assert status["cache"]["hits"] > 0
