@@ -18,6 +18,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis import analyze
@@ -76,6 +77,11 @@ def _make_parmap(spec: str, transport: str | None = None, hosts: str | None = No
             transport=transport or "encoded",
             hosts=[h.strip() for h in hosts.split(",") if h.strip()]
             if hosts
+            else None,
+            # socket workers may demand the shared secret; other
+            # transports must not care that the env var is set
+            auth_token=os.environ.get("POPQC_AUTH_TOKEN")
+            if transport == "socket"
             else None,
         )
     if transport is not None:
@@ -174,6 +180,13 @@ def main(argv: list[str] | None = None) -> int:
         "drivers weight their round-robin by it, so a --capacity 4 host "
         "draws 4x the batches of a --capacity 1 host",
     )
+    p_worker.add_argument(
+        "--auth-token",
+        default=os.environ.get("POPQC_AUTH_TOKEN"),
+        help="shared secret demanded of every driver connection (AUTH "
+        "frame before any other; defaults to $POPQC_AUTH_TOKEN; omit "
+        "to serve unauthenticated)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -220,6 +233,40 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="serve without a segment cache (every segment pays the oracle)",
     )
+    p_serve.add_argument(
+        "--auth-token",
+        default=os.environ.get("POPQC_AUTH_TOKEN"),
+        help="shared secret demanded of every client (and presented to "
+        "socket-fleet workers); defaults to $POPQC_AUTH_TOKEN; omit to "
+        "serve unauthenticated",
+    )
+    p_serve.add_argument(
+        "--max-active-jobs",
+        type=int,
+        default=None,
+        help="global cap on jobs optimizing at once; excess JOBs get a "
+        "typed BUSY refusal (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--max-jobs-per-peer",
+        type=int,
+        default=None,
+        help="per-client-address cap on concurrent jobs (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--max-pending-rounds",
+        type=int,
+        default=None,
+        help="scheduler queue depth past which new jobs are refused "
+        "with BUSY (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="seconds a connection may sit silent before its handler "
+        "gives up on it (slow-loris defence); 0 disables",
+    )
 
     p_submit = sub.add_parser(
         "submit",
@@ -235,6 +282,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_submit.add_argument("--omega", type=int, default=100)
     p_submit.add_argument("-o", "--output", help="output QASM path")
+    p_submit.add_argument(
+        "--auth-token",
+        default=os.environ.get("POPQC_AUTH_TOKEN"),
+        help="shared secret of the daemon (defaults to $POPQC_AUTH_TOKEN)",
+    )
+    p_submit.add_argument(
+        "--priority",
+        type=int,
+        default=1,
+        help="weighted-fair share of this job in the server's merged "
+        "fleet rounds (1-16; higher gets proportionally more of each "
+        "round)",
+    )
     p_submit.add_argument(
         "--status",
         action="store_true",
@@ -270,7 +330,9 @@ def main(argv: list[str] | None = None) -> int:
         from .parallel.dist import parse_address
 
         host, port = parse_address(args.bind)
-        worker = WorkerHost(host, port, capacity=args.capacity)
+        worker = WorkerHost(
+            host, port, capacity=args.capacity, auth_token=args.auth_token
+        )
         print(f"popqc worker listening on {worker.address}", flush=True)
         try:
             worker.serve_forever()
@@ -320,6 +382,11 @@ def main(argv: list[str] | None = None) -> int:
             transport=args.transport,
             hosts=hosts,
             cache=cache,
+            auth_token=args.auth_token,
+            max_active_jobs=args.max_active_jobs,
+            max_jobs_per_peer=args.max_jobs_per_peer,
+            max_pending_rounds=args.max_pending_rounds,
+            idle_timeout_seconds=args.idle_timeout or None,
         )
         print(f"popqc serve listening on {service.address}", flush=True)
         try:
@@ -338,10 +405,12 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.input is None and not args.status:
             raise SystemExit("submit needs an input circuit (or --status)")
-        with ServiceClient(args.server) as client:
+        with ServiceClient(args.server, auth_token=args.auth_token) as client:
             if args.input is not None:
                 circuit = _load_circuit(args.input)
-                job = client.optimize(circuit, omega=args.omega)
+                job = client.optimize(
+                    circuit, omega=args.omega, priority=args.priority
+                )
                 s = job.stats
                 print(
                     f"{s['initial_gates']} -> {s['final_gates']} gates "

@@ -58,6 +58,7 @@ configuration.
 """
 
 from .dist import (
+    AuthenticationError,
     FrameProtocolError,
     RemoteOracleError,
     SocketHostPool,
@@ -89,6 +90,7 @@ from .simulated import SimulatedParallelism
 __all__ = [
     "HAVE_SHM",
     "TRANSPORTS",
+    "AuthenticationError",
     "DecodeStats",
     "FrameProtocolError",
     "LazySegmentResult",

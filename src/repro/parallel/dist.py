@@ -60,13 +60,26 @@ Frame layout (all integers little-endian)::
     ERROR      <B kind> + utf-8 message
     PING/PONG  empty payload
     SHUTDOWN   empty payload
-    JOB        <QIIQ: job tag, omega, num qubits + 1, max rounds + 1>
-               + the circuit as one packed segment
+    JOB        <QIIQI4x: job tag, omega, num qubits + 1, max rounds + 1,
+               priority> + the circuit as one packed segment
     RESULT     <QI: job tag, stats-JSON nbytes> + stats JSON
                -- pad to 8 -- + the optimized circuit as one packed segment
     STATUS     empty payload as a request; utf-8 JSON as the reply
+    AUTH       the shared secret as utf-8 bytes  (client -> server)
+    AUTH_OK    empty payload                     (server -> client)
+    BUSY       <Bxxxd: reason kind, suggested retry-after seconds>
+               + utf-8 message
 
-JOB/RESULT/STATUS belong to the ``popqc serve`` optimization service
+AUTH is the shared-token handshake of *both* server protocols: a
+``popqc worker`` or ``popqc serve`` process started with an auth token
+refuses every other frame (typed ``ERR_AUTH`` error, connection
+closed) until the connection presents the token, compared in constant
+time.  BUSY is the optimization service's admission-control reply to a
+JOB the server cannot take right now (active-job quota, per-client
+quota, or a saturated scheduler queue); it names the reason and a
+suggested retry delay, and :class:`repro.service.ServiceClient`
+answers it with bounded exponential backoff.  JOB/RESULT/STATUS/BUSY
+belong to the ``popqc serve`` optimization service
 (:mod:`repro.service`), which speaks this codec on its own port; the
 ``popqc worker`` protocol never carries them.
 
@@ -78,6 +91,7 @@ a SEGMENTS/RESULTS payload are walked with
 from __future__ import annotations
 
 import contextlib
+import hmac
 import pickle
 import socket
 import struct
@@ -96,7 +110,14 @@ from ..circuits.encoding import (
 from .executor import StaleOracleError, _oracle_encoded_result, _pack_to_bytes
 
 __all__ = [
+    "BUSY_MAX_ACTIVE",
+    "BUSY_PEER_QUOTA",
+    "BUSY_QUEUE_FULL",
+    "FRAME_AUTH",
+    "FRAME_AUTH_OK",
+    "FRAME_BUSY",
     "FRAME_ERROR",
+    "FRAME_HEADER_SIZE",
     "FRAME_JOB",
     "FRAME_PING",
     "FRAME_PONG",
@@ -107,6 +128,7 @@ __all__ = [
     "FRAME_SEGMENTS",
     "FRAME_SHUTDOWN",
     "FRAME_STATUS",
+    "AuthenticationError",
     "ConnectionClosedError",
     "FrameProtocolError",
     "FrameReader",
@@ -116,6 +138,7 @@ __all__ = [
     "WorkerHost",
     "WorkerUnavailableError",
     "local_cluster",
+    "pack_busy_payload",
     "pack_frame",
     "pack_job_payload",
     "pack_register_payload",
@@ -125,6 +148,7 @@ __all__ = [
     "parse_address",
     "recv_frame",
     "split_results_payload",
+    "unpack_busy_payload",
     "unpack_job_payload",
     "unpack_register_payload",
     "unpack_result_payload",
@@ -140,6 +164,10 @@ FRAME_MAGIC = b"PQCF"
 
 _FRAME_HEADER = struct.Struct("<4sBxxxQ")
 
+#: Size of the fixed frame header in bytes — the number to add to a
+#: payload length when accounting wire traffic, instead of a literal.
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
 #: Frame types.
 FRAME_REGISTER = 1
 FRAME_REGISTER_OK = 2
@@ -152,6 +180,9 @@ FRAME_SHUTDOWN = 8
 FRAME_JOB = 9
 FRAME_RESULT = 10
 FRAME_STATUS = 11
+FRAME_AUTH = 12
+FRAME_AUTH_OK = 13
+FRAME_BUSY = 14
 
 _KNOWN_FRAMES = frozenset(
     (
@@ -166,6 +197,9 @@ _KNOWN_FRAMES = frozenset(
         FRAME_JOB,
         FRAME_RESULT,
         FRAME_STATUS,
+        FRAME_AUTH,
+        FRAME_AUTH_OK,
+        FRAME_BUSY,
     )
 )
 
@@ -179,9 +213,10 @@ _REGISTER_HEADER = struct.Struct("<Q")  # generation
 _REGISTER_OK_HEADER = struct.Struct("<QQ")  # generation, capacity
 _ERROR_HEADER = struct.Struct("<B")  # error kind
 _JOB_HEADER = struct.Struct(
-    "<QIIQ"
-)  # job tag, omega, num qubits + 1, max rounds + 1
+    "<QIIQI4x"
+)  # job tag, omega, num qubits + 1, max rounds + 1, priority (pad to 8)
 _RESULT_HEADER = struct.Struct("<QI")  # job tag, stats-JSON nbytes
+_BUSY_HEADER = struct.Struct("<Bxxxd")  # reason kind, retry-after seconds
 
 #: Error kinds carried by ERROR frames.
 ERR_STALE_ORACLE = 1
@@ -189,6 +224,16 @@ ERR_NO_ORACLE = 2
 ERR_ORACLE_FAILED = 3
 ERR_BAD_FRAME = 4
 ERR_JOB_FAILED = 5
+ERR_AUTH = 6
+
+#: Reason kinds carried by BUSY frames (service admission control).
+BUSY_MAX_ACTIVE = 1
+BUSY_PEER_QUOTA = 2
+BUSY_QUEUE_FULL = 3
+
+#: Job priorities ride the wire as a small positive weight; anything a
+#: client sends is clamped into this range before it buys fleet share.
+MAX_PRIORITY = 16
 
 
 class FrameProtocolError(RuntimeError):
@@ -209,6 +254,12 @@ class RemoteOracleError(RuntimeError):
 class WorkerUnavailableError(RuntimeError):
     """No worker host could be reached (or every host died mid-round
     and reconnection failed), so the batch queue cannot drain."""
+
+
+class AuthenticationError(RuntimeError):
+    """The peer refused the connection's credentials: a missing or
+    wrong AUTH token.  Never retried — a bad token fails identically
+    everywhere, so reconnect loops must not absorb it."""
 
 
 def pack_frame(frame_type: int, payload: bytes = b"") -> bytes:
@@ -370,6 +421,20 @@ def pack_error_payload(kind: int, message: str) -> bytes:
     return _ERROR_HEADER.pack(kind) + message.encode("utf-8")
 
 
+def pack_busy_payload(kind: int, retry_after: float, message: str) -> bytes:
+    """BUSY payload: reason kind + suggested retry delay + utf-8 message."""
+    return _BUSY_HEADER.pack(kind, retry_after) + message.encode("utf-8")
+
+
+def unpack_busy_payload(payload: bytes) -> tuple[int, float, str]:
+    """(reason kind, retry-after seconds, message) from a BUSY payload."""
+    if len(payload) < _BUSY_HEADER.size:
+        raise FrameProtocolError("BUSY payload shorter than its header")
+    kind, retry_after = _BUSY_HEADER.unpack_from(payload, 0)
+    message = payload[_BUSY_HEADER.size :].decode("utf-8", "replace")
+    return kind, retry_after, message
+
+
 def unpack_error_payload(payload: bytes) -> tuple[int, str]:
     """(kind, message) from an ERROR payload."""
     (kind,) = _ERROR_HEADER.unpack_from(payload, 0)
@@ -382,6 +447,7 @@ def pack_job_payload(
     num_qubits: Optional[int],
     max_rounds: Optional[int],
     encoded: EncodedSegment,
+    priority: int = 1,
 ) -> bytes:
     """JOB payload: job header + the circuit as one packed segment.
 
@@ -389,12 +455,16 @@ def pack_job_payload(
     frame.  ``num_qubits`` and ``max_rounds`` both wire ``None`` as 0
     and a value ``v`` as ``v + 1``, so an explicit 0 (a legal
     ``max_rounds`` meaning "zero rounds") survives the trip.
+    ``priority`` is the job's scheduling weight (1..``MAX_PRIORITY``;
+    clamped on both ends of the wire): a priority-4 job draws roughly
+    4x the fleet share of a priority-1 job in each merged round.
     """
     head = _JOB_HEADER.pack(
         job_tag,
         omega,
         0 if num_qubits is None else num_qubits + 1,
         0 if max_rounds is None else max_rounds + 1,
+        min(MAX_PRIORITY, max(1, priority)),
     )
     buf = bytearray(len(head) + packed_segment_nbytes(encoded))
     buf[: len(head)] = head
@@ -404,16 +474,19 @@ def pack_job_payload(
 
 def unpack_job_payload(
     payload: bytes,
-) -> tuple[int, int, Optional[int], Optional[int], EncodedSegment]:
-    """(job tag, omega, num qubits, max rounds, circuit) from a JOB payload.
+) -> tuple[int, int, Optional[int], Optional[int], EncodedSegment, int]:
+    """(job tag, omega, num qubits, max rounds, circuit, priority)
+    from a JOB payload.
 
     The circuit comes back as a zero-copy :class:`EncodedSegment` view
-    into ``payload``.  Raises :class:`FrameProtocolError` on a torn
-    payload.
+    into ``payload``.  The priority is clamped into
+    ``[1, MAX_PRIORITY]`` — the sender is untrusted, and a forged
+    weight must never buy more than the documented maximum share.
+    Raises :class:`FrameProtocolError` on a torn payload.
     """
     if len(payload) < _JOB_HEADER.size:
         raise FrameProtocolError("JOB payload shorter than its header")
-    job_tag, omega, nq1, mr1 = _JOB_HEADER.unpack_from(payload, 0)
+    job_tag, omega, nq1, mr1, priority = _JOB_HEADER.unpack_from(payload, 0)
     try:
         encoded, end = unpack_segment_from(payload, _JOB_HEADER.size)
     except (struct.error, ValueError) as exc:
@@ -426,6 +499,7 @@ def unpack_job_payload(
         nq1 - 1 if nq1 else None,
         mr1 - 1 if mr1 else None,
         encoded,
+        min(MAX_PRIORITY, max(1, priority)),
     )
 
 
@@ -484,6 +558,8 @@ def _raise_remote_error(payload: bytes) -> None:
         raise StaleOracleError(message)
     if kind == ERR_ORACLE_FAILED:
         raise RemoteOracleError(message)
+    if kind == ERR_AUTH:
+        raise AuthenticationError(message)
     raise FrameProtocolError(f"worker refused the frame (kind {kind}): {message}")
 
 
@@ -508,20 +584,41 @@ class WorkerHost:
     so a 16-core host in a heterogeneous cluster draws 4x the batches
     of a 4-core one instead of an equal share.
 
+    ``auth_token`` (``popqc worker --auth-token``) demands an AUTH
+    frame carrying the shared secret before any other frame is
+    accepted on a connection; the compare is constant-time, and a
+    missing or wrong token is refused with a typed ``ERR_AUTH`` error
+    and a closed connection.  ``idle_timeout_seconds`` bounds how long
+    a handler thread blocks waiting for a client's next frame, so a
+    slow-loris connection (opened, then silent) cannot pin a thread
+    for the life of the process.
+
     Attributes
     ----------
     segments_served / batches_served:
         Totals across all connections (for the CLI status line).
     bytes_received / bytes_sent:
         Frame bytes in and out, payloads included.
+    auth_failures:
+        Connections refused for a missing or wrong AUTH token.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, capacity: int = 1
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capacity: int = 1,
+        auth_token: Optional[str] = None,
+        idle_timeout_seconds: Optional[float] = 600.0,
     ):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self._auth_token = (
+            auth_token.encode("utf-8") if auth_token is not None else None
+        )
+        self.idle_timeout_seconds = idle_timeout_seconds
+        self.auth_failures = 0
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self.segments_served = 0
@@ -551,17 +648,20 @@ class WorkerHost:
                 with contextlib.suppress(OSError):
                     conn.close()
                 break
-            with self._lock:
-                self._conns.append(conn)
+            if self.idle_timeout_seconds is not None:
+                conn.settimeout(self.idle_timeout_seconds)
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
-            # prune finished handlers so a long-lived worker serving
-            # many reconnecting drivers doesn't grow this list forever
-            self._conn_threads = [
-                t for t in self._conn_threads if t.is_alive()
-            ]
-            self._conn_threads.append(thread)
+            # both mutations under the lock: stop() snapshots these
+            # lists from another thread, and pruning finished handlers
+            # here keeps a high-churn client from growing them forever
+            with self._lock:
+                self._conns.append(conn)
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
             thread.start()
 
     def start(self) -> "WorkerHost":
@@ -591,12 +691,13 @@ class WorkerHost:
             self._listener.close()
         with self._lock:
             conns, self._conns = self._conns, []
+            threads = list(self._conn_threads)
         for conn in conns:
             with contextlib.suppress(OSError):
                 conn.shutdown(socket.SHUT_RDWR)
             with contextlib.suppress(OSError):
                 conn.close()
-        for thread in self._conn_threads:
+        for thread in threads:
             thread.join(timeout=1.0)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=1.0)
@@ -608,14 +709,51 @@ class WorkerHost:
         with self._lock:
             self.bytes_sent += len(frame)
 
+    def _check_auth(self, payload: bytes) -> bool:
+        """Constant-time validation of one AUTH payload."""
+        if self._auth_token is None:
+            return True  # no token configured: AUTH is a friendly no-op
+        return hmac.compare_digest(payload, self._auth_token)
+
     def _serve_connection(self, conn: socket.socket) -> None:
         """Serve one client until it disconnects or the host stops."""
         reader = FrameReader()
         oracle: Optional[Callable] = None
         generation = -1
+        authed = self._auth_token is None
         try:
             while True:
                 frame_type, payload = self._recv(conn, reader)
+                if frame_type == FRAME_AUTH:
+                    if self._check_auth(payload):
+                        authed = True
+                        self._send(conn, pack_frame(FRAME_AUTH_OK))
+                        continue
+                    with self._lock:
+                        self.auth_failures += 1
+                    self._send(
+                        conn,
+                        pack_frame(
+                            FRAME_ERROR,
+                            pack_error_payload(ERR_AUTH, "invalid auth token"),
+                        ),
+                    )
+                    return  # wrong secret: drop the connection
+                if not authed:
+                    with self._lock:
+                        self.auth_failures += 1
+                    self._send(
+                        conn,
+                        pack_frame(
+                            FRAME_ERROR,
+                            pack_error_payload(
+                                ERR_AUTH,
+                                "authentication required before any "
+                                "other frame",
+                            ),
+                        ),
+                    )
+                    return
                 if frame_type == FRAME_REGISTER:
                     try:
                         generation, oracle = unpack_register_payload(payload)
@@ -729,10 +867,12 @@ class HostConnection:
         address: str,
         connect_timeout: float = 5.0,
         request_timeout: Optional[float] = 120.0,
+        auth_token: Optional[str] = None,
     ):
         self.address = address
         self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
+        self.auth_token = auth_token
         self.bytes_sent = 0
         self.bytes_received = 0
         self.last_used = 0.0
@@ -748,7 +888,13 @@ class HostConnection:
         return self._sock is not None
 
     def connect(self) -> None:
-        """Open the TCP connection (no-op when already open)."""
+        """Open the TCP connection (no-op when already open).
+
+        When an ``auth_token`` is configured the AUTH handshake runs
+        as part of connecting, so every reconnect re-authenticates
+        before any other frame; a refused token raises
+        :class:`AuthenticationError` (and is never retried).
+        """
         if self._sock is not None:
             return
         host, port = parse_address(self.address)
@@ -757,6 +903,24 @@ class HostConnection:
         self._sock = sock
         self._reader = FrameReader()
         self.last_used = time.monotonic()
+        if self.auth_token is not None:
+            try:
+                self._authenticate()
+            except BaseException:
+                self.close()
+                raise
+
+    def _authenticate(self) -> None:
+        """Present the shared token; expect AUTH_OK."""
+        frame_type, payload = self._request(
+            pack_frame(FRAME_AUTH, self.auth_token.encode("utf-8"))
+        )
+        if frame_type == FRAME_ERROR:
+            _raise_remote_error(payload)
+        if frame_type != FRAME_AUTH_OK:
+            raise FrameProtocolError(
+                f"expected AUTH_OK, got frame type {frame_type}"
+            )
 
     def close(self) -> None:
         """Close the socket (idempotent)."""
@@ -873,6 +1037,7 @@ class SocketHostPool:
         connect_timeout: float = 5.0,
         request_timeout: Optional[float] = 120.0,
         heartbeat_seconds: float = 30.0,
+        auth_token: Optional[str] = None,
     ):
         if not hosts:
             raise ValueError("SocketHostPool needs at least one host address")
@@ -882,7 +1047,8 @@ class SocketHostPool:
         self.host_segments: dict[str, int] = {addr: 0 for addr in hosts}
         self.host_seconds: dict[str, float] = {addr: 0.0 for addr in hosts}
         self._conns = [
-            HostConnection(addr, connect_timeout, request_timeout) for addr in hosts
+            HostConnection(addr, connect_timeout, request_timeout, auth_token)
+            for addr in hosts
         ]
         self._retired_bytes_sent = 0
         self._retired_bytes_received = 0
@@ -1041,9 +1207,20 @@ class SocketHostPool:
                             in_flight[0] -= len(items) - taken
                             cond.notify_all()
                         self._retire(conn)
-                        if not self._connect_and_register(
-                            conn, count_reconnect=True
-                        ):
+                        try:
+                            rejoined = self._connect_and_register(
+                                conn, count_reconnect=True
+                            )
+                        except AuthenticationError as exc:
+                            # the host now refuses our token: that is
+                            # a configuration failure, not a flaky
+                            # network — fail the round loudly instead
+                            # of silently draining without this host
+                            with cond:
+                                fatal.append(exc)
+                                cond.notify_all()
+                            return
+                        if not rejoined:
                             return  # host is gone; survivors drain
                         break  # rejoined: back to the queue
                     except BaseException as exc:  # stale oracle / remote error
@@ -1085,14 +1262,17 @@ class SocketHostPool:
 
 @contextlib.contextmanager
 def local_cluster(
-    num_hosts: int = 2, capacities: Optional[Sequence[int]] = None
+    num_hosts: int = 2,
+    capacities: Optional[Sequence[int]] = None,
+    auth_token: Optional[str] = None,
 ) -> Iterator[list[str]]:
     """Start ``num_hosts`` in-process :class:`WorkerHost` servers.
 
     Yields their ``host:port`` addresses and stops them on exit.
     ``capacities`` optionally assigns a per-host capacity
     advertisement (default 1 each, the homogeneous cluster); its
-    length must match ``num_hosts``.  This
+    length must match ``num_hosts``.  ``auth_token`` starts every host
+    demanding the shared token (clients must pass the same one).  This
     is the localhost cluster fixture the equivalence suite and the
     transport benchmark run against; CI's ``dist-smoke`` job exercises
     the same protocol against real ``popqc worker`` processes.
@@ -1102,7 +1282,9 @@ def local_cluster(
             f"capacities has {len(capacities)} entries for {num_hosts} hosts"
         )
     hosts = [
-        WorkerHost(capacity=capacities[i] if capacities else 1).start()
+        WorkerHost(
+            capacity=capacities[i] if capacities else 1, auth_token=auth_token
+        ).start()
         for i in range(num_hosts)
     ]
     try:

@@ -497,6 +497,7 @@ class ProcessMap:
         transport: str = "encoded",
         hosts: Sequence[str] | None = None,
         cache: object | None = None,
+        auth_token: str | None = None,
     ):
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -520,6 +521,7 @@ class ProcessMap:
         elif hosts:
             raise ValueError("hosts= only applies to transport='socket'")
         self.hosts = list(hosts) if hosts else []
+        self.auth_token = auth_token
         if workers is None and transport == "socket":
             # cluster parallelism is one dispatcher per connected host
             workers = max(1, len(self.hosts))
@@ -813,7 +815,9 @@ class ProcessMap:
         if self._socket_pool is None:
             from .dist import SocketHostPool  # local: dist imports this module
 
-            self._socket_pool = SocketHostPool(self.hosts)
+            self._socket_pool = SocketHostPool(
+                self.hosts, auth_token=self.auth_token
+            )
         return self._socket_pool
 
     def _map_segments_socket(

@@ -29,7 +29,7 @@ Three pieces:
 from .cache import CacheStats, SegmentCache, oracle_namespace
 from .client import JobResult, ServiceClient
 from .scheduler import FleetScheduler, FleetView
-from .server import OptimizationService, ServiceError
+from .server import OptimizationService, ServiceBusyError, ServiceError
 
 __all__ = [
     "CacheStats",
@@ -38,6 +38,7 @@ __all__ = [
     "JobResult",
     "OptimizationService",
     "SegmentCache",
+    "ServiceBusyError",
     "ServiceClient",
     "ServiceError",
     "oracle_namespace",

@@ -147,6 +147,8 @@ class SegmentCache:
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.namespace = namespace

@@ -6,6 +6,13 @@ frame, and returns the optimized circuit together with the server's
 per-job stats object.  One client holds one connection; jobs on it run
 sequentially, and concurrency comes from running several clients (the
 server merges their rounds into shared fleet rounds).
+
+Against a hardened server the client also speaks the admission
+protocol: it presents the shared ``auth_token`` in an AUTH frame
+immediately after connecting, and answers BUSY refusals with a bounded
+exponential-backoff retry loop (``busy_retries`` attempts, sleeping
+``max(server hint, backoff)`` between them) before giving up with
+:class:`~repro.service.server.ServiceBusyError`.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 import contextlib
 import json
 import socket
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -20,22 +28,28 @@ from ..circuits import Circuit
 from ..circuits.encoding import decode_segment, encode_segment
 from ..circuits.gate import Gate
 from ..parallel.dist import (
+    ERR_AUTH,
+    FRAME_AUTH,
+    FRAME_AUTH_OK,
+    FRAME_BUSY,
     FRAME_ERROR,
     FRAME_JOB,
     FRAME_PING,
     FRAME_PONG,
     FRAME_RESULT,
     FRAME_STATUS,
+    AuthenticationError,
     FrameProtocolError,
     FrameReader,
     pack_frame,
     pack_job_payload,
     parse_address,
     recv_frame,
+    unpack_busy_payload,
     unpack_error_payload,
     unpack_result_payload,
 )
-from .server import ServiceError
+from .server import ServiceBusyError, ServiceError
 
 __all__ = ["JobResult", "ServiceClient"]
 
@@ -64,7 +78,16 @@ class ServiceClient:
     Usable as a context manager; the connection opens lazily on the
     first request.  Server-side job failures raise
     :class:`~repro.service.server.ServiceError`; transport problems
-    raise the frame-protocol errors of :mod:`repro.parallel.dist`.
+    raise the frame-protocol errors of :mod:`repro.parallel.dist`; a
+    missing or wrong ``auth_token`` raises
+    :class:`~repro.parallel.dist.AuthenticationError` (never retried).
+
+    BUSY refusals are retried with exponential backoff, starting at
+    ``busy_backoff_seconds`` and doubling up to
+    ``busy_backoff_max_seconds``, at most ``busy_retries`` times; each
+    sleep honours the server's suggested retry delay when it is
+    longer.  ``busy_rejections`` counts every BUSY the client has
+    absorbed (retried or not), for tests and capacity dashboards.
     """
 
     def __init__(
@@ -72,10 +95,21 @@ class ServiceClient:
         address: str,
         connect_timeout: float = 5.0,
         request_timeout: Optional[float] = 600.0,
+        auth_token: Optional[str] = None,
+        busy_retries: int = 8,
+        busy_backoff_seconds: float = 0.05,
+        busy_backoff_max_seconds: float = 2.0,
     ):
+        if busy_retries < 0:
+            raise ValueError("busy_retries must be >= 0")
         self.address = address
         self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
+        self.auth_token = auth_token
+        self.busy_retries = busy_retries
+        self.busy_backoff_seconds = busy_backoff_seconds
+        self.busy_backoff_max_seconds = busy_backoff_max_seconds
+        self.busy_rejections = 0
         self._sock: Optional[socket.socket] = None
         self._reader = FrameReader()
         self._job_tag = 0
@@ -91,7 +125,32 @@ class ServiceClient:
             )
             self._sock.settimeout(self.request_timeout)
             self._reader = FrameReader()
+            if self.auth_token is not None:
+                try:
+                    self._authenticate()
+                except BaseException:
+                    self.close()
+                    raise
         return self
+
+    def _authenticate(self) -> None:
+        """Present the shared token; AUTH must precede any other frame."""
+        assert self._sock is not None
+        self._sock.sendall(
+            pack_frame(FRAME_AUTH, self.auth_token.encode("utf-8"))
+        )
+        frame_type, payload = recv_frame(self._sock, self._reader)
+        if frame_type == FRAME_ERROR:
+            kind, message = unpack_error_payload(payload)
+            if kind == ERR_AUTH:
+                raise AuthenticationError(message)
+            raise ServiceError(
+                f"server refused the request (kind {kind}): {message}"
+            )
+        if frame_type != FRAME_AUTH_OK:
+            raise FrameProtocolError(
+                f"expected AUTH_OK, got frame type {frame_type}"
+            )
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -114,7 +173,11 @@ class ServiceClient:
         frame_type, payload = recv_frame(self._sock, self._reader)
         if frame_type == FRAME_ERROR:
             kind, message = unpack_error_payload(payload)
-            raise ServiceError(f"server refused the request (kind {kind}): {message}")
+            if kind == ERR_AUTH:
+                raise AuthenticationError(message)
+            raise ServiceError(
+                f"server refused the request (kind {kind}): {message}"
+            )
         return frame_type, payload
 
     # -- requests --------------------------------------------------------------
@@ -124,22 +187,46 @@ class ServiceClient:
         circuit: Circuit | Sequence[Gate],
         omega: int = 100,
         max_rounds: Optional[int] = None,
+        priority: int = 1,
     ) -> JobResult:
-        """Submit one optimization job and block for its result."""
+        """Submit one optimization job and block for its result.
+
+        ``priority`` is this job's weight in the server's weighted-fair
+        scheduler (clamped to ``[1, MAX_PRIORITY]`` on the wire):
+        relative to the other jobs in flight it buys a proportionally
+        larger share of every merged fleet round.
+        """
         if isinstance(circuit, Circuit):
             gates, num_qubits = list(circuit.gates), circuit.num_qubits
         else:
             gates, num_qubits = list(circuit), None
         self._job_tag += 1
         tag = self._job_tag
-        frame_type, payload = self._request(
-            pack_frame(
-                FRAME_JOB,
-                pack_job_payload(
-                    tag, omega, num_qubits, max_rounds, encode_segment(gates)
-                ),
-            )
+        frame = pack_frame(
+            FRAME_JOB,
+            pack_job_payload(
+                tag,
+                omega,
+                num_qubits,
+                max_rounds,
+                encode_segment(gates),
+                priority=priority,
+            ),
         )
+        backoff = self.busy_backoff_seconds
+        for attempt in range(self.busy_retries + 1):
+            frame_type, payload = self._request(frame)
+            if frame_type != FRAME_BUSY:
+                break
+            kind, retry_after, message = unpack_busy_payload(payload)
+            self.busy_rejections += 1
+            if attempt == self.busy_retries:
+                raise ServiceBusyError(
+                    f"server busy after {self.busy_retries} retries "
+                    f"(kind {kind}): {message}"
+                )
+            time.sleep(min(self.busy_backoff_max_seconds, max(retry_after, backoff)))
+            backoff = min(self.busy_backoff_max_seconds, backoff * 2)
         if frame_type != FRAME_RESULT:
             raise FrameProtocolError(
                 f"expected RESULT, got frame type {frame_type}"

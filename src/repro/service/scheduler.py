@@ -26,9 +26,21 @@ module multiplexes the jobs onto it:
 Merging is opportunistic: the dispatcher grabs whatever requests are
 pending (after a short gather window, giving concurrent jobs that are
 mid-round a beat to arrive) and never delays a lone request by more
-than that window.  Per-segment results are independent of the round
-composition on every transport, so a job's output is byte-identical
-whether its rounds ran alone, merged, or from the cache.
+than that window.
+
+Merged rounds are **weighted-fair**, not all-you-can-eat: each fleet
+round carries at most ``round_budget_segments`` segments, split
+between the pending requests in proportion to their jobs' priority
+weights (every waiting request gets at least one segment).  A request
+bigger than its share is dispatched *partially* and finishes over
+several rounds — which is exactly the point: a 10M-gate batch job's
+round no longer occupies the fleet wall-to-wall while a 50-gate
+interactive submit waits for it to drain.  The interactive job's
+round completes within ``ceil(segments / share)`` fleet rounds of
+arriving, regardless of how much batch work is queued.  Per-segment
+results are independent of the round composition on every transport,
+so a job's output is byte-identical whether its rounds ran alone,
+merged, split across fleet rounds, or from the cache.
 """
 
 from __future__ import annotations
@@ -45,16 +57,39 @@ __all__ = ["FleetScheduler", "FleetView"]
 
 
 class _RoundRequest:
-    """One job's pending oracle round (its cache misses only)."""
+    """One job's pending oracle round (its cache misses only).
 
-    __slots__ = ("oracle", "segments", "done", "results", "error")
+    A request may span several fleet rounds: ``next_index`` marks the
+    first segment not yet dispatched, ``results`` fills in place as
+    slices come back, and ``done`` fires once every slot is filled (or
+    the request failed).  The dispatcher is single-threaded and each
+    fleet round is synchronous, so dispatched always implies resolved
+    by the end of the round that carried it.
+    """
 
-    def __init__(self, oracle, segments):
+    __slots__ = (
+        "oracle",
+        "segments",
+        "weight",
+        "next_index",
+        "done",
+        "results",
+        "error",
+    )
+
+    def __init__(self, oracle, segments, weight: int = 1):
         self.oracle = oracle
         self.segments = segments
+        self.weight = max(1, int(weight))
+        self.next_index = 0
         self.done = threading.Event()
-        self.results: Optional[list] = None
+        self.results: list = [None] * len(segments)
         self.error: Optional[BaseException] = None
+
+    @property
+    def remaining(self) -> int:
+        """Segments not yet dispatched to the fleet."""
+        return len(self.segments) - self.next_index
 
 
 class FleetScheduler:
@@ -75,13 +110,21 @@ class FleetScheduler:
         for concurrent jobs' rounds to arrive and merge.  The cost of a
         lone job's round is bounded by this; the win is whole-fleet
         batching for overlapping jobs.
+    round_budget_segments:
+        The most segments one merged fleet round may carry — the
+        weighted-fair quantum.  ``None`` (default) computes
+        ``max(16, 4 * fleet.workers)``: big enough to keep every
+        worker batched, small enough that an interactive job never
+        waits behind more than one quantum of batch work.
 
     Attributes
     ----------
     rounds_dispatched / requests_merged / segments_dispatched:
-        Combined fleet rounds run, job round-requests they carried, and
-        segments they carried.  ``requests_merged > rounds_dispatched``
-        is cross-job batching actually happening.
+        Combined fleet rounds run, job round-request participations
+        they carried, and segments they carried.  A request split
+        across fleet rounds counts one participation per round, so
+        ``requests_merged > rounds_dispatched`` is cross-job batching
+        (or fair splitting) actually happening.
     """
 
     def __init__(
@@ -89,10 +132,14 @@ class FleetScheduler:
         fleet,
         cache: Optional[SegmentCache] = None,
         gather_window_seconds: float = 0.002,
+        round_budget_segments: Optional[int] = None,
     ):
+        if round_budget_segments is not None and round_budget_segments < 1:
+            raise ValueError("round_budget_segments must be positive")
         self.fleet = fleet
         self.cache = cache
         self.gather_window_seconds = gather_window_seconds
+        self.round_budget_segments = round_budget_segments
         self.rounds_dispatched = 0
         self.requests_merged = 0
         self.segments_dispatched = 0
@@ -111,9 +158,21 @@ class FleetScheduler:
         )
         self._thread.start()
 
-    def view(self) -> "FleetView":
-        """A fresh per-job executor proxy bound to this scheduler."""
-        return FleetView(self)
+    def view(self, weight: int = 1) -> "FleetView":
+        """A fresh per-job executor proxy bound to this scheduler.
+
+        ``weight`` is the job's priority weight: its share of every
+        merged fleet round is proportional to it (a weight-4 job draws
+        roughly 4x the segments per round of a weight-1 job).
+        """
+        return FleetView(self, weight=weight)
+
+    @property
+    def pending_requests(self) -> int:
+        """Round requests currently queued or mid-flight (admission
+        control reads this as the queue depth)."""
+        with self._lock:
+            return len(self._pending)
 
     def close(self) -> None:
         """Stop the dispatcher and close the fleet (idempotent).
@@ -151,6 +210,7 @@ class FleetScheduler:
         self,
         oracle: Callable[[list[Gate]], list[Gate]],
         segments: Sequence[list[Gate]],
+        weight: int = 1,
     ) -> tuple[list, int, int, int, float]:
         """One job round: cache front, then merged fleet dispatch.
 
@@ -163,26 +223,27 @@ class FleetScheduler:
         the same one ``ProcessMap(cache=...)`` runs, so a disk store
         is readable by both paths interchangeably — with the
         merged-dispatch queue as its miss route, so hits never enter
-        the queue at all.
+        the queue at all.  ``weight`` buys the request its
+        weighted-fair share of each merged fleet round.
         """
         n = len(segments)
         if n == 0:
             return [], 0, 0, 0, 0.0
         if self.cache is None:
-            return self._dispatch(list(segments), oracle), 0, 0, 0, 0.0
+            return self._dispatch(list(segments), oracle, weight), 0, 0, 0, 0.0
         return _cached_round(
             self.cache,
             self._namespace(oracle),
             segments,
-            lambda missed: self._dispatch(missed, oracle),
+            lambda missed: self._dispatch(missed, oracle, weight),
             getattr(self.fleet, "_decode_stats", None),
         )
 
     # -- merged dispatch -------------------------------------------------------
 
-    def _dispatch(self, segments: list, oracle) -> list:
+    def _dispatch(self, segments: list, oracle, weight: int = 1) -> list:
         """Queue one round request and block until the fleet answers."""
-        req = _RoundRequest(oracle, segments)
+        req = _RoundRequest(oracle, segments, weight)
         with self._wake:
             if self._closing:
                 raise RuntimeError("fleet scheduler closed")
@@ -191,16 +252,28 @@ class FleetScheduler:
         req.done.wait()
         if req.error is not None:
             raise req.error
-        assert req.results is not None
         return req.results
 
-    def _take_batch(self) -> list[_RoundRequest]:
-        """Pending requests to merge into one fleet round.
+    def _round_budget(self) -> int:
+        """The segment quantum of one merged fleet round."""
+        if self.round_budget_segments is not None:
+            return self.round_budget_segments
+        return max(16, 4 * getattr(self.fleet, "workers", 4))
+
+    def _take_round(self) -> list[tuple[_RoundRequest, int, int]]:
+        """The next merged round as ``(request, start, count)`` slices.
 
         Blocks until at least one request is queued, lingers for the
-        gather window, then takes every pending request sharing the
-        first one's oracle (the fleet registers one oracle per round;
-        a job running a different oracle simply waits one round).
+        gather window, then allocates the round budget across every
+        pending request sharing the first one's oracle (the fleet
+        registers one oracle per round; a job running a different
+        oracle simply waits one round) by weighted share: request
+        ``i`` gets ``max(1, budget * weight_i / sum(weights))``
+        segments, in arrival order, and any budget left after the
+        shares (requests smaller than their share) tops up the
+        heaviest requests first.  Requests are *not* removed from the
+        pending list here — a partially dispatched request stays
+        queued for the next round's allocation.
         """
         with self._wake:
             while not self._pending and not self._closing:
@@ -213,36 +286,71 @@ class FleetScheduler:
             if not self._pending:
                 return []
             lead = self._pending[0].oracle
-            batch = [r for r in self._pending if r.oracle is lead]
-            self._pending = [r for r in self._pending if r.oracle is not lead]
-            return batch
+            group = [r for r in self._pending if r.oracle is lead]
+            budget = self._round_budget()
+            total_weight = sum(r.weight for r in group)
+            parts: list[tuple[_RoundRequest, int, int]] = []
+            left = budget
+            for req in group:
+                if left <= 0:
+                    break
+                share = max(1, (budget * req.weight) // total_weight)
+                take = min(req.remaining, share, left)
+                if take > 0:
+                    parts.append((req, req.next_index, take))
+                    req.next_index += take
+                    left -= take
+            if left > 0:
+                # leftover budget: heaviest first, then arrival order
+                # (Python's sort is stable, so ties keep queue order)
+                for req in sorted(group, key=lambda r: -r.weight):
+                    if left <= 0:
+                        break
+                    take = min(req.remaining, left)
+                    if take > 0:
+                        parts.append((req, req.next_index, take))
+                        req.next_index += take
+                        left -= take
+            return parts
 
     def _dispatch_loop(self) -> None:
-        """Dispatcher thread: merge, run, split, repeat until closed."""
+        """Dispatcher thread: allocate, run, scatter, repeat until closed."""
         while True:
-            batch = self._take_batch()
-            if not batch:
+            parts = self._take_round()
+            if not parts:
                 with self._lock:
                     if self._closing:
                         return
                 continue
             merged: list = []
-            for req in batch:
-                merged.extend(req.segments)
+            for req, start, count in parts:
+                merged.extend(req.segments[start : start + count])
+            involved = {id(req): req for req, _, _ in parts}
             try:
-                flat = self.fleet.map_segments(batch[0].oracle, merged)
+                flat = self.fleet.map_segments(parts[0][0].oracle, merged)
             except BaseException as exc:  # noqa: BLE001 - forwarded per job
-                for req in batch:
+                with self._wake:
+                    self._pending = [
+                        r for r in self._pending if id(r) not in involved
+                    ]
+                for req in involved.values():
                     req.error = exc
                     req.done.set()
                 continue
-            self.rounds_dispatched += 1
-            self.requests_merged += len(batch)
-            self.segments_dispatched += len(merged)
             pos = 0
-            for req in batch:
-                req.results = list(flat[pos : pos + len(req.segments)])
-                pos += len(req.segments)
+            for req, start, count in parts:
+                req.results[start : start + count] = flat[pos : pos + count]
+                pos += count
+            completed: list[_RoundRequest] = []
+            with self._wake:
+                self.rounds_dispatched += 1
+                self.requests_merged += len(involved)
+                self.segments_dispatched += len(merged)
+                for req in involved.values():
+                    if req.remaining == 0 and req in self._pending:
+                        self._pending.remove(req)
+                        completed.append(req)
+            for req in completed:
                 req.done.set()
 
 
@@ -256,11 +364,13 @@ class FleetView:
     (``cache_hits`` / ``cache_misses`` / ``cache_bytes_saved`` /
     ``cache_lookup_seconds``), so ``OptimizationStats.cache_hit_rate``
     and the lookup-cost accounting are exact for *this* job even while
-    other jobs share the cache and the fleet.
+    other jobs share the cache and the fleet.  ``weight`` is the job's
+    priority weight, carried into every round request it issues.
     """
 
-    def __init__(self, scheduler: FleetScheduler):
+    def __init__(self, scheduler: FleetScheduler, weight: int = 1):
         self._scheduler = scheduler
+        self.weight = max(1, int(weight))
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_bytes_saved = 0
@@ -284,7 +394,7 @@ class FleetView:
     ) -> list:
         """One oracle round through the cache and the shared fleet."""
         results, hits, misses, saved, lookup = self._scheduler.run_round(
-            oracle, segments
+            oracle, segments, weight=self.weight
         )
         self.cache_hits += hits
         self.cache_misses += misses

@@ -25,6 +25,7 @@ same circuit with the same oracle and Ω.
 from __future__ import annotations
 
 import contextlib
+import hmac
 import json
 import socket
 import threading
@@ -37,9 +38,17 @@ from ..circuits.encoding import decode_segment, encode_segment
 from ..core import popqc
 from ..parallel import ProcessMap
 from ..parallel.dist import (
+    BUSY_MAX_ACTIVE,
+    BUSY_PEER_QUOTA,
+    BUSY_QUEUE_FULL,
+    ERR_AUTH,
     ERR_BAD_FRAME,
     ERR_JOB_FAILED,
+    FRAME_AUTH,
+    FRAME_AUTH_OK,
+    FRAME_BUSY,
     FRAME_ERROR,
+    FRAME_HEADER_SIZE,
     FRAME_JOB,
     FRAME_PING,
     FRAME_PONG,
@@ -49,6 +58,7 @@ from ..parallel.dist import (
     ConnectionClosedError,
     FrameProtocolError,
     FrameReader,
+    pack_busy_payload,
     pack_error_payload,
     pack_frame,
     pack_result_payload,
@@ -58,11 +68,17 @@ from ..parallel.dist import (
 from .cache import SegmentCache
 from .scheduler import FleetScheduler
 
-__all__ = ["OptimizationService", "ServiceError"]
+__all__ = ["OptimizationService", "ServiceBusyError", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
     """A job failed server-side; the message carries the remote repr."""
+
+
+class ServiceBusyError(ServiceError):
+    """The server refused the job with BUSY frames until the client's
+    retry budget ran out (admission control: active-job quota,
+    per-client quota, or a saturated scheduler queue)."""
 
 
 class OptimizationService:
@@ -88,11 +104,32 @@ class OptimizationService:
         interchangeable with the ``ProcessMap(cache=...)`` path.
     gather_window_seconds:
         Cross-job merge window of the round scheduler.
+    round_budget_segments:
+        Weighted-fair quantum of one merged fleet round (see
+        :class:`~repro.service.scheduler.FleetScheduler`).
+    auth_token:
+        Shared secret demanded of every connection (an AUTH frame
+        before any other; constant-time compare).  For a socket-fleet
+        service the same token is presented to the ``popqc worker``
+        hosts, so one secret covers both rungs of the service.
+        ``None`` serves unauthenticated (trusted networks only).
+    max_active_jobs / max_jobs_per_peer / max_pending_rounds:
+        Admission control, each ``None`` (unlimited) or ``>= 1``: the
+        global cap on jobs being optimized at once, the per-client
+        (peer address) cap, and the scheduler queue depth past which
+        new jobs are refused.  A refused JOB is answered with a typed
+        BUSY frame naming the reason and a suggested retry delay —
+        never a hang and never a dropped connection.
+    idle_timeout_seconds:
+        How long a connection may sit silent before its handler thread
+        gives up on it (slow-loris defence); ``None`` disables.
 
     Attributes
     ----------
-    jobs_completed / jobs_failed:
+    jobs_completed / jobs_failed / jobs_rejected:
         Totals across all connections.
+    auth_failures:
+        Connections refused for a missing or wrong AUTH token.
     bytes_received / bytes_sent:
         Frame bytes in and out, payloads included.
     """
@@ -107,24 +144,55 @@ class OptimizationService:
         hosts: Optional[Sequence[str]] = None,
         cache: object = None,
         gather_window_seconds: float = 0.002,
+        round_budget_segments: Optional[int] = None,
+        auth_token: Optional[str] = None,
+        max_active_jobs: Optional[int] = None,
+        max_jobs_per_peer: Optional[int] = None,
+        max_pending_rounds: Optional[int] = None,
+        idle_timeout_seconds: Optional[float] = 300.0,
     ):
+        for name, bound in (
+            ("max_active_jobs", max_active_jobs),
+            ("max_jobs_per_peer", max_jobs_per_peer),
+            ("max_pending_rounds", max_pending_rounds),
+        ):
+            if bound is not None and bound < 1:
+                raise ValueError(f"{name} must be positive or None")
         self.oracle = oracle
         if cache is None:
             cache = SegmentCache()
         elif cache is False:
             cache = None
         self.cache = cache
-        fleet = ProcessMap(workers, transport=transport, hosts=hosts)
+        self._auth_token = (
+            auth_token.encode("utf-8") if auth_token is not None else None
+        )
+        self.max_active_jobs = max_active_jobs
+        self.max_jobs_per_peer = max_jobs_per_peer
+        self.max_pending_rounds = max_pending_rounds
+        self.idle_timeout_seconds = idle_timeout_seconds
+        fleet = ProcessMap(
+            workers,
+            transport=transport,
+            hosts=hosts,
+            auth_token=auth_token if transport == "socket" else None,
+        )
         self._scheduler = FleetScheduler(
-            fleet, cache=cache, gather_window_seconds=gather_window_seconds
+            fleet,
+            cache=cache,
+            gather_window_seconds=gather_window_seconds,
+            round_budget_segments=round_budget_segments,
         )
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self.jobs_completed = 0
         self.jobs_failed = 0
+        self.jobs_rejected = 0
+        self.auth_failures = 0
         self.bytes_received = 0
         self.bytes_sent = 0
         self._jobs_active = 0
+        self._peers: dict[str, dict] = {}
         self._latencies: deque[float] = deque(maxlen=256)
         self._started = time.monotonic()
         self._lock = threading.Lock()
@@ -156,13 +224,20 @@ class OptimizationService:
                 with contextlib.suppress(OSError):
                     conn.close()
                 break
-            with self._lock:
-                self._conns.append(conn)
+            if self.idle_timeout_seconds is not None:
+                conn.settimeout(self.idle_timeout_seconds)
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
-            self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
-            self._conn_threads.append(thread)
+            # both mutations under the lock: stop() iterates these
+            # lists from another thread, and pruning finished handlers
+            # here keeps a high-churn client from growing them forever
+            with self._lock:
+                self._conns.append(conn)
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
             thread.start()
 
     def start(self) -> "OptimizationService":
@@ -182,12 +257,13 @@ class OptimizationService:
             self._listener.close()
         with self._lock:
             conns, self._conns = self._conns, []
+            threads = list(self._conn_threads)
         for conn in conns:
             with contextlib.suppress(OSError):
                 conn.shutdown(socket.SHUT_RDWR)
             with contextlib.suppress(OSError):
                 conn.close()
-        for thread in self._conn_threads:
+        for thread in threads:
             thread.join(timeout=5.0)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=1.0)
@@ -195,26 +271,93 @@ class OptimizationService:
 
     # -- connection handling ---------------------------------------------------
 
-    def _send(self, conn: socket.socket, frame: bytes) -> None:
+    def _peer_entry(self, peer: str) -> dict:
+        """The accounting record for one peer address (caller holds
+        the lock)."""
+        entry = self._peers.get(peer)
+        if entry is None:
+            entry = {
+                "connections": 0,
+                "jobs_completed": 0,
+                "jobs_failed": 0,
+                "jobs_active": 0,
+                "rejections": 0,
+                "bytes_received": 0,
+                "bytes_sent": 0,
+            }
+            self._peers[peer] = entry
+        return entry
+
+    def _send(self, conn: socket.socket, frame: bytes, peer: dict) -> None:
         conn.sendall(frame)
         with self._lock:
             self.bytes_sent += len(frame)
+            peer["bytes_sent"] += len(frame)
+
+    def _check_auth(self, payload: bytes) -> bool:
+        """Constant-time validation of one AUTH payload."""
+        if self._auth_token is None:
+            return True  # no token configured: AUTH is a friendly no-op
+        return hmac.compare_digest(payload, self._auth_token)
 
     def _serve_connection(self, conn: socket.socket) -> None:
         """Serve one client until it disconnects or the service stops."""
         reader = FrameReader()
         try:
+            peer_addr = conn.getpeername()[0]
+        except OSError:
+            peer_addr = "unknown"
+        with self._lock:
+            peer = self._peer_entry(peer_addr)
+            peer["connections"] += 1
+        authed = self._auth_token is None
+        try:
             while True:
                 frame_type, payload = recv_frame(conn, reader)
                 with self._lock:
-                    self.bytes_received += 16 + len(payload)
+                    self.bytes_received += FRAME_HEADER_SIZE + len(payload)
+                    peer["bytes_received"] += FRAME_HEADER_SIZE + len(payload)
+                if frame_type == FRAME_AUTH:
+                    if self._check_auth(payload):
+                        authed = True
+                        self._send(conn, pack_frame(FRAME_AUTH_OK), peer)
+                        continue
+                    with self._lock:
+                        self.auth_failures += 1
+                        peer["rejections"] += 1
+                    self._send(
+                        conn,
+                        pack_frame(
+                            FRAME_ERROR,
+                            pack_error_payload(ERR_AUTH, "invalid auth token"),
+                        ),
+                        peer,
+                    )
+                    return  # wrong secret: drop the connection
+                if not authed:
+                    with self._lock:
+                        self.auth_failures += 1
+                        peer["rejections"] += 1
+                    self._send(
+                        conn,
+                        pack_frame(
+                            FRAME_ERROR,
+                            pack_error_payload(
+                                ERR_AUTH,
+                                "authentication required before any "
+                                "other frame",
+                            ),
+                        ),
+                        peer,
+                    )
+                    return
                 if frame_type == FRAME_JOB:
-                    self._send(conn, self._answer_job(payload))
+                    self._send(conn, self._answer_job(payload, peer), peer)
                 elif frame_type == FRAME_STATUS:
                     body = json.dumps(self.status()).encode("utf-8")
-                    self._send(conn, pack_frame(FRAME_STATUS, body))
+                    self._send(conn, pack_frame(FRAME_STATUS, body), peer)
                 elif frame_type == FRAME_PING:
-                    self._send(conn, pack_frame(FRAME_PONG))
+                    self._send(conn, pack_frame(FRAME_PONG), peer)
                 elif frame_type == FRAME_SHUTDOWN:
                     return
                 else:
@@ -227,9 +370,11 @@ class OptimizationService:
                                 f"unexpected frame type {frame_type}",
                             ),
                         ),
+                        peer,
                     )
         except (ConnectionClosedError, FrameProtocolError, OSError):
-            return  # client went away; nothing to answer
+            return  # client went away (or went silent past the idle
+            # timeout); nothing to answer
         finally:
             with self._lock:
                 if conn in self._conns:
@@ -239,22 +384,83 @@ class OptimizationService:
 
     # -- job execution ---------------------------------------------------------
 
-    def _answer_job(self, payload: bytes) -> bytes:
+    def _retry_after_hint(self) -> float:
+        """A BUSY frame's suggested delay: the mean recent job latency
+        clamped to a sane band (caller holds the lock)."""
+        if not self._latencies:
+            return 0.1
+        mean = sum(self._latencies) / len(self._latencies)
+        return min(2.0, max(0.05, mean))
+
+    def _admit_job(self, peer: dict) -> Optional[bytes]:
+        """Reserve an active-job slot, or the BUSY frame refusing it.
+
+        The check and the reservation happen under one lock acquisition
+        so two racing connections cannot both squeeze past the same
+        last slot.
+        """
+        with self._lock:
+            busy = None
+            if (
+                self.max_active_jobs is not None
+                and self._jobs_active >= self.max_active_jobs
+            ):
+                busy = (
+                    BUSY_MAX_ACTIVE,
+                    f"all {self.max_active_jobs} job slots are busy",
+                )
+            elif (
+                self.max_jobs_per_peer is not None
+                and peer["jobs_active"] >= self.max_jobs_per_peer
+            ):
+                busy = (
+                    BUSY_PEER_QUOTA,
+                    f"client already has {peer['jobs_active']} jobs in "
+                    "flight",
+                )
+            elif (
+                self.max_pending_rounds is not None
+                and self._scheduler.pending_requests >= self.max_pending_rounds
+            ):
+                busy = (
+                    BUSY_QUEUE_FULL,
+                    f"scheduler queue is at its cap of "
+                    f"{self.max_pending_rounds}",
+                )
+            if busy is not None:
+                self.jobs_rejected += 1
+                peer["rejections"] += 1
+                kind, message = busy
+                return pack_frame(
+                    FRAME_BUSY,
+                    pack_busy_payload(kind, self._retry_after_hint(), message),
+                )
+            self._jobs_active += 1
+            peer["jobs_active"] += 1
+            return None
+
+    def _answer_job(self, payload: bytes, peer: dict) -> bytes:
         """The reply frame for one JOB request."""
         try:
-            job_tag, omega, num_qubits, max_rounds, encoded = unpack_job_payload(
-                payload
-            )
+            (
+                job_tag,
+                omega,
+                num_qubits,
+                max_rounds,
+                encoded,
+                priority,
+            ) = unpack_job_payload(payload)
         except FrameProtocolError as exc:
             return pack_frame(
                 FRAME_ERROR, pack_error_payload(ERR_BAD_FRAME, str(exc))
             )
-        with self._lock:
-            self._jobs_active += 1
+        refusal = self._admit_job(peer)
+        if refusal is not None:
+            return refusal
         t0 = time.perf_counter()
         try:
             circuit = Circuit(decode_segment(encoded), num_qubits)
-            view = self._scheduler.view()
+            view = self._scheduler.view(weight=priority)
             result = popqc(
                 circuit,
                 self.oracle,
@@ -265,25 +471,29 @@ class OptimizationService:
         except Exception as exc:  # noqa: BLE001 - forwarded to the client
             with self._lock:
                 self._jobs_active -= 1
+                peer["jobs_active"] -= 1
                 self.jobs_failed += 1
+                peer["jobs_failed"] += 1
             return pack_frame(
                 FRAME_ERROR, pack_error_payload(ERR_JOB_FAILED, repr(exc))
             )
         elapsed = time.perf_counter() - t0
         stats_json = json.dumps(
-            self._job_stats(result.stats, elapsed)
+            self._job_stats(result.stats, elapsed, priority)
         ).encode("utf-8")
         out = encode_segment(result.circuit.gates)
         with self._lock:
             self._jobs_active -= 1
+            peer["jobs_active"] -= 1
             self.jobs_completed += 1
+            peer["jobs_completed"] += 1
             self._latencies.append(elapsed)
         return pack_frame(
             FRAME_RESULT, pack_result_payload(job_tag, stats_json, out)
         )
 
     @staticmethod
-    def _job_stats(stats, wall_seconds: float) -> dict:
+    def _job_stats(stats, wall_seconds: float, priority: int = 1) -> dict:
         """The per-job stats object shipped in a RESULT frame."""
         return {
             "initial_gates": stats.initial_gates,
@@ -301,6 +511,7 @@ class OptimizationService:
             "workers": stats.workers,
             "total_seconds": stats.total_time,
             "wall_seconds": wall_seconds,
+            "priority": priority,
         }
 
     def status(self) -> dict:
@@ -313,6 +524,17 @@ class OptimizationService:
                 "jobs_completed": self.jobs_completed,
                 "jobs_failed": self.jobs_failed,
                 "jobs_active": self._jobs_active,
+                "admission": {
+                    "auth_required": self._auth_token is not None,
+                    "auth_failures": self.auth_failures,
+                    "max_active_jobs": self.max_active_jobs,
+                    "max_jobs_per_peer": self.max_jobs_per_peer,
+                    "max_pending_rounds": self.max_pending_rounds,
+                    "jobs_rejected": self.jobs_rejected,
+                },
+                "clients": {
+                    addr: dict(entry) for addr, entry in self._peers.items()
+                },
             }
         status["scheduler"] = {
             "rounds_dispatched": self._scheduler.rounds_dispatched,

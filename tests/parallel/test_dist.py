@@ -405,3 +405,135 @@ class TestCapacityAdvertisement:
         with pytest.raises(ValueError, match="capacities"):
             with local_cluster(3, capacities=[2]):
                 pass  # pragma: no cover - must raise before yielding
+
+
+class TestWorkerAuth:
+    """The AUTH handshake on the worker protocol: one shared token,
+    presented before any other frame, refused in constant time."""
+
+    def test_token_round_trip(self):
+        host = WorkerHost(auth_token="s3cret").start()
+        try:
+            conn = HostConnection(host.address, auth_token="s3cret")
+            conn.connect()
+            try:
+                conn.register(pickle.dumps(IdentityOracle()), 1)
+                conn.ping()
+            finally:
+                conn.close()
+            assert host.auth_failures == 0
+        finally:
+            host.stop()
+
+    def test_wrong_token_refused_and_never_retried(self):
+        from repro.parallel.dist import AuthenticationError
+
+        host = WorkerHost(auth_token="s3cret").start()
+        try:
+            conn = HostConnection(host.address, auth_token="wrong")
+            with pytest.raises(AuthenticationError, match="invalid auth token"):
+                conn.connect()
+            assert not conn.connected  # the failed socket was torn down
+            assert host.auth_failures == 1
+        finally:
+            host.stop()
+
+    def test_unauthenticated_frame_refused_with_typed_error(self):
+        """A client that skips AUTH gets a typed ERROR on its first
+        frame — never service, never a hang."""
+        from repro.parallel.dist import AuthenticationError
+
+        host = WorkerHost(auth_token="s3cret").start()
+        try:
+            conn = HostConnection(host.address)  # no token configured
+            conn.connect()
+            try:
+                with pytest.raises(
+                    AuthenticationError, match="authentication required"
+                ):
+                    conn.register(pickle.dumps(IdentityOracle()), 1)
+            finally:
+                conn.close()
+            assert host.auth_failures == 1
+        finally:
+            host.stop()
+
+    def test_auth_is_noop_on_open_host(self):
+        """Presenting a token to a host that demands none still gets
+        AUTH_OK, so one client config works against both."""
+        host = WorkerHost().start()
+        try:
+            conn = HostConnection(host.address, auth_token="anything")
+            conn.connect()
+            try:
+                conn.ping()
+            finally:
+                conn.close()
+        finally:
+            host.stop()
+
+    def test_socket_pool_authenticates_every_host(self):
+        with local_cluster(2, auth_token="s3cret") as hosts:
+            pool = SocketHostPool(hosts, auth_token="s3cret")
+            try:
+                pool.register(IdentityOracle(), 1)
+                encoded = [encode_segment(seg) for seg in _segments(4)]
+                batches = [
+                    (i, 1, pack_segments_payload(1, i, [encoded[i]]))
+                    for i in range(4)
+                ]
+                assert len(pool.run_round(batches)) == 4
+            finally:
+                pool.close()
+
+    def test_process_map_carries_the_token(self):
+        circuit = random_redundant_circuit(5, 240, seed=104, redundancy=0.6)
+        reference = popqc(circuit, NamOracle(), 16)
+        with local_cluster(1, auth_token="s3cret") as hosts:
+            pm = ProcessMap(
+                serial_cutoff=0,
+                transport="socket",
+                hosts=hosts,
+                auth_token="s3cret",
+            )
+            try:
+                res = popqc(circuit, NamOracle(), 16, parmap=pm)
+            finally:
+                pm.close()
+        assert to_qasm(res.circuit) == to_qasm(reference.circuit)
+
+
+class TestIdleTimeout:
+    def test_silent_connection_is_dropped(self):
+        """A connected client that never sends a frame is cut loose
+        after the idle timeout instead of pinning a handler thread."""
+        import socket as socket_mod
+
+        host = WorkerHost(idle_timeout_seconds=0.2).start()
+        try:
+            sock = socket_mod.create_connection(
+                (host.host, host.port), timeout=5.0
+            )
+            sock.settimeout(5.0)
+            try:
+                assert sock.recv(1) == b""  # server closed on us
+            finally:
+                sock.close()
+        finally:
+            host.stop()
+
+    def test_active_connection_outlives_the_timeout(self):
+        import time as time_mod
+
+        host = WorkerHost(idle_timeout_seconds=0.3).start()
+        try:
+            conn = HostConnection(host.address)
+            conn.connect()
+            try:
+                for _ in range(3):
+                    time_mod.sleep(0.15)
+                    conn.ping()  # traffic resets the idle clock
+            finally:
+                conn.close()
+        finally:
+            host.stop()

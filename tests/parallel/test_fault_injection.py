@@ -364,3 +364,105 @@ def test_worker_host_closes_connections_on_stop():
     assert host._conns == []
     for thread in host._conn_threads:
         assert not thread.is_alive()
+
+
+class BusyServiceImpostor:
+    """A ``popqc serve`` impostor that answers every JOB with BUSY
+    (optionally torn) — the pathological overload case the client's
+    retry budget must bound."""
+
+    def __init__(self, torn: bool = False):
+        self.torn = torn
+        self.jobs_seen = 0
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = "127.0.0.1:%d" % self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        from repro.parallel.dist import (
+            BUSY_MAX_ACTIVE,
+            FRAME_BUSY,
+            FRAME_JOB,
+            ConnectionClosedError,
+            pack_busy_payload,
+        )
+
+        conn, _ = self._listener.accept()
+        self._listener.close()
+        reader = FrameReader()
+        try:
+            while True:
+                frame_type, _payload = recv_frame(conn, reader)
+                if frame_type != FRAME_JOB:
+                    continue
+                self.jobs_seen += 1
+                payload = pack_busy_payload(BUSY_MAX_ACTIVE, 0.01, "always busy")
+                if self.torn:
+                    payload = payload[:2]  # shorter than the BUSY header
+                conn.sendall(pack_frame(FRAME_BUSY, payload))
+        except (ConnectionClosedError, OSError):
+            pass
+        finally:
+            conn.close()
+
+    def stop(self):
+        self._thread.join(timeout=2.0)
+
+
+def test_auth_refusal_is_not_absorbed_by_host_failover():
+    """A wrong worker token must surface as AuthenticationError — the
+    reconnect/requeue machinery treats host failures as transient, but
+    a bad secret fails identically everywhere and retrying it forever
+    would just hammer the host."""
+    from repro.parallel import AuthenticationError, SocketHostPool
+
+    host = WorkerHost(auth_token="right").start()
+    try:
+        pool = SocketHostPool([host.address], auth_token="wrong")
+        try:
+            with pytest.raises(AuthenticationError):
+                pool.register(IdentityOracle(), 1)
+        finally:
+            pool.close()
+    finally:
+        host.stop()
+
+
+def test_busy_flood_exhausts_client_retry_budget():
+    """Against a server that is *always* busy, the client's bounded
+    backoff gives up with a typed error after exactly its budget —
+    never an unbounded retry storm."""
+    from repro.circuits import Circuit
+    from repro.service import ServiceBusyError, ServiceClient
+
+    impostor = BusyServiceImpostor()
+    client = ServiceClient(
+        impostor.address,
+        busy_retries=3,
+        busy_backoff_seconds=0.001,
+        busy_backoff_max_seconds=0.002,
+    )
+    try:
+        with pytest.raises(ServiceBusyError, match="after 3 retries"):
+            client.optimize(Circuit([H(0)], 1), omega=8)
+        assert client.busy_rejections == 4  # 1 attempt + 3 retries
+        assert impostor.jobs_seen == 4
+    finally:
+        client.close()
+        impostor.stop()
+
+
+def test_torn_busy_payload_is_a_typed_protocol_error():
+    from repro.circuits import Circuit
+    from repro.parallel.dist import FrameProtocolError
+    from repro.service import ServiceClient
+
+    impostor = BusyServiceImpostor(torn=True)
+    client = ServiceClient(impostor.address, busy_retries=3)
+    try:
+        with pytest.raises(FrameProtocolError, match="BUSY payload"):
+            client.optimize(Circuit([H(0)], 1), omega=8)
+    finally:
+        client.close()
+        impostor.stop()

@@ -58,25 +58,39 @@ def service():
 class TestJobProtocol:
     def test_job_payload_round_trip(self):
         gates = [H(0), CNOT(0, 1)]
-        payload = pack_job_payload(7, 50, 2, 10, encode_segment(gates))
-        tag, omega, nq, max_rounds, encoded = unpack_job_payload(payload)
-        assert (tag, omega, nq, max_rounds) == (7, 50, 2, 10)
+        payload = pack_job_payload(7, 50, 2, 10, encode_segment(gates), priority=3)
+        tag, omega, nq, max_rounds, encoded, priority = unpack_job_payload(payload)
+        assert (tag, omega, nq, max_rounds, priority) == (7, 50, 2, 10, 3)
         from repro.circuits.encoding import decode_segment
 
         assert decode_segment(encoded) == gates
 
     def test_job_payload_none_fields(self):
         payload = pack_job_payload(1, 100, None, None, encode_segment([]))
-        _, _, nq, max_rounds, encoded = unpack_job_payload(payload)
+        _, _, nq, max_rounds, encoded, priority = unpack_job_payload(payload)
         assert nq is None and max_rounds is None and len(encoded) == 0
+        assert priority == 1  # the default weight
 
     def test_job_payload_zero_fields_survive(self):
         """An explicit 0 (legal for both fields) must not decay to
         None on the wire — max_rounds=0 means zero rounds, not
         unlimited."""
         payload = pack_job_payload(1, 100, 0, 0, encode_segment([]))
-        _, _, nq, max_rounds, _ = unpack_job_payload(payload)
+        _, _, nq, max_rounds, _, _ = unpack_job_payload(payload)
         assert nq == 0 and max_rounds == 0
+
+    def test_job_payload_priority_clamped_both_ends(self):
+        """Priority is untrusted wire input: out-of-band values are
+        clamped into [1, MAX_PRIORITY] at pack AND unpack time, so a
+        hostile client cannot buy an unbounded scheduler share."""
+        from repro.parallel.dist import MAX_PRIORITY
+
+        for asked, expect in ((0, 1), (-7, 1), (10**6, MAX_PRIORITY)):
+            payload = pack_job_payload(
+                1, 50, 2, None, encode_segment([]), priority=asked
+            )
+            *_, priority = unpack_job_payload(payload)
+            assert priority == expect
 
     @pytest.mark.parametrize("cut", [4, 20, 30])
     def test_torn_job_payload_raises(self, cut):
@@ -307,3 +321,462 @@ def test_fleet_view_label_and_serial_map():
         assert res.circuit.num_gates == 0
     finally:
         sched.close()
+
+
+# -- multi-tenant hardening ---------------------------------------------------
+
+SMALL = Circuit([H(0), H(0)] * 20, 1)
+
+
+class GatedOracle:
+    """NamOracle that blocks every call until released.
+
+    Threads-transport only (holds a live Event); lets tests pin the
+    server in the "job active" state deterministically.
+    """
+
+    def __init__(self, gate):
+        self._gate = gate
+        self._inner = NamOracle()
+
+    def __call__(self, segment):
+        self._gate.wait(timeout=60)
+        return self._inner(segment)
+
+
+class RecordingFleet:
+    """A fake fleet: identity oracle results, every round recorded."""
+
+    workers = 4
+    transport = "fake"
+
+    def __init__(self, delay_seconds=0.0):
+        self.delay_seconds = delay_seconds
+        self.rounds = []
+
+    def map_segments(self, oracle, segments):
+        self.rounds.append([list(seg) for seg in segments])
+        if self.delay_seconds:
+            import time
+
+            time.sleep(self.delay_seconds)
+        return [list(seg) for seg in segments]
+
+    def close(self):
+        return None
+
+
+class TestBusyProtocol:
+    def test_busy_payload_round_trip(self):
+        from repro.parallel.dist import (
+            BUSY_PEER_QUOTA,
+            pack_busy_payload,
+            unpack_busy_payload,
+        )
+
+        payload = pack_busy_payload(BUSY_PEER_QUOTA, 0.25, "slow down")
+        kind, retry_after, message = unpack_busy_payload(payload)
+        assert (kind, retry_after, message) == (BUSY_PEER_QUOTA, 0.25, "slow down")
+
+    def test_torn_busy_payload_raises(self):
+        from repro.parallel.dist import unpack_busy_payload
+
+        with pytest.raises(FrameProtocolError, match="BUSY payload"):
+            unpack_busy_payload(b"\x01\x00")
+
+
+class TestWeightedFairScheduler:
+    def test_round_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="round_budget_segments"):
+            FleetScheduler(RecordingFleet(), round_budget_segments=0)
+
+    def test_interactive_job_not_starved_by_batch(self):
+        """The acceptance pin: with a big batch round saturating the
+        fleet, a small concurrent round completes within a bounded
+        number of scheduler rounds — not after the batch drains."""
+        import time
+
+        fleet = RecordingFleet(delay_seconds=0.01)
+        sched = FleetScheduler(
+            fleet,
+            cache=None,
+            gather_window_seconds=0.005,
+            round_budget_segments=8,
+        )
+        oracle = NamOracle()
+        batch_done = threading.Event()
+
+        def run_batch():
+            sched.run_round(oracle, [[H(0)]] * 64, weight=1)
+            batch_done.set()
+
+        t = threading.Thread(target=run_batch)
+        try:
+            t.start()
+            for _ in range(1000):
+                if sched.pending_requests >= 1:
+                    break
+                time.sleep(0.001)
+            rounds_before = sched.rounds_dispatched
+            results, *_ = sched.run_round(oracle, [[CNOT(0, 1)]] * 2, weight=1)
+            rounds_used = sched.rounds_dispatched - rounds_before
+            assert results == [[CNOT(0, 1)], [CNOT(0, 1)]]
+            # budget 8 split over two weight-1 requests: the 2-segment
+            # round fits its share of the first round it joins (plus at
+            # most one round already in flight when it arrived)
+            assert rounds_used <= 3
+            assert not batch_done.is_set()  # the batch was still draining
+            t.join(timeout=30)
+            assert batch_done.is_set()
+        finally:
+            batch_done.wait(timeout=30)
+            sched.close()
+
+    def test_first_merged_round_split_by_weight(self):
+        """Two 32-segment requests with weights 1 and 3 share the
+        8-segment budget 2/6 in their first merged round."""
+        fleet = RecordingFleet()
+        sched = FleetScheduler(
+            fleet,
+            cache=None,
+            gather_window_seconds=0.25,
+            round_budget_segments=8,
+        )
+        oracle = NamOracle()
+        try:
+            threads = [
+                threading.Thread(
+                    target=sched.run_round,
+                    args=(oracle, [[H(0)]] * 32),
+                    kwargs={"weight": 1},
+                ),
+                threading.Thread(
+                    target=sched.run_round,
+                    args=(oracle, [[H(1)]] * 32),
+                    kwargs={"weight": 3},
+                ),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            first = fleet.rounds[0]
+            assert len(first) == 8
+            assert sum(1 for seg in first if seg == [H(0)]) == 2
+            assert sum(1 for seg in first if seg == [H(1)]) == 6
+        finally:
+            sched.close()
+
+    def test_fair_split_is_byte_identical_to_a_lone_run(self, reference_a):
+        """A job split across many small fleet rounds produces the same
+        circuit as a standalone run (acceptance: round composition
+        never leaks into results)."""
+        srv = OptimizationService(
+            NamOracle(),
+            workers=2,
+            transport="threads",
+            round_budget_segments=2,  # force many partial dispatches
+        ).start()
+        try:
+            with ServiceClient(srv.address) as client:
+                job = client.optimize(CIRCUIT_A, omega=OMEGA, priority=5)
+        finally:
+            srv.stop()
+        assert job.circuit.gates == reference_a.circuit.gates
+        assert job.stats["priority"] == 5
+
+
+class TestServiceAuth:
+    def test_token_round_trip(self):
+        srv = OptimizationService(
+            NamOracle(), workers=2, transport="threads", auth_token="hush"
+        ).start()
+        try:
+            with ServiceClient(srv.address, auth_token="hush") as client:
+                client.ping()
+                job = client.optimize(SMALL, omega=8)
+            assert job.circuit.num_gates == 0
+            assert srv.auth_failures == 0
+        finally:
+            srv.stop()
+
+    def test_wrong_token_refused_on_connect(self):
+        from repro.parallel import AuthenticationError
+
+        srv = OptimizationService(
+            NamOracle(), workers=2, transport="threads", auth_token="hush"
+        ).start()
+        try:
+            with pytest.raises(AuthenticationError, match="invalid auth token"):
+                ServiceClient(srv.address, auth_token="wrong").connect()
+            assert srv.auth_failures == 1
+            status = srv.status()
+            assert status["admission"]["auth_required"] is True
+            assert status["admission"]["auth_failures"] == 1
+        finally:
+            srv.stop()
+
+    def test_unauthenticated_job_refused_with_typed_error(self):
+        """A client that skips AUTH and goes straight to JOB gets a
+        typed ERROR — never service, never a hang — and the server
+        keeps serving authenticated clients."""
+        from repro.parallel import AuthenticationError
+
+        srv = OptimizationService(
+            NamOracle(), workers=2, transport="threads", auth_token="hush"
+        ).start()
+        try:
+            bare = ServiceClient(srv.address)  # no token configured
+            try:
+                with pytest.raises(
+                    AuthenticationError, match="authentication required"
+                ):
+                    bare.optimize(SMALL, omega=8)
+            finally:
+                bare.close()
+            with ServiceClient(srv.address, auth_token="hush") as client:
+                client.ping()  # still healthy
+        finally:
+            srv.stop()
+
+    def test_token_is_noop_on_open_server(self, service):
+        with ServiceClient(service.address, auth_token="anything") as client:
+            client.ping()
+
+
+class TestAdmissionControl:
+    @pytest.mark.parametrize(
+        "bad", [{"max_active_jobs": 0}, {"max_jobs_per_peer": -1}]
+    )
+    def test_bounds_validated(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            OptimizationService(NamOracle(), workers=2, transport="threads", **bad)
+
+    def _gated_service(self, gate, **limits):
+        return OptimizationService(
+            GatedOracle(gate),
+            workers=2,
+            transport="threads",
+            cache=False,
+            **limits,
+        ).start()
+
+    def _hold_one_job(self, srv, results):
+        def hold():
+            with ServiceClient(srv.address) as client:
+                results["held"] = client.optimize(SMALL, omega=8)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        import time
+
+        for _ in range(1000):
+            if srv.jobs_active >= 1:
+                break
+            time.sleep(0.005)
+        assert srv.jobs_active == 1
+        return thread
+
+    def test_global_quota_busy_then_retry_succeeds(self):
+        from repro.service import ServiceBusyError
+
+        gate = threading.Event()
+        srv = self._gated_service(gate, max_active_jobs=1)
+        results: dict = {}
+        try:
+            holder = self._hold_one_job(srv, results)
+            # no retry budget: the refusal surfaces as a typed error
+            impatient = ServiceClient(srv.address, busy_retries=0)
+            try:
+                with pytest.raises(ServiceBusyError, match="job slots"):
+                    impatient.optimize(SMALL, omega=8)
+                assert impatient.busy_rejections == 1
+            finally:
+                impatient.close()
+            assert srv.jobs_rejected >= 1
+            # a patient client rides its backoff through the busy spell
+            def retry():
+                with ServiceClient(
+                    srv.address,
+                    busy_retries=60,
+                    busy_backoff_seconds=0.02,
+                    busy_backoff_max_seconds=0.1,
+                ) as client:
+                    results["retried"] = client.optimize(SMALL, omega=8)
+
+            retrier = threading.Thread(target=retry)
+            retrier.start()
+            import time
+
+            time.sleep(0.05)
+            gate.set()
+            holder.join(timeout=60)
+            retrier.join(timeout=60)
+            assert results["held"].circuit.num_gates == 0
+            assert results["retried"].circuit.num_gates == 0
+        finally:
+            gate.set()
+            srv.stop()
+
+    def test_peer_quota_busy(self):
+        from repro.service import ServiceBusyError
+
+        gate = threading.Event()
+        srv = self._gated_service(gate, max_jobs_per_peer=1)
+        results: dict = {}
+        try:
+            holder = self._hold_one_job(srv, results)
+            second = ServiceClient(srv.address, busy_retries=0)
+            try:
+                with pytest.raises(ServiceBusyError, match="already has"):
+                    second.optimize(SMALL, omega=8)
+            finally:
+                second.close()
+            gate.set()
+            holder.join(timeout=60)
+        finally:
+            gate.set()
+            srv.stop()
+
+    def test_queue_depth_busy(self):
+        from repro.service import ServiceBusyError
+
+        gate = threading.Event()
+        srv = self._gated_service(gate, max_pending_rounds=1)
+        results: dict = {}
+        try:
+            holder = self._hold_one_job(srv, results)
+            second = ServiceClient(srv.address, busy_retries=0)
+            try:
+                with pytest.raises(ServiceBusyError, match="queue is at its cap"):
+                    second.optimize(SMALL, omega=8)
+            finally:
+                second.close()
+            gate.set()
+            holder.join(timeout=60)
+        finally:
+            gate.set()
+            srv.stop()
+
+    def test_status_reports_admission_and_per_client_accounting(self):
+        srv = OptimizationService(
+            NamOracle(),
+            workers=2,
+            transport="threads",
+            max_active_jobs=4,
+        ).start()
+        try:
+            with ServiceClient(srv.address) as client:
+                client.optimize(SMALL, omega=8)
+                status = client.status()
+        finally:
+            srv.stop()
+        assert status["admission"]["max_active_jobs"] == 4
+        assert status["admission"]["jobs_rejected"] == 0
+        assert status["admission"]["auth_required"] is False
+        (peer,) = status["clients"].values()
+        assert peer["jobs_completed"] == 1
+        assert peer["connections"] >= 1
+        assert peer["bytes_received"] > 0 and peer["bytes_sent"] > 0
+        json.dumps(status)  # still one JSON-serializable object
+
+
+class TestAdversarialClients:
+    def test_oversized_frame_length_at_cap_drops_connection(self, service):
+        """A header claiming a payload over MAX_FRAME_BYTES gets the
+        connection dropped — and the server keeps serving others."""
+        import socket as socket_mod
+
+        from repro.parallel.dist import _FRAME_HEADER, FRAME_JOB, MAX_FRAME_BYTES
+
+        sock = socket_mod.create_connection(
+            (service.host, service.port), timeout=5.0
+        )
+        sock.settimeout(5.0)
+        try:
+            sock.sendall(_FRAME_HEADER.pack(b"PQCF", FRAME_JOB, MAX_FRAME_BYTES + 1))
+            assert sock.recv(1) == b""  # server hung up on us
+        finally:
+            sock.close()
+        with ServiceClient(service.address) as client:
+            client.ping()
+
+    def test_garbage_job_payload_answered_with_typed_error(self, service):
+        from repro.parallel.dist import FRAME_JOB
+
+        client = ServiceClient(service.address)
+        try:
+            with pytest.raises(ServiceError):
+                client._request(pack_frame(FRAME_JOB, b"\xff" * 64))
+            client.ping()  # the connection survives
+        finally:
+            client.close()
+
+    def test_idle_connection_dropped_after_timeout(self):
+        import socket as socket_mod
+
+        srv = OptimizationService(
+            NamOracle(),
+            workers=2,
+            transport="threads",
+            idle_timeout_seconds=0.2,
+        ).start()
+        try:
+            sock = socket_mod.create_connection((srv.host, srv.port), timeout=5.0)
+            sock.settimeout(5.0)
+            try:
+                assert sock.recv(1) == b""  # slow-loris gets cut loose
+            finally:
+                sock.close()
+        finally:
+            srv.stop()
+
+    def test_mid_job_disconnect_leaks_nothing(self):
+        """A client that vanishes mid-job: the slot is released, the
+        socket is reaped, and no handler thread stays pinned."""
+        import contextlib as ctx
+        import time
+
+        gate = threading.Event()
+        srv = OptimizationService(
+            GatedOracle(gate), workers=2, transport="threads", cache=False
+        ).start()
+        try:
+            client = ServiceClient(srv.address, request_timeout=30.0)
+
+            def run():
+                with ctx.suppress(BaseException):
+                    client.optimize(SMALL, omega=8)
+
+            t = threading.Thread(target=run)
+            t.start()
+            for _ in range(1000):
+                if srv.jobs_active >= 1:
+                    break
+                time.sleep(0.005)
+            assert srv.jobs_active == 1
+            client.close()  # vanish mid-job
+            gate.set()
+            t.join(timeout=30)
+            for _ in range(1000):
+                with srv._lock:
+                    drained = srv._jobs_active == 0 and not srv._conns
+                if drained:
+                    break
+                time.sleep(0.005)
+            assert srv.jobs_active == 0
+            assert srv._conns == []
+        finally:
+            gate.set()
+            srv.stop()
+
+    def test_connection_churn_keeps_thread_list_bounded(self, service):
+        import time
+
+        for _ in range(25):
+            with ServiceClient(service.address) as client:
+                client.ping()
+            time.sleep(0.005)  # let the handler notice the close
+        # dead handlers are pruned under the lock as connections arrive,
+        # so churn cannot grow the list toward the connection count
+        assert len(service._conn_threads) < 10
