@@ -1,0 +1,146 @@
+"""The latency-SLO load benchmark: `BENCH_service_load.json`.
+
+Launches a real `popqc serve` subprocess (or targets the daemon CI
+passes through `POPQC_SERVE_HOST`), replays the full three-phase SLO
+suite (`repro.service.loadgen.run_slo_suite`) against it, and writes
+the schema-v1 record at the repo root so CI can upload it and gate it
+against `benchmarks/BENCH_service_load_baseline.json` via
+`check_bench_trend.py`.
+
+The assertions here are the PR's acceptance criteria, enforced at
+benchmark time as well as at gate time:
+
+* every scheduled job of every mix completes (no errors, no dropped
+  BUSY retries);
+* the warm mix's duplicate traffic shows the cache's latency benefit
+  (p50 speedup over cold >= the gated SLO);
+* interactive submits injected during the batch flood meet the
+  starvation bound (p99 <= the gated multiple of flood p50);
+* the seeded schedule manifest is byte-reproducible.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.service.loadgen import (
+    INTERACTIVE_P99_OVER_FLOOD_P50_MAX,
+    SCHEMA,
+    WARM_P50_SPEEDUP_MIN,
+    default_mixes,
+    run_slo_suite,
+    schedule_manifest,
+)
+
+#: Where the machine-readable record lands (repo root, so CI can
+#: upload it as an artifact without path gymnastics).
+BENCH_JSON = Path(
+    os.environ.get(
+        "BENCH_SERVICE_LOAD_OUT",
+        Path(__file__).resolve().parent.parent / "BENCH_service_load.json",
+    )
+)
+
+#: CI smoke runs set this to shrink the suite; the committed baseline
+#: comes from a full run.
+SMOKE = os.environ.get("BENCH_SERVICE_LOAD_SMOKE", "") not in ("", "0")
+
+SEED = int(os.environ.get("BENCH_SERVICE_LOAD_SEED", "7"))
+
+
+@pytest.fixture(scope="module")
+def server_address():
+    """A live daemon: CI's via POPQC_SERVE_HOST, else our own subprocess."""
+    env_host = os.environ.get("POPQC_SERVE_HOST")
+    if env_host:
+        yield env_host.strip()
+        return
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--bind",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--transport",
+            "threads",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"listening on (\S+)", line)
+        assert match, f"unexpected serve banner: {line!r}"
+        yield match.group(1)
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def record(server_address):
+    """One suite run per module; every test asserts against it."""
+    rec = run_slo_suite(
+        server_address,
+        seed=SEED,
+        auth_token=os.environ.get("POPQC_AUTH_TOKEN"),
+        smoke=SMOKE,
+    )
+    BENCH_JSON.write_text(json.dumps(rec, indent=2, sort_keys=True) + "\n")
+    return rec
+
+
+@pytest.mark.service
+class TestServiceLoadBench:
+    def test_every_job_completes(self, record):
+        for name, mix in record["mixes"].items():
+            assert mix["jobs_failed"] == 0, (name, mix["errors"])
+            assert mix["jobs_completed"] == mix["jobs_scheduled"]
+
+    def test_warm_cache_latency_benefit(self, record):
+        speedup = record["derived"]["warm_p50_speedup_vs_cold"]
+        assert speedup >= WARM_P50_SPEEDUP_MIN, (
+            f"warm duplicate p50 only {speedup:.2f}x faster than cold "
+            f"(SLO >= {WARM_P50_SPEEDUP_MIN}x)"
+        )
+        warm = record["mixes"]["warm"]
+        assert warm["duplicate_latency_seconds"]["count"] > 0
+        assert warm["cache"]["hit_rate"] > 0.3
+        # the trajectory shows the cache warming: the last window (pure
+        # replays) must out-hit the first (the cache-cold unique pool)
+        trajectory = warm["cache"]["trajectory"]
+        assert trajectory[-1]["hit_rate"] > trajectory[0]["hit_rate"]
+
+    def test_interactive_starvation_bound(self, record):
+        ratio = record["derived"]["interactive_p99_over_flood_p50"]
+        assert 0 < ratio <= INTERACTIVE_P99_OVER_FLOOD_P50_MAX, (
+            f"interactive p99 is {ratio:.2f}x the flood p50 "
+            f"(SLO <= {INTERACTIVE_P99_OVER_FLOOD_P50_MAX}x)"
+        )
+
+    def test_record_is_schema_v1(self, record):
+        assert record["schema"] == SCHEMA
+        assert BENCH_JSON.exists()
+        reread = json.loads(BENCH_JSON.read_text())
+        assert reread["schema"] == SCHEMA
+        for mix in reread["mixes"].values():
+            for key in ("p50", "p90", "p99"):
+                assert mix["latency_seconds"][key] >= 0
+
+    def test_schedule_is_byte_reproducible(self):
+        mixes = list(default_mixes(SMOKE).values())
+        assert schedule_manifest(mixes, SEED) == schedule_manifest(
+            mixes, SEED
+        )

@@ -36,6 +36,7 @@ def boolsat(
     *,
     iterations: int = 1,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> Circuit:
     """Generate a BoolSat (Grover-over-3-CNF) circuit.
 
@@ -48,11 +49,14 @@ def boolsat(
         Grover iterations (each contributes oracle + diffusion).
     seed:
         Chooses the random formula.
+    rng:
+        Explicit random source; when given, randomness is drawn from it
+        directly and ``seed`` is ignored.
     """
     n = num_vars
     if n < 3:
         raise ValueError("boolsat needs at least 3 variables")
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     m = _num_clauses(n)
     clauses = []
     for _ in range(m):

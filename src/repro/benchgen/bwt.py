@@ -47,6 +47,7 @@ def bwt(
     *,
     steps: int | None = None,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> Circuit:
     """Generate a Trotterized welded-tree walk circuit.
 
@@ -60,13 +61,16 @@ def bwt(
         with the tree depth).
     seed:
         Chooses the per-edge coupling phases.
+    rng:
+        Explicit random source; when given, randomness is drawn from it
+        directly and ``seed`` is ignored.
     """
     n = num_qubits
     if n < 4:
         raise ValueError("bwt needs at least 4 qubits")
     if steps is None:
         steps = 4 * n
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     dt = 0.35
 
     # Three edge-color matchings over the vertex register.

@@ -32,6 +32,7 @@ def grover(
     *,
     iterations: int | None = None,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> Circuit:
     """Generate a Grover search circuit.
 
@@ -44,11 +45,14 @@ def grover(
         ``round(pi/4 * sqrt(2^n))``.
     seed:
         Chooses the marked state.
+    rng:
+        Explicit random source; when given, randomness is drawn from it
+        directly and ``seed`` is ignored.
     """
     n = num_search_qubits
     if n < 2:
         raise ValueError("grover needs at least 2 search qubits")
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     marked = rng.randrange(1 << n)
     if iterations is None:
         iterations = max(1, round(math.pi / 4 * math.sqrt(1 << n)))

@@ -47,20 +47,29 @@ def _controlled_hamiltonian_step(
     return gates
 
 
-def hhl(num_qubits: int, *, depth: int = 1, seed: int = 0) -> Circuit:
+def hhl(
+    num_qubits: int,
+    *,
+    depth: int = 1,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> Circuit:
     """Generate an HHL circuit on ``num_qubits`` total qubits (>= 4).
 
     ``depth`` scales the Trotter slice budget of the controlled
     Hamiltonian simulation (more slices = finer simulation = deeper
     circuit), letting instance size grow without adding qubits — the
     regime the paper's HHL instances live in (11 qubits, 680k gates).
+
+    ``rng`` is an explicit random source; when given, randomness is
+    drawn from it directly and ``seed`` is ignored.
     """
     n = num_qubits
     if n < 4:
         raise ValueError("hhl needs at least 4 qubits")
     if depth < 1:
         raise ValueError("depth must be positive")
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     nb = max(1, n // 3)
     nc = n - nb - 1
     system = list(range(nb))

@@ -19,6 +19,7 @@ builds a custom configuration.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
@@ -46,7 +47,8 @@ class BenchmarkFamily:
     """A benchmark family: generator plus its size ladders."""
 
     name: str
-    #: Build an instance from keyword parameters (must accept ``seed``).
+    #: Build an instance from keyword parameters (must accept ``seed``
+    #: and ``rng``).
     build: Callable[..., Circuit]
     #: Qubit counts used in the paper's Table 1.
     paper_qubits: tuple[int, int, int, int]
@@ -60,8 +62,8 @@ class BenchmarkFamily:
 FAMILIES: dict[str, BenchmarkFamily] = {
     "BoolSat": BenchmarkFamily(
         "BoolSat",
-        lambda num_vars, iterations, seed=0: boolsat(
-            num_vars, iterations=iterations, seed=seed
+        lambda num_vars, iterations, seed=0, rng=None: boolsat(
+            num_vars, iterations=iterations, seed=seed, rng=rng
         ),
         (28, 30, 32, 34),
         (
@@ -74,7 +76,9 @@ FAMILIES: dict[str, BenchmarkFamily] = {
     ),
     "BWT": BenchmarkFamily(
         "BWT",
-        lambda num_qubits, steps, seed=0: bwt(num_qubits, steps=steps, seed=seed),
+        lambda num_qubits, steps, seed=0, rng=None: bwt(
+            num_qubits, steps=steps, seed=seed, rng=rng
+        ),
         (17, 21, 25, 29),
         (
             {"num_qubits": 8, "steps": 20},
@@ -86,8 +90,8 @@ FAMILIES: dict[str, BenchmarkFamily] = {
     ),
     "Grover": BenchmarkFamily(
         "Grover",
-        lambda num_search_qubits, iterations, seed=0: grover(
-            num_search_qubits, iterations=iterations, seed=seed
+        lambda num_search_qubits, iterations, seed=0, rng=None: grover(
+            num_search_qubits, iterations=iterations, seed=seed, rng=rng
         ),
         (9, 11, 13, 15),
         (
@@ -100,7 +104,9 @@ FAMILIES: dict[str, BenchmarkFamily] = {
     ),
     "HHL": BenchmarkFamily(
         "HHL",
-        lambda num_qubits, depth, seed=0: hhl(num_qubits, depth=depth, seed=seed),
+        lambda num_qubits, depth, seed=0, rng=None: hhl(
+            num_qubits, depth=depth, seed=seed, rng=rng
+        ),
         (7, 9, 11, 13),
         (
             {"num_qubits": 7, "depth": 4},
@@ -112,7 +118,9 @@ FAMILIES: dict[str, BenchmarkFamily] = {
     ),
     "Shor": BenchmarkFamily(
         "Shor",
-        lambda num_qubits, passes, seed=0: shor(num_qubits, passes=passes, seed=seed),
+        lambda num_qubits, passes, seed=0, rng=None: shor(
+            num_qubits, passes=passes, seed=seed, rng=rng
+        ),
         (10, 12, 14, 16),
         (
             {"num_qubits": 8, "passes": 1},
@@ -124,8 +132,8 @@ FAMILIES: dict[str, BenchmarkFamily] = {
     ),
     "Sqrt": BenchmarkFamily(
         "Sqrt",
-        lambda num_qubits, rounds, seed=0: sqrt_circuit(
-            num_qubits, rounds=rounds, seed=seed
+        lambda num_qubits, rounds, seed=0, rng=None: sqrt_circuit(
+            num_qubits, rounds=rounds, seed=seed, rng=rng
         ),
         (42, 48, 54, 60),
         (
@@ -138,7 +146,9 @@ FAMILIES: dict[str, BenchmarkFamily] = {
     ),
     "StateVec": BenchmarkFamily(
         "StateVec",
-        lambda num_qubits, reps, seed=0: statevec(num_qubits, reps=reps, seed=seed),
+        lambda num_qubits, reps, seed=0, rng=None: statevec(
+            num_qubits, reps=reps, seed=seed, rng=rng
+        ),
         (5, 6, 7, 8),
         (
             {"num_qubits": 5, "reps": 8},
@@ -150,7 +160,9 @@ FAMILIES: dict[str, BenchmarkFamily] = {
     ),
     "VQE": BenchmarkFamily(
         "VQE",
-        lambda num_qubits, layers, seed=0: vqe(num_qubits, layers=layers, seed=seed),
+        lambda num_qubits, layers, seed=0, rng=None: vqe(
+            num_qubits, layers=layers, seed=seed, rng=rng
+        ),
         (18, 22, 26, 30),
         (
             {"num_qubits": 8, "layers": 14},
@@ -168,14 +180,31 @@ def family_names() -> list[str]:
     return list(FAMILIES.keys())
 
 
-def generate(family: str, size_index: int, *, seed: int = 0) -> Circuit:
-    """Build the ``size_index``-th (0..3) scaled instance of ``family``."""
+def generate(
+    family: str,
+    size_index: int,
+    *,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> Circuit:
+    """Build the ``size_index``-th (0..3) scaled instance of ``family``.
+
+    ``rng`` is forwarded to the family generator as its explicit random
+    source (``seed`` is ignored when it is given) — the load harness
+    uses this to make traffic byte-reproducible from one master seed.
+    """
     fam = FAMILIES[family]
     if not 0 <= size_index < len(fam.default_params):
         raise ValueError(f"size_index {size_index} out of range 0..3")
-    return fam.build(seed=seed, **fam.default_params[size_index])
+    return fam.build(seed=seed, rng=rng, **fam.default_params[size_index])
 
 
-def generate_params(family: str, *, seed: int = 0, **params: Any) -> Circuit:
+def generate_params(
+    family: str,
+    *,
+    seed: int = 0,
+    rng: random.Random | None = None,
+    **params: Any,
+) -> Circuit:
     """Build an instance of ``family`` with explicit parameters."""
-    return FAMILIES[family].build(seed=seed, **params)
+    return FAMILIES[family].build(seed=seed, rng=rng, **params)

@@ -55,7 +55,13 @@ def _controlled_draper_add(
     return gates
 
 
-def shor(num_qubits: int, *, passes: int = 1, seed: int = 0) -> Circuit:
+def shor(
+    num_qubits: int,
+    *,
+    passes: int = 1,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> Circuit:
     """Generate an order-finding circuit on ``n`` total qubits (>= 5).
 
     The modulus and base are chosen pseudo-randomly from the seed; the
@@ -67,13 +73,16 @@ def shor(num_qubits: int, *, passes: int = 1, seed: int = 0) -> Circuit:
     register drives a long exponent sequentially — this grows depth
     without adding qubits, matching the paper's Shor regime (16 qubits,
     545k gates).
+
+    ``rng`` is an explicit random source; when given, randomness is
+    drawn from it directly and ``seed`` is ignored.
     """
     n = num_qubits
     if n < 5:
         raise ValueError("shor needs at least 5 qubits")
     if passes < 1:
         raise ValueError("passes must be positive")
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     nc = n // 2
     nt = n - nc
     control = list(range(nc))

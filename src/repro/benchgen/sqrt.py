@@ -47,19 +47,28 @@ def _ripple_add(a_reg: list[int], b_reg: list[int], carry: int) -> list[Gate]:
     return gates
 
 
-def sqrt_circuit(num_qubits: int, *, rounds: int = 1, seed: int = 0) -> Circuit:
+def sqrt_circuit(
+    num_qubits: int,
+    *,
+    rounds: int = 1,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> Circuit:
     """Generate a reversible square-root circuit on ``n`` qubits (>= 6).
 
     ``rounds`` repeats the Newton-style refinement sweep (each sweep
     runs one full set of shift-and-subtract iterations), scaling depth
     without adding qubits.
+
+    ``rng`` is an explicit random source; when given, randomness is
+    drawn from it directly and ``seed`` is ignored.
     """
     n = num_qubits
     if n < 6:
         raise ValueError("sqrt needs at least 6 qubits")
     if rounds < 1:
         raise ValueError("rounds must be positive")
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     nr = (2 * (n - 2)) // 3  # radicand width
     nres = n - nr - 2  # result width
     rad = list(range(nr))

@@ -71,7 +71,13 @@ def _multiplexed_ry(
     return [*pre, *_multiplexed_rz(target, controls, angles), *post]
 
 
-def statevec(num_qubits: int, *, reps: int = 1, seed: int = 0) -> Circuit:
+def statevec(
+    num_qubits: int,
+    *,
+    reps: int = 1,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> Circuit:
     """Generate a state-preparation circuit on ``n`` qubits (>= 2).
 
     Parameters
@@ -79,11 +85,16 @@ def statevec(num_qubits: int, *, reps: int = 1, seed: int = 0) -> Circuit:
     reps:
         Number of prepare/unprepare blocks chained together; each block
         prepares a fresh random state and undoes a perturbed copy of it.
+    seed:
+        Chooses the state amplitudes.
+    rng:
+        Explicit random source; when given, randomness is drawn from it
+        directly and ``seed`` is ignored.
     """
     n = num_qubits
     if n < 2:
         raise ValueError("statevec needs at least 2 qubits")
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
 
     def prep(jitter: float) -> list[Gate]:
         body: list[Gate] = []

@@ -39,7 +39,13 @@ def _pauli_exponential(
     return [*pre, *ladder, RZ(qubits[-1], theta), *unladder, *post]
 
 
-def vqe(num_qubits: int, *, layers: int | None = None, seed: int = 0) -> Circuit:
+def vqe(
+    num_qubits: int,
+    *,
+    layers: int | None = None,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> Circuit:
     """Generate a VQE ansatz circuit on ``n`` qubits (>= 4).
 
     Parameters
@@ -47,13 +53,18 @@ def vqe(num_qubits: int, *, layers: int | None = None, seed: int = 0) -> Circuit
     layers:
         Ansatz repetitions; defaults to ``2 * num_qubits`` (hardware-
         efficient depth scaling).
+    seed:
+        Chooses the Pauli strings and angles.
+    rng:
+        Explicit random source; when given, randomness is drawn from it
+        directly and ``seed`` is ignored.
     """
     n = num_qubits
     if n < 4:
         raise ValueError("vqe needs at least 4 qubits")
     if layers is None:
         layers = 2 * n
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
 
     # Molecular-style excitation pool: single (weight-2) and double
     # (weight-4) excitation strings over neighbouring orbital windows.

@@ -24,10 +24,25 @@ Three pieces:
   same length-prefixed frame protocol as the socket transport
   (:mod:`repro.parallel.dist`), and the :class:`ServiceClient` /
   ``popqc submit`` side of it.
+* :mod:`repro.service.loadgen` — the latency-SLO load harness
+  (``popqc bench serve``): deterministic traffic mixes replayed over
+  concurrent clients, aggregated into latency percentiles and
+  cache-hit trajectories (``BENCH_service_load.json``, gated in CI).
 """
 
 from .cache import CacheStats, SegmentCache, oracle_namespace
 from .client import JobResult, ServiceClient
+from .loadgen import (
+    LoadReport,
+    MixReport,
+    ScheduledJob,
+    TrafficMix,
+    build_schedule,
+    default_mixes,
+    run_load,
+    run_slo_suite,
+    schedule_manifest,
+)
 from .scheduler import FleetScheduler, FleetView
 from .server import OptimizationService, ServiceBusyError, ServiceError
 
@@ -36,10 +51,19 @@ __all__ = [
     "FleetScheduler",
     "FleetView",
     "JobResult",
+    "LoadReport",
+    "MixReport",
     "OptimizationService",
+    "ScheduledJob",
     "SegmentCache",
     "ServiceBusyError",
     "ServiceClient",
     "ServiceError",
+    "TrafficMix",
+    "build_schedule",
+    "default_mixes",
     "oracle_namespace",
+    "run_load",
+    "run_slo_suite",
+    "schedule_manifest",
 ]

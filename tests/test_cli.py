@@ -90,6 +90,78 @@ class TestBenchCommand:
             main(["bench", "Nope"])
 
 
+class TestBenchServeCommand:
+    def test_print_schedule_is_byte_reproducible(self, capsys):
+        assert main(["bench", "serve", "--print-schedule", "--smoke"]) == 0
+        first = capsys.readouterr().out
+        assert main(["bench", "serve", "--print-schedule", "--smoke"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_print_schedule_carries_digests(self, capsys):
+        import json
+
+        assert main(["bench", "serve", "--print-schedule", "--smoke"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["schema"].startswith("popqc-bench-service-load")
+        assert {"cold", "warm", "flood", "interactive"} <= set(
+            manifest["mixes"]
+        )
+        assert all(
+            job["digest"]
+            for jobs in manifest["mixes"].values()
+            for job in jobs
+        )
+
+    def test_seed_changes_schedule(self, capsys):
+        assert main(
+            ["bench", "serve", "--print-schedule", "--smoke", "--seed", "1"]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["bench", "serve", "--print-schedule", "--smoke", "--seed", "2"]
+        ) == 0
+        assert capsys.readouterr().out != first
+
+    def test_server_required_without_print_schedule(self, capsys):
+        assert main(["bench", "serve"]) == 2
+        assert "--server" in capsys.readouterr().err
+
+    def test_load_run_against_in_process_server(self, tmp_path, capsys):
+        from repro.oracles import NamOracle
+        from repro.service import OptimizationService
+
+        out = str(tmp_path / "BENCH_service_load.json")
+        srv = OptimizationService(
+            NamOracle(), workers=2, transport="threads"
+        ).start()
+        try:
+            rc = main(
+                [
+                    "bench",
+                    "serve",
+                    "--server",
+                    srv.address,
+                    "--smoke",
+                    "--time-scale",
+                    "0.2",
+                    "--out",
+                    out,
+                ]
+            )
+        finally:
+            srv.stop()
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "warm p50 speedup vs cold" in printed
+        import json
+
+        record = json.loads(open(out).read())
+        assert record["schema"] == "popqc-bench-service-load/v1"
+        assert all(
+            m["jobs_failed"] == 0 for m in record["mixes"].values()
+        )
+
+
 class TestTablesCommand:
     def test_single_table(self, capsys, monkeypatch):
         # trim the workload: patch the driver's defaults via argv sizes
