@@ -15,7 +15,7 @@ multi-worker cluster.  These benchmarks measure all five wire formats
 on the segment stream of a ≥20k-gate circuit, prove the transports
 byte-identical end to end, compare the two rule-engine
 implementations, record what lazy result decode skipped, and emit a
-machine-readable ``BENCH_transport.json`` (schema v3) that CI uploads
+machine-readable ``BENCH_transport.json`` (schema v5) that CI uploads
 on every push and diffs against the committed baseline (see
 ``benchmarks/README.md``).
 
@@ -383,6 +383,93 @@ def test_cache_hits_resolve_10x_faster_than_oracle(service_results):
     )
 
 
+@pytest.fixture(scope="module")
+def cluster_cache_results():
+    """The cluster-shared cache tier measured across *hosts*: a
+    ``popqc serve`` daemon is the cache, two worker hosts consult it
+    (``--cache``), and two drivers run the same segment stream — the
+    first against host A (all misses, publishes every result), the
+    second against host B (never saw the work, resolves every segment
+    as a remote hit).  Records how much faster the warm remote pass is
+    than re-executing the oracle.
+    """
+    from repro.parallel import WorkerHost
+    from repro.service import OptimizationService
+
+    smoke_segments = SEGMENTS[:24]
+    tier = OptimizationService(ORACLE, workers=1, transport="threads").start()
+    host_a = WorkerHost(capacity=2, cache_address=tier.address).start()
+    host_b = WorkerHost(capacity=2, cache_address=tier.address).start()
+    try:
+        pm = ProcessMap(
+            1, serial_cutoff=0, transport="socket", hosts=[host_a.address]
+        )
+        try:
+            t0 = time.perf_counter()
+            cold_results = pm.map_segments(ORACLE, smoke_segments)
+            cold = time.perf_counter() - t0
+        finally:
+            pm.close()
+        pm = ProcessMap(
+            1, serial_cutoff=0, transport="socket", hosts=[host_b.address]
+        )
+        try:
+            t0 = time.perf_counter()
+            warm_results = pm.map_segments(ORACLE, smoke_segments)
+            warm = time.perf_counter() - t0
+        finally:
+            pm.close()
+        counters = {
+            name: {
+                "hits": host.cache_hits,
+                "misses": host.cache_misses,
+                "stores": host.cache_stores,
+                "errors": host.cache_errors,
+            }
+            for name, host in (("host_a", host_a), ("host_b", host_b))
+        }
+        tier_stats = tier.status()["cluster_cache"]
+    finally:
+        host_a.stop()
+        host_b.stop()
+        tier.stop()
+    assert warm_results == cold_results  # shared cache is transparent
+    oracle_best = _serial_time(smoke_segments, repeats=2)
+    n = len(smoke_segments)
+    return {
+        "workload": "same segment stream through two hosts sharing one "
+        "cache tier (cold publish on A, warm remote hits on B)",
+        "segments": n,
+        "cold_seconds": cold,
+        "warm_remote_seconds": warm,
+        "remote_hit_seconds_per_segment": warm / n,
+        "oracle_seconds_per_segment": oracle_best / n,
+        "remote_hit_speedup_vs_oracle": oracle_best / warm,
+        "tier": tier_stats,
+        **counters,
+    }
+
+
+def test_second_host_resolves_warm_segments_remotely(cluster_cache_results):
+    """Acceptance: a host that never ran a segment resolves the whole
+    warm stream from the cluster cache — every lookup a hit, no oracle
+    re-execution — and faster than running the oracle again."""
+    r = cluster_cache_results
+    assert r["host_a"]["misses"] == r["segments"]  # cold pass paid the oracle
+    assert r["host_a"]["stores"] == r["segments"]  # ...and published it all
+    assert r["host_b"]["hits"] == r["segments"]  # warm pass was all remote hits
+    assert r["host_b"]["misses"] == 0
+    assert r["host_a"]["errors"] == 0 and r["host_b"]["errors"] == 0
+    assert r["tier"]["stores"] == r["segments"]
+    assert r["tier"]["hits"] == r["segments"]
+    assert r["remote_hit_speedup_vs_oracle"] > 1.0, (
+        f"remote cache hits "
+        f"({r['remote_hit_seconds_per_segment'] * 1e6:.0f} us/segment) "
+        f"should beat oracle re-execution "
+        f"({r['oracle_seconds_per_segment'] * 1e6:.0f} us/segment)"
+    )
+
+
 def _socket_record(smoke_segments, hosts) -> dict:
     """Throughput + wire accounting of one socket-transport round over
     the localhost cluster (the BENCH_transport.json `socket` section).
@@ -412,13 +499,13 @@ def _socket_record(smoke_segments, hosts) -> dict:
 
 
 def test_five_way_comparison_emits_bench_json(
-    engine_results, socket_cluster, service_results
+    engine_results, socket_cluster, service_results, cluster_cache_results
 ):
     """Measure serial/pickle/encoded/shm/threads/socket round
     throughput at smoke scale (socket against the localhost cluster),
     the rule-engine comparison, the lazy-decode stats and the
-    segment-cache comparison, and write ``BENCH_transport.json``
-    (schema v4) for the CI trend job.
+    segment-cache comparisons (in-process and cluster-shared), and
+    write ``BENCH_transport.json`` (schema v5) for the CI trend job.
 
     This test only asserts sanity (positive throughputs, complete
     record, lazy decode skipping bytes on a rejecting workload); the
@@ -448,7 +535,7 @@ def test_five_way_comparison_emits_bench_json(
     lazy = _lazy_decode_record()
 
     record = {
-        "schema": "popqc-bench-transport/v4",
+        "schema": "popqc-bench-transport/v5",
         "generated_unix": time.time(),
         "workload": {
             "circuit_gates": CIRCUIT.num_gates,
@@ -466,9 +553,13 @@ def test_five_way_comparison_emits_bench_json(
         "oracle_engine": engines,
         "lazy_decode": lazy,
         "service": service_results,
+        "cluster_cache": cluster_cache_results,
         "derived": {
             "cache_hit_speedup_vs_oracle": service_results[
                 "hit_speedup_vs_oracle"
+            ],
+            "remote_cache_hit_speedup_vs_oracle": cluster_cache_results[
+                "remote_hit_speedup_vs_oracle"
             ],
             "encoded_speedup_vs_pickle": results["pickle"]["seconds_per_round"]
             / results["encoded"]["seconds_per_round"],

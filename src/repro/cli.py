@@ -305,6 +305,17 @@ def main(argv: list[str] | None = None) -> int:
         "frame before any other; defaults to $POPQC_AUTH_TOKEN; omit "
         "to serve unauthenticated)",
     )
+    p_worker.add_argument(
+        "--cache",
+        default=None,
+        metavar="HOST:PORT",
+        help="address of a popqc serve daemon to use as a cluster-shared "
+        "segment cache: the worker looks warm segments up before running "
+        "the oracle and publishes fresh results back, so a second host "
+        "resolves segments the first already paid for (the same "
+        "--auth-token is presented; a dead cache degrades to misses, "
+        "never failures)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -347,6 +358,14 @@ def main(argv: list[str] | None = None) -> int:
         help="in-memory cache bound (entries)",
     )
     p_serve.add_argument(
+        "--cache-disk-bytes",
+        type=int,
+        default=None,
+        help="bound on the on-disk cache store in bytes; oldest entries "
+        "are pruned first once the bound is exceeded (default: unbounded; "
+        "needs --cache-dir)",
+    )
+    p_serve.add_argument(
         "--no-cache",
         action="store_true",
         help="serve without a segment cache (every segment pays the oracle)",
@@ -377,6 +396,29 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="scheduler queue depth past which new jobs are refused "
         "with BUSY (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--min-workers",
+        type=int,
+        default=None,
+        help="autoscale floor: spawn this many local popqc worker "
+        "subprocesses at startup and never retire below it "
+        "(needs --transport socket)",
+    )
+    p_serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="autoscale ceiling: grow the fleet with local popqc worker "
+        "subprocesses while the scheduler backlog is deep, up to this "
+        "many spawned workers; retire them when the queue stays empty "
+        "(needs --transport socket)",
+    )
+    p_serve.add_argument(
+        "--scale-window",
+        type=float,
+        default=2.0,
+        help="seconds between autoscaler looks at the queue depth",
     )
     p_serve.add_argument(
         "--idle-timeout",
@@ -449,7 +491,11 @@ def main(argv: list[str] | None = None) -> int:
 
         host, port = parse_address(args.bind)
         worker = WorkerHost(
-            host, port, capacity=args.capacity, auth_token=args.auth_token
+            host,
+            port,
+            capacity=args.capacity,
+            auth_token=args.auth_token,
+            cache_address=args.cache,
         )
         print(f"popqc worker listening on {worker.address}", flush=True)
         try:
@@ -458,10 +504,17 @@ def main(argv: list[str] | None = None) -> int:
             pass
         finally:
             worker.stop()
+            cache_note = (
+                f", cluster cache {worker.cache_hits} hits / "
+                f"{worker.cache_misses} misses / {worker.cache_stores} stores"
+                if args.cache
+                else ""
+            )
             print(
                 f"popqc worker served {worker.segments_served} segments in "
                 f"{worker.batches_served} batches "
-                f"({worker.bytes_received} B in, {worker.bytes_sent} B out)",
+                f"({worker.bytes_received} B in, {worker.bytes_sent} B out"
+                f"{cache_note})",
                 flush=True,
             )
         return 0
@@ -483,7 +536,9 @@ def main(argv: list[str] | None = None) -> int:
             False
             if args.no_cache
             else SegmentCache(
-                max_entries=args.cache_entries, disk_dir=args.cache_dir
+                max_entries=args.cache_entries,
+                disk_dir=args.cache_dir,
+                max_disk_bytes=args.cache_disk_bytes,
             )
         )
         host, port = parse_address(args.bind)
@@ -505,6 +560,9 @@ def main(argv: list[str] | None = None) -> int:
             max_jobs_per_peer=args.max_jobs_per_peer,
             max_pending_rounds=args.max_pending_rounds,
             idle_timeout_seconds=args.idle_timeout or None,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            scale_window_seconds=args.scale_window,
         )
         print(f"popqc serve listening on {service.address}", flush=True)
         try:

@@ -59,6 +59,7 @@ configuration.
 
 from .dist import (
     AuthenticationError,
+    CacheClient,
     FrameProtocolError,
     RemoteOracleError,
     SocketHostPool,
@@ -91,6 +92,7 @@ __all__ = [
     "HAVE_SHM",
     "TRANSPORTS",
     "AuthenticationError",
+    "CacheClient",
     "DecodeStats",
     "FrameProtocolError",
     "LazySegmentResult",

@@ -69,6 +69,13 @@ Frame layout (all integers little-endian)::
     AUTH_OK    empty payload                     (server -> client)
     BUSY       <Bxxxd: reason kind, suggested retry-after seconds>
                + utf-8 message
+    CACHE_LOOKUP <QQ: count, namespace nbytes> + namespace
+               -- pad to 8 -- + count packed segments
+    CACHE_RESULT <Q count> + count of (<Q value nbytes> + value
+               -- pad to 8 --); a miss wires nbytes = CACHE_MISS
+    CACHE_STORE  <QQ: count, namespace nbytes> + namespace
+               -- pad to 8 -- + count of (one packed segment +
+               <Q value nbytes> + value -- pad to 8 --)
 
 AUTH is the shared-token handshake of *both* server protocols: a
 ``popqc worker`` or ``popqc serve`` process started with an auth token
@@ -83,6 +90,20 @@ belong to the ``popqc serve`` optimization service
 (:mod:`repro.service`), which speaks this codec on its own port; the
 ``popqc worker`` protocol never carries them.
 
+CACHE_LOOKUP/CACHE_RESULT/CACHE_STORE are the **cluster cache tier**:
+a ``popqc worker`` started with ``--cache HOST:PORT`` consults the
+optimization service's server-side segment cache before running the
+oracle on a batch, and publishes the results it did have to compute
+back, so oracle work any host has paid for becomes a warm hit for
+every other host.  The worker side is :class:`CacheClient`; the
+service answers the frames out of its :class:`repro.service.
+SegmentCache`.  A CACHE_STORE is acknowledged with an empty
+CACHE_RESULT, so a worker's publishes are durably visible before its
+RESULTS frame reaches the driver.  The tier degrades, never fails: an
+unreachable cache server or a torn CACHE_RESULT reads as a miss and
+the oracle runs locally (only an authentication refusal is surfaced,
+per the AUTH rule above).
+
 Packed segments are 8-byte-aligned blocks, so consecutive segments in
 a SEGMENTS/RESULTS payload are walked with
 :func:`~repro.circuits.encoding.packed_segment_span` alone.
@@ -91,7 +112,9 @@ a SEGMENTS/RESULTS payload are walked with
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import hmac
+import logging
 import pickle
 import socket
 import struct
@@ -113,9 +136,13 @@ __all__ = [
     "BUSY_MAX_ACTIVE",
     "BUSY_PEER_QUOTA",
     "BUSY_QUEUE_FULL",
+    "CACHE_MISS",
     "FRAME_AUTH",
     "FRAME_AUTH_OK",
     "FRAME_BUSY",
+    "FRAME_CACHE_LOOKUP",
+    "FRAME_CACHE_RESULT",
+    "FRAME_CACHE_STORE",
     "FRAME_ERROR",
     "FRAME_HEADER_SIZE",
     "FRAME_JOB",
@@ -129,6 +156,7 @@ __all__ = [
     "FRAME_SHUTDOWN",
     "FRAME_STATUS",
     "AuthenticationError",
+    "CacheClient",
     "ConnectionClosedError",
     "FrameProtocolError",
     "FrameReader",
@@ -139,6 +167,9 @@ __all__ = [
     "WorkerUnavailableError",
     "local_cluster",
     "pack_busy_payload",
+    "pack_cache_lookup_payload",
+    "pack_cache_result_payload",
+    "pack_cache_store_payload",
     "pack_frame",
     "pack_job_payload",
     "pack_register_payload",
@@ -149,11 +180,17 @@ __all__ = [
     "recv_frame",
     "split_results_payload",
     "unpack_busy_payload",
+    "unpack_cache_lookup_payload",
+    "unpack_cache_result_payload",
+    "unpack_cache_store_payload",
     "unpack_job_payload",
     "unpack_register_payload",
     "unpack_result_payload",
     "unpack_segments_payload",
 ]
+
+
+_log = logging.getLogger(__name__)
 
 
 # -- frame codec ---------------------------------------------------------------
@@ -183,6 +220,9 @@ FRAME_STATUS = 11
 FRAME_AUTH = 12
 FRAME_AUTH_OK = 13
 FRAME_BUSY = 14
+FRAME_CACHE_LOOKUP = 15
+FRAME_CACHE_RESULT = 16
+FRAME_CACHE_STORE = 17
 
 _KNOWN_FRAMES = frozenset(
     (
@@ -200,6 +240,9 @@ _KNOWN_FRAMES = frozenset(
         FRAME_AUTH,
         FRAME_AUTH_OK,
         FRAME_BUSY,
+        FRAME_CACHE_LOOKUP,
+        FRAME_CACHE_RESULT,
+        FRAME_CACHE_STORE,
     )
 )
 
@@ -217,6 +260,13 @@ _JOB_HEADER = struct.Struct(
 )  # job tag, omega, num qubits + 1, max rounds + 1, priority (pad to 8)
 _RESULT_HEADER = struct.Struct("<QI")  # job tag, stats-JSON nbytes
 _BUSY_HEADER = struct.Struct("<Bxxxd")  # reason kind, retry-after seconds
+_CACHE_BATCH_HEADER = struct.Struct("<QQ")  # entry count, namespace nbytes
+_CACHE_VALUE_HEADER = struct.Struct("<Q")  # value nbytes (or CACHE_MISS)
+
+#: Value-length sentinel in a CACHE_RESULT entry meaning "miss": the
+#: cache tier has no bytes for that segment and the worker must run
+#: the oracle itself.
+CACHE_MISS = (1 << 64) - 1
 
 #: Error kinds carried by ERROR frames.
 ERR_STALE_ORACLE = 1
@@ -543,6 +593,163 @@ def unpack_result_payload(
     return job_tag, stats_json, encoded
 
 
+def pack_cache_lookup_payload(
+    namespace: bytes, packed_segments: Sequence[bytes]
+) -> bytes:
+    """CACHE_LOOKUP payload: batch header + namespace + packed segments.
+
+    The namespace is the oracle's cache namespace (the blake2b digest
+    of the pickled-oracle REGISTER blob), so two workers registered
+    with byte-identical oracles share cache lines and any other oracle
+    cannot collide with them.  Key derivation stays server-side — the
+    payload carries raw packed segment bytes, never keys.
+    """
+    head = _CACHE_BATCH_HEADER.pack(len(packed_segments), len(namespace))
+    parts = [head, namespace, b"\x00" * ((-len(namespace)) % 8)]
+    parts.extend(packed_segments)
+    return b"".join(parts)
+
+
+def unpack_cache_lookup_payload(payload: bytes) -> tuple[bytes, list[bytes]]:
+    """(namespace, packed segments) from a CACHE_LOOKUP payload.
+
+    Raises :class:`FrameProtocolError` on a torn payload — a lookup
+    request the server cannot parse is refused, not guessed at.
+    """
+    if len(payload) < _CACHE_BATCH_HEADER.size:
+        raise FrameProtocolError("CACHE_LOOKUP payload shorter than its header")
+    count, ns_len = _CACHE_BATCH_HEADER.unpack_from(payload, 0)
+    pos = _CACHE_BATCH_HEADER.size
+    if pos + ns_len > len(payload):
+        raise FrameProtocolError("CACHE_LOOKUP payload truncated in its namespace")
+    namespace = bytes(payload[pos : pos + ns_len])
+    pos += ns_len + (-ns_len) % 8
+    packed: list[bytes] = []
+    try:
+        for _ in range(count):
+            _, end = packed_segment_span(payload, pos)
+            if end > len(payload):
+                raise FrameProtocolError(
+                    "CACHE_LOOKUP payload truncated mid-segment"
+                )
+            packed.append(bytes(payload[pos:end]))
+            pos = end
+    except struct.error as exc:
+        raise FrameProtocolError(f"torn CACHE_LOOKUP payload: {exc}") from exc
+    return namespace, packed
+
+
+def pack_cache_result_payload(values: Sequence[Optional[bytes]]) -> bytes:
+    """CACHE_RESULT payload: count + each value (``None`` wires a miss).
+
+    An empty payload (count 0) doubles as the CACHE_STORE acknowledge.
+    """
+    parts = [_CACHE_VALUE_HEADER.pack(len(values))]
+    for value in values:
+        if value is None:
+            parts.append(_CACHE_VALUE_HEADER.pack(CACHE_MISS))
+        else:
+            parts.append(_CACHE_VALUE_HEADER.pack(len(value)))
+            parts.append(value)
+            parts.append(b"\x00" * ((-len(value)) % 8))
+    return b"".join(parts)
+
+
+def unpack_cache_result_payload(payload: bytes) -> list[Optional[bytes]]:
+    """Cached values (``None`` per miss) from a CACHE_RESULT payload.
+
+    Deliberately lenient where every other unpacker is strict: the
+    cache tier is an optimization, so a torn CACHE_RESULT must read as
+    *misses*, never as an error that fails the batch.  A truncated
+    entry — and everything after it, since nothing beyond a tear is
+    trustworthy — comes back as ``None`` and the worker simply runs
+    the oracle for those segments.
+    """
+    if len(payload) < _CACHE_VALUE_HEADER.size:
+        return []
+    (count,) = _CACHE_VALUE_HEADER.unpack_from(payload, 0)
+    # A forged count cannot cost memory: every wired entry takes at
+    # least one value header, so cap by what the payload could hold.
+    limit = (len(payload) - _CACHE_VALUE_HEADER.size) // _CACHE_VALUE_HEADER.size
+    count = min(count, max(0, limit))
+    values: list[Optional[bytes]] = []
+    pos = _CACHE_VALUE_HEADER.size
+    for _ in range(count):
+        if pos + _CACHE_VALUE_HEADER.size > len(payload):
+            values.append(None)  # torn: reads as a miss
+            continue
+        (nbytes,) = _CACHE_VALUE_HEADER.unpack_from(payload, pos)
+        pos += _CACHE_VALUE_HEADER.size
+        if nbytes == CACHE_MISS:
+            values.append(None)
+            continue
+        end = pos + nbytes
+        if nbytes > MAX_FRAME_BYTES or end > len(payload):
+            values.append(None)
+            pos = len(payload)  # torn mid-value: the rest is garbage
+            continue
+        values.append(bytes(payload[pos:end]))
+        pos = end + (-nbytes) % 8
+    return values
+
+
+def pack_cache_store_payload(
+    namespace: bytes, entries: Sequence[tuple[bytes, bytes]]
+) -> bytes:
+    """CACHE_STORE payload: header + namespace + (segment, value) pairs.
+
+    Each entry is the packed segment the worker was asked about
+    followed by the packed result bytes its oracle produced, so the
+    server derives the cache key exactly as the daemon-side cache
+    front does and the stored bytes are byte-identical either way.
+    """
+    head = _CACHE_BATCH_HEADER.pack(len(entries), len(namespace))
+    parts = [head, namespace, b"\x00" * ((-len(namespace)) % 8)]
+    for packed, value in entries:
+        parts.append(packed)
+        parts.append(_CACHE_VALUE_HEADER.pack(len(value)))
+        parts.append(value)
+        parts.append(b"\x00" * ((-len(value)) % 8))
+    return b"".join(parts)
+
+
+def unpack_cache_store_payload(
+    payload: bytes,
+) -> tuple[bytes, list[tuple[bytes, bytes]]]:
+    """(namespace, (segment, value) pairs) from a CACHE_STORE payload.
+
+    Strict: a torn store is refused with
+    :class:`FrameProtocolError` — the server must never insert bytes
+    it cannot account for into the shared cache.
+    """
+    if len(payload) < _CACHE_BATCH_HEADER.size:
+        raise FrameProtocolError("CACHE_STORE payload shorter than its header")
+    count, ns_len = _CACHE_BATCH_HEADER.unpack_from(payload, 0)
+    pos = _CACHE_BATCH_HEADER.size
+    if pos + ns_len > len(payload):
+        raise FrameProtocolError("CACHE_STORE payload truncated in its namespace")
+    namespace = bytes(payload[pos : pos + ns_len])
+    pos += ns_len + (-ns_len) % 8
+    entries: list[tuple[bytes, bytes]] = []
+    try:
+        for _ in range(count):
+            _, end = packed_segment_span(payload, pos)
+            if end + _CACHE_VALUE_HEADER.size > len(payload):
+                raise FrameProtocolError(
+                    "CACHE_STORE payload truncated mid-segment"
+                )
+            packed = bytes(payload[pos:end])
+            (nbytes,) = _CACHE_VALUE_HEADER.unpack_from(payload, end)
+            pos = end + _CACHE_VALUE_HEADER.size
+            if nbytes > MAX_FRAME_BYTES or pos + nbytes > len(payload):
+                raise FrameProtocolError("CACHE_STORE payload truncated mid-value")
+            entries.append((packed, bytes(payload[pos : pos + nbytes])))
+            pos += nbytes + (-nbytes) % 8
+    except struct.error as exc:
+        raise FrameProtocolError(f"torn CACHE_STORE payload: {exc}") from exc
+    return namespace, entries
+
+
 def parse_address(spec: str) -> tuple[str, int]:
     """``"host:port"`` → ``(host, port)`` (host defaults to loopback)."""
     host, sep, port = spec.rpartition(":")
@@ -593,6 +800,20 @@ class WorkerHost:
     slow-loris connection (opened, then silent) cannot pin a thread
     for the life of the process.
 
+    ``cache_address`` (``popqc worker --cache``) points the host at a
+    ``popqc serve`` daemon's segment cache, making that cache a
+    cluster-shared tier: before running the oracle on a batch the host
+    asks the cache for each segment (CACHE_LOOKUP) and afterwards
+    publishes what it had to compute (CACHE_STORE), so a segment any
+    host in the fleet has optimized is a warm hit for all of them.
+    The cache namespace is the blake2b digest of the raw REGISTER
+    blob — byte-identical to the daemon's own
+    :func:`~repro.parallel.executor.oracle_fingerprint`, because the
+    pool ships ``pickle.dumps(oracle)`` verbatim.  Cache failures
+    degrade to plain oracle execution (counted in ``cache_errors``);
+    an authentication refusal from the cache tier permanently disables
+    it for this host, since a bad token fails identically forever.
+
     Attributes
     ----------
     segments_served / batches_served:
@@ -601,6 +822,8 @@ class WorkerHost:
         Frame bytes in and out, payloads included.
     auth_failures:
         Connections refused for a missing or wrong AUTH token.
+    cache_hits / cache_misses / cache_stores / cache_errors:
+        Cluster-cache tier traffic (all zero without ``--cache``).
     """
 
     def __init__(
@@ -610,6 +833,7 @@ class WorkerHost:
         capacity: int = 1,
         auth_token: Optional[str] = None,
         idle_timeout_seconds: Optional[float] = 600.0,
+        cache_address: Optional[str] = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be positive")
@@ -619,6 +843,16 @@ class WorkerHost:
         )
         self.idle_timeout_seconds = idle_timeout_seconds
         self.auth_failures = 0
+        self.cache_address = cache_address
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stores = 0
+        self._cache_error_count = 0
+        self._cache: Optional["CacheClient"] = (
+            CacheClient(cache_address, auth_token=auth_token)
+            if cache_address is not None
+            else None
+        )
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self.segments_served = 0
@@ -635,6 +869,15 @@ class WorkerHost:
     def address(self) -> str:
         """The bound endpoint as ``"host:port"``."""
         return f"{self.host}:{self.port}"
+
+    @property
+    def cache_errors(self) -> int:
+        """Cache-tier failures observed: the live client's transport
+        errors plus any permanent auth-refusal disablement."""
+        cache = self._cache
+        return self._cache_error_count + (
+            cache.errors if cache is not None else 0
+        )
 
     def serve_forever(self) -> None:
         """Accept and serve connections until :meth:`stop` (blocking)."""
@@ -701,6 +944,9 @@ class WorkerHost:
             thread.join(timeout=1.0)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=1.0)
+        cache = self._cache
+        if cache is not None:
+            cache.close()
 
     # -- connection handling ---------------------------------------------------
 
@@ -720,6 +966,7 @@ class WorkerHost:
         reader = FrameReader()
         oracle: Optional[Callable] = None
         generation = -1
+        namespace: Optional[bytes] = None
         authed = self._auth_token is None
         try:
             while True:
@@ -769,6 +1016,12 @@ class WorkerHost:
                             ),
                         )
                         continue  # previous registration stays in force
+                    # cache namespace off the *raw* blob: byte-identical
+                    # to the driver-side oracle_fingerprint, which hashes
+                    # the same pickle.dumps(oracle) bytes the pool sent
+                    namespace = hashlib.blake2b(
+                        payload[_REGISTER_HEADER.size :], digest_size=16
+                    ).digest()
                     self._send(
                         conn,
                         pack_frame(
@@ -780,7 +1033,10 @@ class WorkerHost:
                     self._send(conn, pack_frame(FRAME_PONG))
                 elif frame_type == FRAME_SEGMENTS:
                     self._send(
-                        conn, self._answer_segments(payload, oracle, generation)
+                        conn,
+                        self._answer_segments(
+                            payload, oracle, generation, namespace
+                        ),
                     )
                 elif frame_type == FRAME_SHUTDOWN:
                     return
@@ -810,10 +1066,70 @@ class WorkerHost:
             self.bytes_received += _FRAME_HEADER.size + len(payload)
         return frame_type, payload
 
+    def _cache_lookup(
+        self, namespace: bytes, packed_in: list[bytes]
+    ) -> Optional[list[Optional[bytes]]]:
+        """Batch-consult the cluster cache; ``None`` when the tier is off."""
+        cache = self._cache
+        if cache is None:
+            return None
+        try:
+            return cache.lookup(namespace, packed_in)
+        except AuthenticationError:
+            self._disable_cache()
+            return None
+
+    def _cache_store(
+        self, namespace: bytes, entries: list[tuple[bytes, bytes]]
+    ) -> bool:
+        """Publish computed results back to the cluster cache.
+
+        Returns whether the publish was acknowledged (an unreachable
+        or refusing cache is a degradation, not a failure).
+        """
+        cache = self._cache
+        if cache is None or not entries:
+            return False
+        try:
+            return cache.store(namespace, entries)
+        except AuthenticationError:
+            self._disable_cache()
+            return False
+
+    def _disable_cache(self) -> None:
+        """Drop the cache tier: its server refuses our token, and a bad
+        token fails identically on every future request."""
+        _log.warning(
+            "cluster cache at %s refused authentication; disabling the "
+            "cache tier for this worker",
+            self.cache_address,
+        )
+        cache, self._cache = self._cache, None
+        if cache is not None:
+            cache.close()
+            with self._lock:
+                # fold the dropped client's tally into the permanent
+                # count so cache_errors never goes backwards
+                self._cache_error_count += cache.errors + 1
+        else:
+            with self._lock:
+                self._cache_error_count += 1
+
     def _answer_segments(
-        self, payload: bytes, oracle: Optional[Callable], generation: int
+        self,
+        payload: bytes,
+        oracle: Optional[Callable],
+        generation: int,
+        namespace: Optional[bytes] = None,
     ) -> bytes:
-        """The reply frame for one SEGMENTS request."""
+        """The reply frame for one SEGMENTS request.
+
+        With a cluster cache configured, the oracle runs only on the
+        segments the cache does not already hold; everything this host
+        did compute is published back before the RESULTS frame is
+        sent, so the publish is durably visible to other hosts by the
+        time the driver sees the round complete.
+        """
         try:
             got_generation, batch_id, segments = unpack_segments_payload(payload)
         except FrameProtocolError as exc:
@@ -836,18 +1152,39 @@ class WorkerHost:
                     f"connection registered {generation}",
                 ),
             )
+        cached: Optional[list[Optional[bytes]]] = None
+        packed_in: list[bytes] = []
+        if self._cache is not None and namespace is not None:
+            packed_in = [_pack_to_bytes(segment) for segment in segments]
+            cached = self._cache_lookup(namespace, packed_in)
         try:
-            results = [
-                _pack_to_bytes(_oracle_encoded_result(oracle, segment))
-                for segment in segments
-            ]
+            results: list[bytes] = []
+            store_entries: list[tuple[bytes, bytes]] = []
+            for i, segment in enumerate(segments):
+                hit = cached[i] if cached is not None else None
+                if hit is not None:
+                    results.append(hit)
+                    continue
+                out = _pack_to_bytes(_oracle_encoded_result(oracle, segment))
+                results.append(out)
+                if cached is not None:
+                    store_entries.append((packed_in[i], out))
         except Exception as exc:  # noqa: BLE001 - forwarded to the client
             return pack_frame(
                 FRAME_ERROR, pack_error_payload(ERR_ORACLE_FAILED, repr(exc))
             )
+        stored = False
+        if namespace is not None:
+            stored = self._cache_store(namespace, store_entries)
         with self._lock:
             self.segments_served += len(segments)
             self.batches_served += 1
+            if cached is not None:
+                hits = sum(1 for value in cached if value is not None)
+                self.cache_hits += hits
+                self.cache_misses += len(segments) - hits
+                if stored:
+                    self.cache_stores += len(store_entries)
         return pack_frame(FRAME_RESULTS, pack_results_payload(batch_id, results))
 
 
@@ -1000,25 +1337,185 @@ class HostConnection:
 _HOST_FAILURES = (OSError, ConnectionClosedError, FrameProtocolError)
 
 
+class CacheClient:
+    """Worker-side client of the cluster cache tier.
+
+    Speaks CACHE_LOOKUP/CACHE_STORE to a ``popqc serve`` daemon and
+    reads CACHE_RESULT replies.  The tier is an optimization, so this
+    client **degrades instead of failing**: an unreachable server, a
+    dropped connection, a torn reply or an unexpected frame all read
+    as cache misses (for lookups) or a dropped publish (for stores),
+    counted in :attr:`errors` — segment work fronted by the cache must
+    never fail because the cache did.  The one exception is
+    :class:`AuthenticationError`, which is raised to the caller: a
+    refused token fails identically forever and retrying it would only
+    hide a configuration error.
+
+    After a transport failure the client backs off for
+    ``retry_seconds`` before trying the server again, so a dead cache
+    daemon costs one connect timeout per backoff window, not one per
+    batch.  Thread-safe; one request is on the wire at a time.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = 2.0,
+        request_timeout: Optional[float] = 30.0,
+        auth_token: Optional[str] = None,
+        retry_seconds: float = 5.0,
+    ):
+        self.address = address
+        self.retry_seconds = retry_seconds
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+        self._down_until = 0.0
+        self._lock = threading.Lock()
+        self._conn = HostConnection(
+            address, connect_timeout, request_timeout, auth_token
+        )
+
+    @property
+    def bytes_sent(self) -> int:
+        """Frame bytes sent to the cache server."""
+        return self._conn.bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        """Frame bytes received from the cache server."""
+        return self._conn.bytes_received
+
+    def _exchange(self, frame: bytes) -> Optional[tuple[int, bytes]]:
+        """One request/reply on the shared connection, or ``None`` on a
+        transport failure (counted, with the backoff window armed)."""
+        if time.monotonic() < self._down_until:
+            return None
+        try:
+            self._conn.connect()
+            return self._conn._request(frame)
+        except AuthenticationError:
+            raise
+        except _HOST_FAILURES:
+            self.errors += 1
+            self._down_until = time.monotonic() + self.retry_seconds
+            self._conn.close()
+            return None
+
+    def lookup(
+        self, namespace: bytes, packed_segments: Sequence[bytes]
+    ) -> list[Optional[bytes]]:
+        """Cached value bytes per segment (``None`` per miss).
+
+        Always returns exactly ``len(packed_segments)`` entries; any
+        reply the server tore or dropped reads as misses.
+        """
+        if not packed_segments:
+            return []
+        all_miss: list[Optional[bytes]] = [None] * len(packed_segments)
+        with self._lock:
+            reply = self._exchange(
+                pack_frame(
+                    FRAME_CACHE_LOOKUP,
+                    pack_cache_lookup_payload(namespace, packed_segments),
+                )
+            )
+            if reply is None:
+                return all_miss
+            frame_type, payload = reply
+            if frame_type == FRAME_ERROR:
+                self.errors += 1
+                _raise_remote_error_auth_only(payload)
+                return all_miss
+            if frame_type != FRAME_CACHE_RESULT:
+                self.errors += 1
+                self._conn.close()
+                return all_miss
+            values = unpack_cache_result_payload(payload)
+            if len(values) != len(packed_segments):
+                # torn or miscounted reply: the missing tail is misses
+                self.errors += 1
+                values = (values + all_miss)[: len(packed_segments)]
+            hits = sum(1 for value in values if value is not None)
+            self.hits += hits
+            self.misses += len(values) - hits
+            return values
+
+    def store(
+        self, namespace: bytes, entries: Sequence[tuple[bytes, bytes]]
+    ) -> bool:
+        """Publish ``(packed segment, value)`` pairs; True when acked."""
+        if not entries:
+            return True
+        with self._lock:
+            reply = self._exchange(
+                pack_frame(
+                    FRAME_CACHE_STORE,
+                    pack_cache_store_payload(namespace, entries),
+                )
+            )
+            if reply is None:
+                return False
+            frame_type, payload = reply
+            if frame_type == FRAME_CACHE_RESULT:
+                self.stores += len(entries)
+                return True
+            self.errors += 1
+            if frame_type == FRAME_ERROR:
+                _raise_remote_error_auth_only(payload)
+            else:
+                self._conn.close()
+            return False
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        self._conn.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CacheClient({self.address}, hits={self.hits}, "
+            f"misses={self.misses}, errors={self.errors})"
+        )
+
+
+def _raise_remote_error_auth_only(payload: bytes) -> None:
+    """Re-raise an ERROR reply only when it is an auth refusal; any
+    other refusal is a degradation the cache client absorbs."""
+    kind, message = unpack_error_payload(payload)
+    if kind == ERR_AUTH:
+        raise AuthenticationError(message)
+
+
 class SocketHostPool:
     """Client-side registry of worker hosts with failover dispatch.
 
-    ``run_round`` drains a queue of segment batches with one dispatcher
-    thread per connected host, each taking up to its host's advertised
-    ``capacity`` batches per trip to the queue (capped at a fair share
-    of the remaining queue, so a big host never hoards the tail while
-    smaller live hosts idle) — a host advertising 4x the capacity
-    draws roughly 4x the batches of its neighbours (weighted
-    round-robin for heterogeneous clusters), while homogeneous
-    clusters degrade to the plain shared-queue drain.  A host failing
-    mid-batch has its untried batches requeued for the surviving hosts
-    and is reconnected (and re-registered with the current oracle) so
-    it can rejoin; when no host remains the round raises
-    :class:`WorkerUnavailableError`.
+    ``run_round`` splits the round's batches into **per-host queues**
+    by capacity-weighted round-robin (a host advertising 4x the
+    capacity is dealt roughly 4x the batches), then drains them with
+    one dispatcher thread per connected host.  Each dispatcher takes
+    up to its host's advertised ``capacity`` batches per trip (capped
+    at a fair share of everything still queued, so a big host never
+    hoards the tail while smaller live hosts idle) — and when its own
+    queue runs dry it **steals** from the tail of the deepest peer
+    queue instead of idling, so a mis-sized initial split or a slow
+    host costs tail latency, not throughput.  A host failing mid-batch
+    has its untried batches requeued *to its own queue* — the peers
+    steal them, which is the same path whether the host died holding
+    dealt work or stolen work — and is reconnected (and re-registered
+    with the current oracle) so it can rejoin; when no host remains
+    the round raises :class:`WorkerUnavailableError`.
     Remote stale-generation refusals surface as
     :class:`~repro.parallel.StaleOracleError` and oracle exceptions as
     :class:`RemoteOracleError` — both abort the round instead of being
     retried, because they would fail identically everywhere.
+
+    The pool is **elastic**: :meth:`add_host` and :meth:`remove_host`
+    adjust the registry between (or during) rounds, which is how the
+    optimization service's autoscaler grows and shrinks the fleet.
+    Removing a host closes its connection, so a round in flight on it
+    drains through the ordinary requeue-and-steal path — retirement
+    costs latency, never a round.
 
     Attributes
     ----------
@@ -1026,6 +1523,9 @@ class SocketHostPool:
         Successful reconnect-and-re-register cycles after a failure.
     heartbeats:
         Heartbeat pings sent by :meth:`ensure_ready`.
+    steals:
+        Batches taken from a peer's queue by a dispatcher whose own
+        queue ran dry.
     host_segments / host_seconds:
         Per-address totals of segments served and wall seconds spent
         serving them (the per-host throughput statistic).
@@ -1044,8 +1544,12 @@ class SocketHostPool:
         self.heartbeat_seconds = heartbeat_seconds
         self.reconnects = 0
         self.heartbeats = 0
+        self.steals = 0
         self.host_segments: dict[str, int] = {addr: 0 for addr in hosts}
         self.host_seconds: dict[str, float] = {addr: 0.0 for addr in hosts}
+        self._connect_timeout = connect_timeout
+        self._request_timeout = request_timeout
+        self._auth_token = auth_token
         self._conns = [
             HostConnection(addr, connect_timeout, request_timeout, auth_token)
             for addr in hosts
@@ -1056,32 +1560,92 @@ class SocketHostPool:
         self._generation = -1
         self._lock = threading.Lock()
 
+    def _snapshot(self) -> list[HostConnection]:
+        """The connection list as of now (elastic membership changes
+        from other threads must not tear an iteration)."""
+        with self._lock:
+            return list(self._conns)
+
     @property
     def hosts(self) -> list[str]:
         """The configured host addresses, in order."""
-        return [conn.address for conn in self._conns]
+        return [conn.address for conn in self._snapshot()]
 
     @property
     def host_capacity(self) -> dict[str, int]:
         """Advertised capacity per host address (1 until registered)."""
-        return {conn.address: conn.capacity for conn in self._conns}
+        return {conn.address: conn.capacity for conn in self._snapshot()}
 
     @property
     def bytes_sent(self) -> int:
         """Total frame bytes sent across all connections ever opened."""
-        return self._retired_bytes_sent + sum(c.bytes_sent for c in self._conns)
+        return self._retired_bytes_sent + sum(
+            c.bytes_sent for c in self._snapshot()
+        )
 
     @property
     def bytes_received(self) -> int:
         """Total frame bytes received across all connections ever opened."""
         return self._retired_bytes_received + sum(
-            c.bytes_received for c in self._conns
+            c.bytes_received for c in self._snapshot()
         )
 
     def close(self) -> None:
         """Close every connection (the worker hosts keep running)."""
-        for conn in self._conns:
+        for conn in self._snapshot():
             conn.close()
+
+    # -- elastic membership ----------------------------------------------------
+
+    def add_host(self, address: str) -> bool:
+        """Add a worker host to the pool (elastic scale-up).
+
+        The new host joins with the same timeouts and auth token as
+        the rest of the pool and — when an oracle is installed — goes
+        through the ordinary connect-and-register handshake at once,
+        so the next round can deal batches to it.  Returns whether the
+        host was reachable (an unreachable host stays in the registry
+        and is retried by :meth:`ensure_ready`, exactly like a
+        configured host that was down at startup).
+        """
+        conn = HostConnection(
+            address,
+            self._connect_timeout,
+            self._request_timeout,
+            self._auth_token,
+        )
+        with self._lock:
+            self._conns.append(conn)
+            self.host_segments.setdefault(address, 0)
+            self.host_seconds.setdefault(address, 0.0)
+        if self._oracle_blob is not None:
+            return self._connect_and_register(conn, count_reconnect=False)
+        try:
+            conn.connect()
+        except AuthenticationError:
+            raise
+        except _HOST_FAILURES:
+            return False
+        return True
+
+    def remove_host(self, address: str) -> bool:
+        """Retire one host with ``address`` from the pool (scale-down).
+
+        Closes its connection, so a dispatcher mid-batch on it
+        observes the ordinary host failure and requeues through the
+        steal path — no round is lost to a retirement.  Per-host
+        statistics for the address are kept.  Returns whether a host
+        was removed.
+        """
+        with self._lock:
+            found = next(
+                (c for c in self._conns if c.address == address), None
+            )
+            if found is None:
+                return False
+            self._conns.remove(found)
+        self._retire(found)
+        return True
 
     # -- registration + heartbeat ---------------------------------------------
 
@@ -1096,7 +1660,7 @@ class SocketHostPool:
         self._oracle_blob = pickle.dumps(oracle)
         self._generation = generation
         reachable = 0
-        for conn in self._conns:
+        for conn in self._snapshot():
             if self._connect_and_register(conn, count_reconnect=False):
                 reachable += 1
         if reachable == 0:
@@ -1113,7 +1677,7 @@ class SocketHostPool:
         next round starts with every recoverable host live.
         """
         now = time.monotonic()
-        for conn in self._conns:
+        for conn in self._snapshot():
             if conn.connected and now - conn.last_used < self.heartbeat_seconds:
                 continue
             if conn.connected:
@@ -1152,46 +1716,100 @@ class SocketHostPool:
 
     # -- round dispatch --------------------------------------------------------
 
+    @staticmethod
+    def _safe_capacity(conn: HostConnection) -> int:
+        """The host's advertised capacity, floored at 1.
+
+        A host advertising capacity 0 (a buggy or hostile peer — the
+        stock :class:`WorkerHost` refuses to be configured that way)
+        must not zero out the weighted deal or starve its dispatcher;
+        it is treated as capacity 1 and logged once per observation.
+        """
+        capacity = conn.capacity
+        if capacity < 1:
+            _log.warning(
+                "host %s advertises capacity %d; treating it as 1",
+                conn.address,
+                capacity,
+            )
+            return 1
+        return capacity
+
     def run_round(
         self, batches: Sequence[tuple[int, int, bytes]]
     ) -> list[list[bytes]]:
         """Drain ``batches`` across the live hosts; return results in order.
 
         ``batches`` holds ``(batch id, segment count, SEGMENTS
-        payload)`` triples.  Dispatch is a shared work queue consumed
-        by one thread per live connection, each taking up to its
-        host's advertised capacity per trip — faster and
-        higher-capacity hosts take more batches.  Failures requeue
-        (see the class docstring).
+        payload)`` triples.  Each live host is dealt a
+        capacity-weighted share into its own queue and drains it with
+        one dispatcher thread; a dispatcher whose queue runs dry
+        steals from the deepest peer queue.  Failures requeue to the
+        failing host's queue, where the peers steal them (see the
+        class docstring).
         """
-        queue: deque[tuple[int, int, bytes]] = deque(batches)
+        live = [conn for conn in self._snapshot() if conn.connected]
         results: dict[int, list[bytes]] = {}
         fatal: list[BaseException] = []
         in_flight = [0]
         cond = threading.Condition()
 
+        # capacity-weighted deal: host i appears capacity_i times in
+        # the cycle, so a capacity-4 host is dealt 4x the batches of a
+        # capacity-1 neighbour before any stealing happens
+        queues: dict[int, deque[tuple[int, int, bytes]]] = {
+            id(conn): deque() for conn in live
+        }
+        if live:
+            cycle: list[int] = []
+            for conn in live:
+                cycle.extend([id(conn)] * self._safe_capacity(conn))
+            for i, item in enumerate(batches):
+                queues[cycle[i % len(cycle)]].append(item)
+
+        def take_items(
+            conn: HostConnection, my_queue: deque
+        ) -> list[tuple[int, int, bytes]]:
+            # caller holds cond
+            alive = sum(1 for c in live if c.connected) or 1
+            pending = sum(len(q) for q in queues.values())
+            fair = -(-pending // alive)
+            take = max(1, min(self._safe_capacity(conn), fair))
+            items = []
+            while my_queue and len(items) < take:
+                items.append(my_queue.popleft())
+            if not items:
+                # own queue ran dry: steal from the deepest peer queue,
+                # from the tail — the end its owner would reach last
+                victims = [
+                    q for q in queues.values() if q is not my_queue and q
+                ]
+                if victims:
+                    victim = max(victims, key=len)
+                    while victim and len(items) < take:
+                        items.append(victim.pop())
+                    items.reverse()  # preserve the victim's batch order
+                    self.steals += len(items)
+            return items
+
         def dispatch(conn: HostConnection) -> None:
+            my_queue = queues[id(conn)]
             while True:
                 with cond:
-                    # an empty queue is not the end of the round: a
+                    # empty queues are not the end of the round: a
                     # batch in flight on a dying host may be requeued,
-                    # and this thread must be there to pick it up
-                    while not fatal and not queue and in_flight[0]:
+                    # and this thread must be there to steal it
+                    while (
+                        not fatal
+                        and not any(queues.values())
+                        and in_flight[0]
+                    ):
                         cond.wait(timeout=0.1)
-                    if fatal or not queue:
+                    if fatal or not any(queues.values()):
                         return
-                    # capacity-weighted drain: take up to the host's
-                    # advertised batch appetite per trip, capped at a
-                    # fair share of what remains — a big host must not
-                    # hoard the tail of the queue while smaller live
-                    # hosts idle (batches on one connection execute
-                    # sequentially, so hoarding buys no parallelism)
-                    live = sum(1 for c in self._conns if c.connected) or 1
-                    fair = -(-len(queue) // live)
-                    take = max(1, min(conn.capacity, fair))
-                    items = []
-                    while queue and len(items) < take:
-                        items.append(queue.popleft())
+                    items = take_items(conn, my_queue)
+                    if not items:
+                        continue
                     in_flight[0] += len(items)
                 for taken, item in enumerate(items):
                     batch_id, nsegs, payload = item
@@ -1200,10 +1818,11 @@ class SocketHostPool:
                         blobs = conn.run_batch(batch_id, payload)
                     except _HOST_FAILURES:
                         with cond:
-                            # give the in-flight batch and the untried
-                            # remainder back to the survivors
+                            # requeue the in-flight batch and the
+                            # untried remainder to this host's own
+                            # queue; the survivors steal from it
                             for untried in reversed(items[taken:]):
-                                queue.appendleft(untried)
+                                my_queue.appendleft(untried)
                             in_flight[0] -= len(items) - taken
                             cond.notify_all()
                         self._retire(conn)
@@ -1221,8 +1840,8 @@ class SocketHostPool:
                                 cond.notify_all()
                             return
                         if not rejoined:
-                            return  # host is gone; survivors drain
-                        break  # rejoined: back to the queue
+                            return  # host is gone; survivors steal
+                        break  # rejoined: back to the queues
                     except BaseException as exc:  # stale oracle / remote error
                         with cond:
                             fatal.append(exc)
@@ -1232,12 +1851,16 @@ class SocketHostPool:
                     elapsed = time.perf_counter() - t0
                     with cond:
                         results[batch_id] = blobs
-                        self.host_segments[conn.address] += nsegs
-                        self.host_seconds[conn.address] += elapsed
+                        host_address = conn.address
+                        self.host_segments[host_address] = (
+                            self.host_segments.get(host_address, 0) + nsegs
+                        )
+                        self.host_seconds[host_address] = (
+                            self.host_seconds.get(host_address, 0.0) + elapsed
+                        )
                         in_flight[0] -= 1
                         cond.notify_all()
 
-        live = [conn for conn in self._conns if conn.connected]
         threads = [
             threading.Thread(target=dispatch, args=(conn,), daemon=True)
             for conn in live
@@ -1265,6 +1888,7 @@ def local_cluster(
     num_hosts: int = 2,
     capacities: Optional[Sequence[int]] = None,
     auth_token: Optional[str] = None,
+    cache_address: Optional[str] = None,
 ) -> Iterator[list[str]]:
     """Start ``num_hosts`` in-process :class:`WorkerHost` servers.
 
@@ -1272,7 +1896,9 @@ def local_cluster(
     ``capacities`` optionally assigns a per-host capacity
     advertisement (default 1 each, the homogeneous cluster); its
     length must match ``num_hosts``.  ``auth_token`` starts every host
-    demanding the shared token (clients must pass the same one).  This
+    demanding the shared token (clients must pass the same one).
+    ``cache_address`` points every host at a cluster cache tier (a
+    ``popqc serve`` daemon), as ``popqc worker --cache`` does.  This
     is the localhost cluster fixture the equivalence suite and the
     transport benchmark run against; CI's ``dist-smoke`` job exercises
     the same protocol against real ``popqc worker`` processes.
@@ -1283,7 +1909,9 @@ def local_cluster(
         )
     hosts = [
         WorkerHost(
-            capacity=capacities[i] if capacities else 1, auth_token=auth_token
+            capacity=capacities[i] if capacities else 1,
+            auth_token=auth_token,
+            cache_address=cache_address,
         ).start()
         for i in range(num_hosts)
     ]

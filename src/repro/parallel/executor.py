@@ -820,6 +820,37 @@ class ProcessMap:
             )
         return self._socket_pool
 
+    def add_socket_host(self, address: str) -> None:
+        """Elastically add a worker host to the socket fleet.
+
+        The host joins the configured list (and the live pool, if one
+        is built) and widens the batching fan-out, so the next round
+        deals work to it.  This is the scale-up hook of the
+        optimization service's autoscaler.
+        """
+        if self.transport != "socket":
+            raise ValueError("add_socket_host requires transport='socket'")
+        self.hosts.append(address)
+        self.workers += 1
+        if self._socket_pool is not None:
+            self._socket_pool.add_host(address)
+
+    def remove_socket_host(self, address: str) -> None:
+        """Elastically retire one worker host from the socket fleet.
+
+        Removes the address from the configured list and the live pool
+        (closing its connection, so a round in flight drains through
+        the requeue-and-steal path).  The fan-out never drops below
+        one worker.
+        """
+        if self.transport != "socket":
+            raise ValueError("remove_socket_host requires transport='socket'")
+        if address in self.hosts:
+            self.hosts.remove(address)
+            self.workers = max(1, self.workers - 1)
+        if self._socket_pool is not None:
+            self._socket_pool.remove_host(address)
+
     def _map_segments_socket(
         self,
         oracle: Callable[[list[Gate]], list[Gate]],
@@ -1035,6 +1066,11 @@ class ProcessMap:
     def socket_reconnects(self) -> int:
         """Reconnect-and-re-register cycles after a host failure."""
         return self._socket_pool.reconnects if self._socket_pool else 0
+
+    @property
+    def socket_steals(self) -> int:
+        """Batches a dispatcher stole from a peer host's queue."""
+        return self._socket_pool.steals if self._socket_pool else 0
 
     @property
     def socket_host_segments(self) -> dict[str, int]:

@@ -44,7 +44,12 @@ from .loadgen import (
     schedule_manifest,
 )
 from .scheduler import FleetScheduler, FleetView
-from .server import OptimizationService, ServiceBusyError, ServiceError
+from .server import (
+    OptimizationService,
+    ServiceBusyError,
+    ServiceError,
+    SubprocessWorker,
+)
 
 __all__ = [
     "CacheStats",
@@ -59,6 +64,7 @@ __all__ = [
     "ServiceBusyError",
     "ServiceClient",
     "ServiceError",
+    "SubprocessWorker",
     "TrafficMix",
     "build_schedule",
     "default_mixes",

@@ -25,9 +25,11 @@ Storage is two-level:
   working set of the running server);
 * an optional **disk store** (one file per entry, written atomically
   via rename) that survives server restarts and can be shared by
-  several servers.  A truncated or corrupt entry — a crashed writer,
-  a torn disk — reads as a *miss*, never an exception, and the bad
-  file is removed so it cannot poison later lookups.
+  several servers, bounded by ``max_disk_bytes`` with oldest-first
+  pruning (unbounded only when no bound is configured).  A truncated
+  or corrupt entry — a crashed writer, a torn disk — reads as a
+  *miss*, never an exception, and the bad file is removed so it
+  cannot poison later lookups.
 
 Values are packed result bytes, so a cache hit feeds straight into
 :meth:`repro.parallel.results.LazySegmentResult.from_packed` — the
@@ -69,7 +71,8 @@ class CacheStats:
     store.  ``bytes_saved`` sums the packed result bytes served from
     the cache — wire bytes (and oracle work) that were never paid
     again.  ``corrupt_entries`` counts disk entries dropped because
-    they failed validation.
+    they failed validation; ``disk_evictions`` counts entries pruned
+    oldest-first to keep the disk store under its byte bound.
     """
 
     __slots__ = (
@@ -78,6 +81,7 @@ class CacheStats:
         "stores",
         "evictions",
         "disk_hits",
+        "disk_evictions",
         "corrupt_entries",
         "bytes_saved",
     )
@@ -88,6 +92,7 @@ class CacheStats:
         self.stores = 0
         self.evictions = 0
         self.disk_hits = 0
+        self.disk_evictions = 0
         self.corrupt_entries = 0
         self.bytes_saved = 0
 
@@ -110,6 +115,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "disk_evictions": self.disk_evictions,
             "corrupt_entries": self.corrupt_entries,
             "bytes_saved": self.bytes_saved,
             "hit_rate": self.hit_rate,
@@ -123,12 +129,18 @@ class SegmentCache:
     ----------
     max_entries / max_bytes:
         Bounds on the in-memory level; the least recently used entries
-        are evicted when either is exceeded.  The disk store, when
-        configured, is unbounded — entries evicted from memory remain
-        readable from disk.
+        are evicted when either is exceeded.  Entries evicted from
+        memory remain readable from disk.
     disk_dir:
         Directory of the persistent level (created if missing).
         ``None`` keeps the cache memory-only.
+    max_disk_bytes:
+        Byte bound on the disk store (``--cache-disk-bytes``).  When a
+        write pushes the store past the bound, the **oldest entries by
+        modification time are pruned first** until it fits — a
+        long-lived daemon must never fill the disk.  ``None`` leaves
+        the store unbounded (the pre-bound behavior, reasonable only
+        for short-lived or externally rotated stores).
     namespace:
         Key material mixed into every fingerprint, normally
         :func:`oracle_namespace` of the oracle being fronted.  Entries
@@ -144,22 +156,32 @@ class SegmentCache:
         max_bytes: int = 256 * 1024 * 1024,
         disk_dir: Optional[str | Path] = None,
         namespace: bytes = b"",
+        max_disk_bytes: Optional[int] = None,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         if max_bytes < 1:
             raise ValueError("max_bytes must be positive")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError("max_disk_bytes must be positive")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.max_disk_bytes = max_disk_bytes
         self.namespace = namespace
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._memory: OrderedDict[str, bytes] = OrderedDict()
         self._memory_bytes = 0
         self._disk: Optional[Path] = None
+        self._disk_bytes = 0
         if disk_dir is not None:
             self._disk = Path(disk_dir)
             self._disk.mkdir(parents=True, exist_ok=True)
+            # a restarted daemon inherits whatever the store already
+            # holds; the bound must account for it from the first write
+            for entry in self._disk.glob("*.seg"):
+                with contextlib.suppress(OSError):
+                    self._disk_bytes += entry.stat().st_size
 
     # -- key derivation --------------------------------------------------------
 
@@ -259,26 +281,85 @@ class SegmentCache:
             if magic == _DISK_MAGIC and len(raw) == _DISK_HEADER.size + length:
                 return raw[_DISK_HEADER.size :]
         # truncated or foreign bytes: drop the entry so it cannot keep
-        # costing a read+validate on every lookup
+        # costing a read+validate on every lookup.  Deletion is
+        # idempotent under the lock: concurrent readers of the same bad
+        # entry race to unlink it, and only the one whose unlink landed
+        # counts the corruption (and its bytes) — the losers observe
+        # the file already gone and report a plain miss.
         with self._lock:
-            self.stats.corrupt_entries += 1
-        with contextlib.suppress(OSError):
-            path.unlink()
+            try:
+                path.unlink()
+            except OSError:
+                pass  # a concurrent reader already removed it
+            else:
+                self.stats.corrupt_entries += 1
+                self._disk_bytes = max(0, self._disk_bytes - len(raw))
         return None
 
     def _disk_write(self, key: str, value: bytes) -> None:
-        """Write one entry atomically (write-to-temp + rename)."""
+        """Write one entry atomically (write-to-temp + rename) and keep
+        the store under ``max_disk_bytes``."""
         if self._disk is None:
             return
         path = self._entry_path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        blob = _DISK_HEADER.pack(_DISK_MAGIC, len(value)) + value
+        old = 0
+        with contextlib.suppress(OSError):
+            old = path.stat().st_size
         try:
-            tmp.write_bytes(_DISK_HEADER.pack(_DISK_MAGIC, len(value)) + value)
+            tmp.write_bytes(blob)
             os.replace(tmp, path)
         except OSError:
             # a full or read-only disk degrades the cache, never the run
             with contextlib.suppress(OSError):
                 tmp.unlink()
+            return
+        with self._lock:
+            self._disk_bytes += len(blob) - old
+            over = (
+                self.max_disk_bytes is not None
+                and self._disk_bytes > self.max_disk_bytes
+            )
+        if over:
+            self._prune_disk(keep=path)
+
+    def _prune_disk(self, keep: Optional[Path] = None) -> None:
+        """Prune the disk store oldest-first down to ``max_disk_bytes``.
+
+        ``keep`` protects the entry just written — a store whose bound
+        is smaller than one entry must still serve that entry, it just
+        cannot accumulate others.  The scan recomputes the byte total
+        from the directory itself, so drift from concurrent writers
+        self-corrects on every prune.
+        """
+        assert self._disk is not None and self.max_disk_bytes is not None
+        with self._lock:
+            entries = []
+            total = 0
+            for entry in self._disk.glob("*.seg"):
+                try:
+                    st = entry.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, st.st_size, entry))
+                total += st.st_size
+            entries.sort(key=lambda item: item[0])
+            for _mtime, size, entry in entries:
+                if total <= self.max_disk_bytes:
+                    break
+                if keep is not None and entry == keep:
+                    continue
+                with contextlib.suppress(OSError):
+                    entry.unlink()
+                    total -= size
+                    self.stats.disk_evictions += 1
+            self._disk_bytes = total
+
+    @property
+    def disk_bytes(self) -> int:
+        """Byte volume currently accounted to the disk store."""
+        return self._disk_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         disk = str(self._disk) if self._disk else "none"

@@ -53,6 +53,26 @@ from .server import ServiceBusyError, ServiceError
 
 __all__ = ["JobResult", "ServiceClient"]
 
+#: Hard ceiling on the server-supplied BUSY retry hint, in seconds.
+#: The hint is untrusted wire input feeding ``time.sleep`` — the same
+#: rule as the JOB priority clamp — so a forged huge value must not
+#: stall a client beyond one polite minute per attempt.
+MAX_RETRY_AFTER_SECONDS = 60.0
+
+
+def _clamp_retry_after(retry_after: float) -> float:
+    """Clamp a wire-supplied BUSY retry hint to a sane range.
+
+    Negative values, NaN and other garbage read as 0.0 (the client's
+    own backoff still applies); anything above
+    :data:`MAX_RETRY_AFTER_SECONDS` — including infinity — is capped
+    there.  ``not (x > 0.0)`` rather than ``x <= 0.0`` so NaN, which
+    fails every comparison, lands in the safe branch.
+    """
+    if not (retry_after > 0.0):
+        return 0.0
+    return min(retry_after, MAX_RETRY_AFTER_SECONDS)
+
 
 @dataclass
 class JobResult:
@@ -219,6 +239,7 @@ class ServiceClient:
             if frame_type != FRAME_BUSY:
                 break
             kind, retry_after, message = unpack_busy_payload(payload)
+            retry_after = _clamp_retry_after(retry_after)
             self.busy_rejections += 1
             if attempt == self.busy_retries:
                 raise ServiceBusyError(

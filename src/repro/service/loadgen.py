@@ -750,6 +750,9 @@ def run_slo_suite(
     interactive_p99 = percentile(reports["interactive"].latencies, 99)
     return {
         "schema": SCHEMA,
+        # the one permitted wall-clock read in this module: a report
+        # timestamp, never interval math — every duration above comes
+        # from time.perf_counter()/time.monotonic()
         "generated_unix": time.time(),
         "host": _host_record(),
         "config": {

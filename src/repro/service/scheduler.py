@@ -174,6 +174,14 @@ class FleetScheduler:
         with self._lock:
             return len(self._pending)
 
+    @property
+    def pending_segments(self) -> int:
+        """Segments queued but not yet dispatched, across all pending
+        requests — the backlog signal the service's autoscaler reads
+        to decide whether the fleet is underwater."""
+        with self._lock:
+            return sum(req.remaining for req in self._pending)
+
     def close(self) -> None:
         """Stop the dispatcher and close the fleet (idempotent).
 

@@ -20,6 +20,20 @@ oracle rounds are merged into shared fleet rounds by the
 cache short-circuiting any segment the service has optimized before.
 A job's output is byte-identical to a standalone ``popqc`` run of the
 same circuit with the same oracle and Ω.
+
+The daemon is also the hub of two cluster-scale features:
+
+* **Cluster cache tier** — the service answers
+  ``CACHE_LOOKUP``/``CACHE_STORE`` frames out of its own
+  :class:`~repro.service.cache.SegmentCache`, so ``popqc worker
+  --cache`` hosts can serve each other's warm segments instead of
+  re-running the oracle (see :mod:`repro.parallel.dist`).
+* **Autoscaling** (``--min-workers/--max-workers/--scale-window``,
+  socket fleets only) — a background thread reads the scheduler's
+  queued-segment backlog and spawns or retires local ``popqc worker``
+  subprocesses through the ordinary REGISTER/capacity handshake;
+  retiring drains through the pool's reconnect-and-requeue path, so
+  scale-down never loses a round.
 """
 
 from __future__ import annotations
@@ -27,11 +41,17 @@ from __future__ import annotations
 import contextlib
 import hmac
 import json
+import logging
+import os
+import re
 import socket
+import subprocess
+import sys
 import threading
 import time
 from collections import deque
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence
 
 from ..circuits import Circuit
 from ..circuits.encoding import decode_segment, encode_segment
@@ -47,6 +67,9 @@ from ..parallel.dist import (
     FRAME_AUTH,
     FRAME_AUTH_OK,
     FRAME_BUSY,
+    FRAME_CACHE_LOOKUP,
+    FRAME_CACHE_RESULT,
+    FRAME_CACHE_STORE,
     FRAME_ERROR,
     FRAME_HEADER_SIZE,
     FRAME_JOB,
@@ -59,16 +82,26 @@ from ..parallel.dist import (
     FrameProtocolError,
     FrameReader,
     pack_busy_payload,
+    pack_cache_result_payload,
     pack_error_payload,
     pack_frame,
     pack_result_payload,
     recv_frame,
+    unpack_cache_lookup_payload,
+    unpack_cache_store_payload,
     unpack_job_payload,
 )
 from .cache import SegmentCache
 from .scheduler import FleetScheduler
 
-__all__ = ["OptimizationService", "ServiceBusyError", "ServiceError"]
+__all__ = [
+    "OptimizationService",
+    "ServiceBusyError",
+    "ServiceError",
+    "SubprocessWorker",
+]
+
+_log = logging.getLogger(__name__)
 
 
 class ServiceError(RuntimeError):
@@ -79,6 +112,86 @@ class ServiceBusyError(ServiceError):
     """The server refused the job with BUSY frames until the client's
     retry budget ran out (admission control: active-job quota,
     per-client quota, or a saturated scheduler queue)."""
+
+
+#: Pattern extracting the bound endpoint from the worker CLI banner.
+_WORKER_BANNER = re.compile(r"listening on (\S+)")
+
+
+class SubprocessWorker:
+    """One autoscaler-spawned ``popqc worker`` subprocess.
+
+    The default ``worker_spawner`` of :class:`OptimizationService`:
+    launches ``python -m repro.cli worker --bind 127.0.0.1:0`` (plus
+    the service's auth token and, when the service has a cache, a
+    ``--cache`` pointing back at the service itself, so every spawned
+    worker joins the cluster cache tier), blocks until the worker
+    prints its bound address, and exposes it as :attr:`address`.
+    :meth:`stop` terminates the subprocess and reaps it, so a stopped
+    service never leaks workers.
+    """
+
+    def __init__(
+        self,
+        auth_token: Optional[str] = None,
+        cache_address: Optional[str] = None,
+        capacity: int = 1,
+    ):
+        src_root = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src_root
+        )
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--bind",
+            "127.0.0.1:0",
+            "--capacity",
+            str(capacity),
+        ]
+        if auth_token is not None:
+            cmd += ["--auth-token", auth_token]
+        if cache_address is not None:
+            cmd += ["--cache", cache_address]
+        self._proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        assert self._proc.stdout is not None
+        banner = self._proc.stdout.readline()
+        match = _WORKER_BANNER.search(banner)
+        if match is None:
+            self.stop()
+            raise RuntimeError(
+                f"spawned worker printed no address banner: {banner!r}"
+            )
+        self.address = match.group(1)
+
+    @property
+    def pid(self) -> int:
+        """The subprocess PID (for the status object and logs)."""
+        return self._proc.pid
+
+    def stop(self) -> None:
+        """Terminate and reap the subprocess (idempotent)."""
+        if self._proc.poll() is None:
+            self._proc.terminate()
+            try:
+                self._proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                self._proc.kill()
+                self._proc.wait(timeout=5.0)
+        if self._proc.stdout is not None:
+            with contextlib.suppress(OSError):
+                self._proc.stdout.close()
 
 
 class OptimizationService:
@@ -123,6 +236,21 @@ class OptimizationService:
     idle_timeout_seconds:
         How long a connection may sit silent before its handler thread
         gives up on it (slow-loris defence); ``None`` disables.
+    min_workers / max_workers / scale_window_seconds:
+        Queue-depth-driven autoscaling (socket fleets only).
+        ``min_workers`` local ``popqc worker`` subprocesses are
+        spawned at startup (so ``hosts`` may be omitted entirely);
+        when ``max_workers`` is set, a background thread samples the
+        scheduler's queued-segment backlog every
+        ``scale_window_seconds`` and spawns another worker while the
+        backlog exceeds one round budget, or retires the youngest
+        spawned worker (down to ``min_workers``) after two consecutive
+        idle windows.  Spawned workers present the service's auth
+        token and join the cluster cache tier automatically.
+    worker_spawner:
+        Factory for spawned workers — any callable returning an object
+        with ``.address`` and ``.stop()``.  Defaults to
+        :class:`SubprocessWorker`; tests inject in-process hosts.
 
     Attributes
     ----------
@@ -132,6 +260,11 @@ class OptimizationService:
         Connections refused for a missing or wrong AUTH token.
     bytes_received / bytes_sent:
         Frame bytes in and out, payloads included.
+    scale_ups / scale_downs / scale_failures:
+        Autoscaler actions (spawn, retire, failed spawn).
+    cluster_cache_lookups / cluster_cache_hits / cluster_cache_stores:
+        CACHE_LOOKUP segments answered (and the hit subset) and
+        CACHE_STORE entries accepted from worker hosts.
     """
 
     def __init__(
@@ -150,6 +283,10 @@ class OptimizationService:
         max_jobs_per_peer: Optional[int] = None,
         max_pending_rounds: Optional[int] = None,
         idle_timeout_seconds: Optional[float] = 300.0,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        scale_window_seconds: float = 2.0,
+        worker_spawner: Optional[Callable[[], object]] = None,
     ):
         for name, bound in (
             ("max_active_jobs", max_active_jobs),
@@ -158,6 +295,24 @@ class OptimizationService:
         ):
             if bound is not None and bound < 1:
                 raise ValueError(f"{name} must be positive or None")
+        elastic = min_workers is not None or max_workers is not None
+        if elastic and transport != "socket":
+            raise ValueError(
+                "autoscaling (min_workers/max_workers) requires "
+                "transport='socket'"
+            )
+        if min_workers is not None and min_workers < 0:
+            raise ValueError("min_workers must be >= 0 or None")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive or None")
+        if (
+            min_workers is not None
+            and max_workers is not None
+            and min_workers > max_workers
+        ):
+            raise ValueError("min_workers cannot exceed max_workers")
+        if scale_window_seconds <= 0:
+            raise ValueError("scale_window_seconds must be positive")
         self.oracle = oracle
         if cache is None:
             cache = SegmentCache()
@@ -171,20 +326,50 @@ class OptimizationService:
         self.max_jobs_per_peer = max_jobs_per_peer
         self.max_pending_rounds = max_pending_rounds
         self.idle_timeout_seconds = idle_timeout_seconds
-        fleet = ProcessMap(
-            workers,
-            transport=transport,
-            hosts=hosts,
-            auth_token=auth_token if transport == "socket" else None,
-        )
-        self._scheduler = FleetScheduler(
-            fleet,
-            cache=cache,
-            gather_window_seconds=gather_window_seconds,
-            round_budget_segments=round_budget_segments,
-        )
+        self.min_workers = min_workers if min_workers is not None else 0
+        self.max_workers = max_workers
+        self.scale_window_seconds = scale_window_seconds
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.scale_failures = 0
+        self.cluster_cache_lookups = 0
+        self.cluster_cache_hits = 0
+        self.cluster_cache_stores = 0
+        # the listener binds before any worker spawns: spawned workers
+        # point their --cache at this service's own address
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
+        self._spawned: list = []
+        self._scale_lock = threading.Lock()
+        self._idle_windows = 0
+        self._closing = threading.Event()
+        if worker_spawner is None:
+            worker_spawner = self._default_spawner(auth_token)
+        self._worker_spawner = worker_spawner
+        try:
+            for _ in range(self.min_workers):
+                self._spawned.append(worker_spawner())
+            all_hosts = list(hosts) if hosts else []
+            all_hosts += [worker.address for worker in self._spawned]
+            fleet = ProcessMap(
+                workers,
+                transport=transport,
+                hosts=all_hosts if transport == "socket" else hosts,
+                auth_token=auth_token if transport == "socket" else None,
+            )
+            self._scheduler = FleetScheduler(
+                fleet,
+                cache=cache,
+                gather_window_seconds=gather_window_seconds,
+                round_budget_segments=round_budget_segments,
+            )
+        except BaseException:
+            for worker in self._spawned:
+                with contextlib.suppress(Exception):
+                    worker.stop()
+            with contextlib.suppress(OSError):
+                self._listener.close()
+            raise
         self.jobs_completed = 0
         self.jobs_failed = 0
         self.jobs_rejected = 0
@@ -196,10 +381,27 @@ class OptimizationService:
         self._latencies: deque[float] = deque(maxlen=256)
         self._started = time.monotonic()
         self._lock = threading.Lock()
-        self._closing = threading.Event()
         self._accept_thread: Optional[threading.Thread] = None
         self._conn_threads: list[threading.Thread] = []
         self._conns: list[socket.socket] = []
+        self._autoscale_thread: Optional[threading.Thread] = None
+        if self.max_workers is not None:
+            self._autoscale_thread = threading.Thread(
+                target=self._autoscale_loop, name="autoscaler", daemon=True
+            )
+            self._autoscale_thread.start()
+
+    def _default_spawner(self, auth_token: Optional[str]) -> Callable[[], object]:
+        """The production worker factory: local subprocesses that share
+        the service's token and (when it has a cache) its cache tier."""
+
+        def spawn() -> SubprocessWorker:
+            return SubprocessWorker(
+                auth_token=auth_token,
+                cache_address=self.address if self.cache is not None else None,
+            )
+
+        return spawn
 
     @property
     def address(self) -> str:
@@ -249,8 +451,11 @@ class OptimizationService:
         return self
 
     def stop(self) -> None:
-        """Close the listener, connections, scheduler and fleet."""
+        """Close the listener, connections, scheduler, fleet and any
+        autoscaler-spawned workers."""
         self._closing.set()
+        if self._autoscale_thread is not None:
+            self._autoscale_thread.join(timeout=self.scale_window_seconds + 5.0)
         with contextlib.suppress(OSError):
             self._listener.shutdown(socket.SHUT_RDWR)
         with contextlib.suppress(OSError):
@@ -268,6 +473,86 @@ class OptimizationService:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=1.0)
         self._scheduler.close()
+        with self._scale_lock:
+            spawned, self._spawned = self._spawned, []
+        for worker in spawned:
+            with contextlib.suppress(Exception):
+                worker.stop()
+
+    # -- autoscaling -----------------------------------------------------------
+
+    def scale_up(self) -> Optional[str]:
+        """Spawn one worker and attach it to the fleet.
+
+        Returns its address, or ``None`` when the fleet is already at
+        ``max_workers`` or the spawn failed (counted in
+        ``scale_failures``; the autoscaler simply tries again next
+        window).
+        """
+        with self._scale_lock:
+            if (
+                self.max_workers is not None
+                and len(self._spawned) >= self.max_workers
+            ):
+                return None
+            try:
+                worker = self._worker_spawner()
+            except Exception:
+                self.scale_failures += 1
+                _log.exception("autoscaler failed to spawn a worker")
+                return None
+            self._spawned.append(worker)
+            self.scale_ups += 1
+        self._scheduler.fleet.add_socket_host(worker.address)
+        _log.info("autoscaler added worker %s", worker.address)
+        return worker.address
+
+    def scale_down(self) -> Optional[str]:
+        """Retire the youngest spawned worker (never below ``min_workers``).
+
+        The host is removed from the pool first — closing its
+        connection, so any batch in flight on it requeues through the
+        work-stealing path — and the subprocess is stopped after.
+        Returns the retired address, or ``None`` at the floor.
+        """
+        with self._scale_lock:
+            if len(self._spawned) <= self.min_workers:
+                return None
+            worker = self._spawned.pop()
+            self.scale_downs += 1
+        self._scheduler.fleet.remove_socket_host(worker.address)
+        worker.stop()
+        _log.info("autoscaler retired worker %s", worker.address)
+        return worker.address
+
+    def _autoscale_loop(self) -> None:
+        """Sample the backlog every window until the service stops."""
+        while not self._closing.wait(self.scale_window_seconds):
+            self._autoscale_tick()
+
+    def _autoscale_tick(self) -> None:
+        """One scale decision off the scheduler's queued-segment depth.
+
+        Scale up while more than one round budget's worth of segments
+        is queued (the fleet is at least a full round behind); scale
+        down one worker after two consecutive windows with an empty
+        queue and no active jobs, so a short lull between rounds of
+        one job never churns the fleet.
+        """
+        fleet = self._scheduler.fleet
+        backlog = self._scheduler.pending_segments
+        round_budget = max(16, 4 * fleet.workers)
+        if backlog > round_budget:
+            self._idle_windows = 0
+            self.scale_up()
+            return
+        if backlog == 0 and self._jobs_active == 0:
+            self._idle_windows += 1
+            if self._idle_windows >= 2:
+                if self.scale_down() is not None:
+                    self._idle_windows = 0
+        else:
+            self._idle_windows = 0
 
     # -- connection handling ---------------------------------------------------
 
@@ -356,6 +641,10 @@ class OptimizationService:
                 elif frame_type == FRAME_STATUS:
                     body = json.dumps(self.status()).encode("utf-8")
                     self._send(conn, pack_frame(FRAME_STATUS, body), peer)
+                elif frame_type == FRAME_CACHE_LOOKUP:
+                    self._send(conn, self._answer_cache_lookup(payload), peer)
+                elif frame_type == FRAME_CACHE_STORE:
+                    self._send(conn, self._answer_cache_store(payload), peer)
                 elif frame_type == FRAME_PING:
                     self._send(conn, pack_frame(FRAME_PONG), peer)
                 elif frame_type == FRAME_SHUTDOWN:
@@ -381,6 +670,62 @@ class OptimizationService:
                     self._conns.remove(conn)
             with contextlib.suppress(OSError):
                 conn.close()
+
+    # -- cluster cache tier ----------------------------------------------------
+
+    def _answer_cache_lookup(self, payload: bytes) -> bytes:
+        """The CACHE_RESULT reply for one worker's CACHE_LOOKUP.
+
+        Keys are derived server-side from the raw packed bytes plus
+        the request's namespace — the same derivation the scheduler's
+        own cache front uses, so a segment stored by either path is a
+        hit for both.  A service running without a cache answers every
+        entry as a miss (the tier degrades, it never errors).
+        """
+        try:
+            namespace, packed = unpack_cache_lookup_payload(payload)
+        except FrameProtocolError as exc:
+            return pack_frame(
+                FRAME_ERROR, pack_error_payload(ERR_BAD_FRAME, str(exc))
+            )
+        cache = self.cache
+        if cache is None:
+            values: list[Optional[bytes]] = [None] * len(packed)
+        else:
+            values = [
+                cache.get(cache.key_for(blob, extra=namespace))
+                for blob in packed
+            ]
+        with self._lock:
+            self.cluster_cache_lookups += len(packed)
+            self.cluster_cache_hits += sum(
+                1 for value in values if value is not None
+            )
+        return pack_frame(
+            FRAME_CACHE_RESULT, pack_cache_result_payload(values)
+        )
+
+    def _answer_cache_store(self, payload: bytes) -> bytes:
+        """The acknowledge (empty CACHE_RESULT) for one CACHE_STORE.
+
+        The ack is what makes cache sharing deterministic: a worker's
+        publish is durably in the shared cache before its RESULTS
+        frame reaches the driver, so any host asked for the same
+        segment afterwards observes the hit.
+        """
+        try:
+            namespace, entries = unpack_cache_store_payload(payload)
+        except FrameProtocolError as exc:
+            return pack_frame(
+                FRAME_ERROR, pack_error_payload(ERR_BAD_FRAME, str(exc))
+            )
+        cache = self.cache
+        if cache is not None:
+            for packed, value in entries:
+                cache.put(cache.key_for(packed, extra=namespace), value)
+        with self._lock:
+            self.cluster_cache_stores += len(entries)
+        return pack_frame(FRAME_CACHE_RESULT, pack_cache_result_payload([]))
 
     # -- job execution ---------------------------------------------------------
 
@@ -540,15 +885,34 @@ class OptimizationService:
             "rounds_dispatched": self._scheduler.rounds_dispatched,
             "requests_merged": self._scheduler.requests_merged,
             "segments_dispatched": self._scheduler.segments_dispatched,
+            "pending_segments": self._scheduler.pending_segments,
         }
         fleet = self._scheduler.fleet
         status["fleet"] = {
             "workers": fleet.workers,
             "transport": getattr(fleet, "transport", "encoded"),
+            "hosts": list(getattr(fleet, "hosts", [])),
         }
         status["cache"] = (
             self.cache.stats.as_dict() if self.cache is not None else None
         )
+        with self._scale_lock:
+            spawned = [worker.address for worker in self._spawned]
+        status["autoscale"] = {
+            "enabled": self.max_workers is not None,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "scale_window_seconds": self.scale_window_seconds,
+            "spawned_workers": spawned,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "scale_failures": self.scale_failures,
+        }
+        status["cluster_cache"] = {
+            "lookups": self.cluster_cache_lookups,
+            "hits": self.cluster_cache_hits,
+            "stores": self.cluster_cache_stores,
+        }
         status["job_latency"] = {
             "count": len(latencies),
             "mean_seconds": sum(latencies) / len(latencies) if latencies else 0.0,

@@ -537,3 +537,207 @@ class TestIdleTimeout:
                 conn.close()
         finally:
             host.stop()
+
+
+class SleepyIdentityOracle:
+    """Identity with a fixed delay, so queue depth is observable."""
+
+    def __init__(self, delay=0.01):
+        self.delay = delay
+
+    def __call__(self, segment):
+        import time as time_mod
+
+        time_mod.sleep(self.delay)
+        return list(segment)
+
+
+def _single_segment_batches(count):
+    encoded = [encode_segment(seg) for seg in _segments(count)]
+    return [
+        (i, 1, pack_segments_payload(1, i, [encoded[i]])) for i in range(count)
+    ]
+
+
+class TestWorkStealing:
+    def test_dry_dispatcher_steals_from_deep_peer(self):
+        """A capacity-1 host that drains its small dealt share must
+        steal from the capacity-6 host's deep queue instead of idling —
+        and the round still returns complete, in order."""
+        with local_cluster(2, capacities=[6, 1]) as hosts:
+            pool = SocketHostPool(hosts)
+            try:
+                pool.register(SleepyIdentityOracle(0.01), 1)
+                results = pool.run_round(_single_segment_batches(18))
+                assert [len(blobs) for blobs in results] == [1] * 18
+                assert sum(pool.host_segments.values()) == 18
+                assert pool.steals >= 1
+                # the shallow host ended up serving more than its deal
+                assert pool.host_segments[hosts[1]] > 0
+            finally:
+                pool.close()
+
+    def test_single_host_round_has_nothing_to_steal(self):
+        with local_cluster(1, capacities=[4]) as hosts:
+            pool = SocketHostPool(hosts)
+            try:
+                pool.register(IdentityOracle(), 1)
+                assert len(pool.run_round(_single_segment_batches(8))) == 8
+                assert pool.steals == 0
+            finally:
+                pool.close()
+
+
+class TestElasticMembership:
+    def test_add_host_joins_the_next_round(self):
+        with local_cluster(2) as hosts:
+            pool = SocketHostPool([hosts[0]])
+            try:
+                pool.register(SleepyIdentityOracle(0.005), 1)
+                assert pool.add_host(hosts[1]) is True
+                assert pool.hosts == [hosts[0], hosts[1]]
+                results = pool.run_round(_single_segment_batches(12))
+                assert len(results) == 12
+                assert sum(pool.host_segments.values()) == 12
+                # the joined host was dealt (or stole) real work
+                assert pool.host_segments[hosts[1]] > 0
+            finally:
+                pool.close()
+
+    def test_add_unreachable_host_reports_false_but_stays(self):
+        with local_cluster(1) as hosts:
+            pool = SocketHostPool(hosts, connect_timeout=0.2)
+            try:
+                pool.register(IdentityOracle(), 1)
+                assert pool.add_host("127.0.0.1:1") is False
+                assert "127.0.0.1:1" in pool.hosts
+                # the dead member does not block the live one
+                assert len(pool.run_round(_single_segment_batches(4))) == 4
+            finally:
+                pool.close()
+
+    def test_remove_host_retires_it_from_dispatch(self):
+        with local_cluster(2) as hosts:
+            pool = SocketHostPool(hosts)
+            try:
+                pool.register(IdentityOracle(), 1)
+                assert pool.remove_host(hosts[1]) is True
+                assert pool.hosts == [hosts[0]]
+                results = pool.run_round(_single_segment_batches(6))
+                assert len(results) == 6
+                assert pool.host_segments[hosts[1]] == 0
+                assert pool.remove_host(hosts[1]) is False
+            finally:
+                pool.close()
+
+
+class TestCapacityZeroAdvertisement:
+    def test_zero_capacity_peer_is_treated_as_one(self, caplog):
+        """A peer advertising capacity 0 (hostile or buggy — the stock
+        WorkerHost refuses the configuration) must neither divide the
+        weighted deal by zero nor starve its dispatcher."""
+        import logging
+
+        with local_cluster(2) as hosts:
+            pool = SocketHostPool(hosts)
+            try:
+                pool.register(IdentityOracle(), 1)
+                for conn in pool._snapshot():
+                    if conn.address == hosts[1]:
+                        conn.capacity = 0
+                with caplog.at_level(
+                    logging.WARNING, logger="repro.parallel.dist"
+                ):
+                    results = pool.run_round(_single_segment_batches(8))
+                assert [len(blobs) for blobs in results] == [1] * 8
+                assert any(
+                    "advertises capacity 0" in record.getMessage()
+                    for record in caplog.records
+                )
+            finally:
+                pool.close()
+
+
+class TestCacheClient:
+    def test_dead_cache_degrades_to_misses_with_backoff(self):
+        from repro.parallel import CacheClient
+
+        client = CacheClient(
+            "127.0.0.1:1", connect_timeout=0.2, retry_seconds=30.0
+        )
+        try:
+            packed = [b"\x00" * 16, b"\x01" * 16]
+            assert client.lookup(b"ns", packed) == [None, None]
+            assert client.errors == 1
+            assert client.store(b"ns", [(packed[0], b"v")]) is False
+            # the backoff window absorbed the second attempt: no new
+            # connect timeout was paid, no new error counted
+            assert client.errors == 1
+        finally:
+            client.close()
+
+    def test_empty_batch_is_free(self):
+        from repro.parallel import CacheClient
+
+        client = CacheClient("127.0.0.1:1", connect_timeout=0.2)
+        try:
+            assert client.lookup(b"ns", []) == []
+            assert client.store(b"ns", []) is True
+            assert client.errors == 0
+        finally:
+            client.close()
+
+    def test_non_cache_server_reads_as_miss(self):
+        """A CACHE_LOOKUP sent to a plain worker host draws a typed
+        BAD_FRAME refusal — which the client absorbs as misses, because
+        the cache tier degrades, it never fails a batch."""
+        from repro.parallel import CacheClient
+
+        host = WorkerHost().start()
+        try:
+            client = CacheClient(host.address)
+            try:
+                assert client.lookup(b"ns", [b"\x00" * 16]) == [None]
+                assert client.errors == 1
+            finally:
+                client.close()
+        finally:
+            host.stop()
+
+    def test_auth_refusal_raises_for_the_caller(self):
+        from repro.parallel import AuthenticationError, CacheClient
+
+        host = WorkerHost(auth_token="s3cret").start()
+        try:
+            client = CacheClient(host.address)  # no token presented
+            try:
+                with pytest.raises(AuthenticationError):
+                    client.lookup(b"ns", [b"\x00" * 16])
+            finally:
+                client.close()
+        finally:
+            host.stop()
+
+
+class TestWorkerClusterCache:
+    def test_worker_disables_cache_on_auth_refusal_and_still_serves(self):
+        """A worker pointed at a cache tier that refuses its token must
+        not fail batches: it permanently disables the tier (a bad token
+        fails identically forever) and serves from its own oracle."""
+        cache_tier = WorkerHost(auth_token="right-token").start()
+        try:
+            worker = WorkerHost(cache_address=cache_tier.address).start()
+            try:
+                pool = SocketHostPool([worker.address])
+                try:
+                    pool.register(IdentityOracle(), 1)
+                    results = pool.run_round(_single_segment_batches(4))
+                    assert [len(blobs) for blobs in results] == [1] * 4
+                finally:
+                    pool.close()
+                assert worker.cache_errors >= 1
+                assert worker._cache is None  # permanently disabled
+            finally:
+                worker.stop()
+        finally:
+            cache_tier.stop()

@@ -197,3 +197,147 @@ class TestRecvFrame:
                 recv_frame(b, FrameReader())
         finally:
             b.close()
+
+
+class TestCachePayloads:
+    """The cluster-cache frames: strict requests, lenient replies."""
+
+    @staticmethod
+    def _packed(seg):
+        from repro.parallel.executor import _pack_to_bytes
+
+        return _pack_to_bytes(encode_segment(seg))
+
+    @given(segments=st.lists(gate_list_strategy(), min_size=0, max_size=4))
+    def test_lookup_round_trip(self, segments):
+        from repro.parallel.dist import (
+            pack_cache_lookup_payload,
+            unpack_cache_lookup_payload,
+        )
+
+        packed = [self._packed(seg) for seg in segments]
+        ns = b"namespace-16byte"
+        payload = pack_cache_lookup_payload(ns, packed)
+        got_ns, got = unpack_cache_lookup_payload(payload)
+        assert got_ns == ns
+        assert got == packed
+
+    def test_lookup_truncated_rejected(self):
+        from repro.circuits import H
+        from repro.parallel.dist import (
+            pack_cache_lookup_payload,
+            unpack_cache_lookup_payload,
+        )
+
+        payload = pack_cache_lookup_payload(
+            b"n" * 16, [self._packed([H(0)])]
+        )
+        with pytest.raises(FrameProtocolError):
+            unpack_cache_lookup_payload(payload[: len(payload) - 4])
+        with pytest.raises(FrameProtocolError):
+            unpack_cache_lookup_payload(payload[:3])
+
+    @given(
+        values=st.lists(
+            st.one_of(st.none(), st.binary(max_size=64)), max_size=6
+        )
+    )
+    def test_result_round_trip_with_misses(self, values):
+        from repro.parallel.dist import (
+            pack_cache_result_payload,
+            unpack_cache_result_payload,
+        )
+
+        payload = pack_cache_result_payload(values)
+        assert unpack_cache_result_payload(payload) == list(values)
+
+    def test_empty_result_is_the_store_ack(self):
+        from repro.parallel.dist import (
+            pack_cache_result_payload,
+            unpack_cache_result_payload,
+        )
+
+        assert unpack_cache_result_payload(pack_cache_result_payload([])) == []
+
+    @given(cut=st.integers(min_value=0, max_value=200))
+    def test_torn_result_reads_as_misses_never_raises(self, cut):
+        """The lenient unpacker: any truncation of a valid CACHE_RESULT
+        yields only ``None`` (miss) or the original value per entry —
+        no exception, no fabricated bytes."""
+        from repro.parallel.dist import (
+            pack_cache_result_payload,
+            unpack_cache_result_payload,
+        )
+
+        values = [b"A" * 20, None, b"B" * 3, b"C" * 40]
+        payload = pack_cache_result_payload(values)
+        torn = payload[: min(cut, len(payload))]
+        got = unpack_cache_result_payload(torn)
+        assert len(got) <= len(values)
+        for original, read in zip(values, got):
+            assert read is None or read == original
+
+    def test_forged_huge_count_is_bounded(self):
+        """A count field claiming 2^60 entries must not allocate: the
+        reader caps it by what the payload could physically hold."""
+        import struct as _struct
+
+        from repro.parallel.dist import unpack_cache_result_payload
+
+        forged = _struct.pack("<Q", 1 << 60) + b"\x00" * 64
+        got = unpack_cache_result_payload(forged)
+        assert len(got) <= 8
+
+    @given(
+        entries=st.lists(
+            st.tuples(gate_list_strategy(), st.binary(max_size=64)),
+            max_size=4,
+        )
+    )
+    def test_store_round_trip(self, entries):
+        from repro.parallel.dist import (
+            pack_cache_store_payload,
+            unpack_cache_store_payload,
+        )
+
+        pairs = [(self._packed(seg), value) for seg, value in entries]
+        ns = b"ns"
+        payload = pack_cache_store_payload(ns, pairs)
+        got_ns, got = unpack_cache_store_payload(payload)
+        assert got_ns == ns
+        assert got == pairs
+
+    def test_store_truncated_rejected(self):
+        from repro.circuits import H
+        from repro.parallel.dist import (
+            pack_cache_store_payload,
+            unpack_cache_store_payload,
+        )
+
+        payload = pack_cache_store_payload(
+            b"n" * 16, [(self._packed([H(0)]), b"value")]
+        )
+        # "value" is 5 bytes + 3 padding: cut past the padding into the
+        # value bytes themselves
+        with pytest.raises(FrameProtocolError):
+            unpack_cache_store_payload(payload[: len(payload) - 4])
+        with pytest.raises(FrameProtocolError):
+            unpack_cache_store_payload(payload[:5])
+
+    def test_cache_frames_are_known_to_the_reader(self):
+        from repro.parallel.dist import (
+            FRAME_CACHE_LOOKUP,
+            FRAME_CACHE_RESULT,
+            FRAME_CACHE_STORE,
+        )
+
+        reader = FrameReader()
+        for frame_type in (
+            FRAME_CACHE_LOOKUP,
+            FRAME_CACHE_RESULT,
+            FRAME_CACHE_STORE,
+        ):
+            reader.feed(pack_frame(frame_type, b"x" * 8))
+            got_type, payload = reader.next_frame()
+            assert got_type == frame_type
+            assert payload == b"x" * 8

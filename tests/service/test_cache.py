@@ -8,7 +8,9 @@ disk entries (truncation, foreign bytes, bad magic) reading as a miss
 — never an exception — with the bad file removed.
 """
 
+import os
 import struct
+import threading
 
 import pytest
 from hypothesis import given, settings
@@ -186,3 +188,85 @@ class TestDiskLevel:
         cache.put("k", b"v2")
         cache.clear_memory()
         assert cache.get("k") == b"v2"
+
+
+class TestDiskBound:
+    """``max_disk_bytes`` keeps the on-disk store bounded by pruning
+    oldest entries first (mtime order), never the one just written."""
+
+    def test_zero_bound_refused(self):
+        with pytest.raises(ValueError, match="max_disk_bytes"):
+            SegmentCache(max_disk_bytes=0)
+
+    def test_oldest_entries_pruned_first(self, tmp_path):
+        cache = SegmentCache(disk_dir=tmp_path, max_disk_bytes=100)
+        for age, key in enumerate(["a", "b", "c"]):
+            cache.put(key, bytes(20))
+            os.utime(cache._entry_path(key), (age, age))
+        assert cache.stats.disk_evictions == 0
+        cache.put("d", bytes(20))  # over the bound: "a" is the oldest
+        cache.clear_memory()
+        assert cache.get("a") is None
+        assert cache.get("b") == bytes(20)
+        assert cache.get("c") == bytes(20)
+        assert cache.get("d") == bytes(20)
+        assert cache.stats.disk_evictions == 1
+        assert cache.disk_bytes <= 100
+        assert cache.disk_bytes == sum(
+            p.stat().st_size for p in tmp_path.glob("*.seg")
+        )
+
+    def test_just_written_entry_survives_a_tiny_bound(self, tmp_path):
+        cache = SegmentCache(disk_dir=tmp_path, max_disk_bytes=1)
+        cache.put("k", bytes(50))
+        os.utime(cache._entry_path("k"), (1, 1))
+        cache.clear_memory()
+        assert cache.get("k") == bytes(50)  # pruning spares the newest write
+        cache.put("l", bytes(50))
+        cache.clear_memory()
+        assert cache.get("k") is None
+        assert cache.get("l") == bytes(50)
+        assert cache.stats.disk_evictions == 1
+
+    def test_restart_rescans_disk_usage(self, tmp_path):
+        writer = SegmentCache(disk_dir=tmp_path)
+        for age, key in enumerate(["a", "b", "c"]):
+            writer.put(key, bytes(20))
+            os.utime(writer._entry_path(key), (age, age))
+        on_disk = sum(p.stat().st_size for p in tmp_path.glob("*.seg"))
+        reborn = SegmentCache(disk_dir=tmp_path, max_disk_bytes=on_disk + 10)
+        assert reborn.disk_bytes == on_disk
+        reborn.put("d", bytes(20))  # accounting carried over: this prunes
+        assert reborn.stats.disk_evictions >= 1
+        assert reborn.disk_bytes <= on_disk + 10
+
+
+class TestConcurrentCorruptDeletion:
+    def test_racing_readers_count_one_corruption(self, tmp_path):
+        """N threads hitting the same corrupt entry: every read is a
+        plain miss, the file is unlinked exactly once, and exactly one
+        corruption is counted."""
+        cache = SegmentCache(disk_dir=tmp_path)
+        cache.put("k", b"payload")
+        cache.clear_memory()
+        (path,) = tmp_path.glob("*.seg")
+        path.write_bytes(b"garbage")
+        before = cache.disk_bytes
+        n = 8
+        barrier = threading.Barrier(n)
+        results = []
+
+        def reader():
+            barrier.wait()
+            results.append(cache.get("k"))
+
+        threads = [threading.Thread(target=reader) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert results == [None] * n
+        assert not path.exists()
+        assert cache.stats.corrupt_entries == 1
+        # only the unlink winner subtracts the bytes it actually read
+        assert cache.disk_bytes == before - len(b"garbage")

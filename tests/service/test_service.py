@@ -147,7 +147,11 @@ class TestSingleJob:
             status = client.status()
         assert status["jobs_completed"] == 1
         assert status["jobs_failed"] == 0
-        assert status["fleet"] == {"workers": 2, "transport": "threads"}
+        assert status["fleet"] == {
+            "workers": 2,
+            "transport": "threads",
+            "hosts": [],
+        }
         assert status["cache"]["hits"] + status["cache"]["misses"] > 0
         assert status["job_latency"]["count"] == 1
         assert status["job_latency"]["last_seconds"] > 0.0
@@ -780,3 +784,119 @@ class TestAdversarialClients:
         # dead handlers are pruned under the lock as connections arrive,
         # so churn cannot grow the list toward the connection count
         assert len(service._conn_threads) < 10
+
+
+class TestRetryAfterClamp:
+    """BUSY ``retry_after`` comes off the wire — clamp before sleeping."""
+
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            (0.3, 0.3),
+            (60.0, 60.0),
+            (0.0, 0.0),
+            (-5.0, 0.0),
+            (float("inf"), 60.0),
+            (1e9, 60.0),
+            (float("nan"), 0.0),
+        ],
+    )
+    def test_wire_values_land_in_the_sane_band(self, raw, expected):
+        from repro.service.client import (
+            MAX_RETRY_AFTER_SECONDS,
+            _clamp_retry_after,
+        )
+
+        clamped = _clamp_retry_after(raw)
+        assert clamped == expected
+        assert 0.0 <= clamped <= MAX_RETRY_AFTER_SECONDS
+
+
+class TestClusterCacheFrames:
+    """The service is the cluster cache tier: CACHE_LOOKUP/CACHE_STORE
+    frames from workers are served off its SegmentCache."""
+
+    def _packed_segment(self):
+        from repro.parallel.executor import _pack_to_bytes
+
+        return _pack_to_bytes(encode_segment([H(0), CNOT(0, 1)]))
+
+    def test_store_then_lookup_hits_and_counts(self):
+        from repro.parallel import CacheClient
+
+        srv = OptimizationService(
+            NamOracle(), workers=1, transport="threads"
+        ).start()
+        try:
+            namespace = b"\x01" * 16
+            packed = self._packed_segment()
+            client = CacheClient(srv.address)
+            assert client.lookup(namespace, [packed]) == [None]
+            assert client.store(namespace, [(packed, b"cached-bytes")]) is True
+            assert client.lookup(namespace, [packed]) == [b"cached-bytes"]
+            # a different namespace is a different oracle: no hit
+            assert client.lookup(b"\x02" * 16, [packed]) == [None]
+            stats = srv.status()["cluster_cache"]
+            assert stats == {"lookups": 3, "hits": 1, "stores": 1}
+            assert client.errors == 0
+        finally:
+            srv.stop()
+
+    def test_cacheless_service_degrades_to_misses(self):
+        from repro.parallel import CacheClient
+
+        srv = OptimizationService(
+            NamOracle(), workers=1, transport="threads", cache=False
+        ).start()
+        try:
+            namespace = b"\x01" * 16
+            packed = self._packed_segment()
+            client = CacheClient(srv.address)
+            # stores are acked (and dropped), lookups answer all-miss:
+            # the tier degrades, it never errors
+            assert client.store(namespace, [(packed, b"v")]) is True
+            assert client.lookup(namespace, [packed]) == [None]
+            assert client.errors == 0
+            stats = srv.status()["cluster_cache"]
+            assert stats["hits"] == 0
+        finally:
+            srv.stop()
+
+    def test_auth_gate_covers_cache_frames(self):
+        from repro.parallel import CacheClient
+        from repro.parallel.dist import AuthenticationError
+
+        srv = OptimizationService(
+            NamOracle(), workers=1, transport="threads", auth_token="secret"
+        ).start()
+        try:
+            packed = self._packed_segment()
+            bad = CacheClient(srv.address, auth_token="wrong")
+            with pytest.raises(AuthenticationError):
+                bad.lookup(b"\x01" * 16, [packed])
+            good = CacheClient(srv.address, auth_token="secret")
+            assert good.store(b"\x01" * 16, [(packed, b"v")]) is True
+            assert good.lookup(b"\x01" * 16, [packed]) == [b"v"]
+        finally:
+            srv.stop()
+
+
+class TestIntervalTimeSources:
+    """Interval math must use the monotonic clock; ``time.time()`` is
+    for wall-clock *timestamps* only (it jumps under NTP steps)."""
+
+    @pytest.mark.parametrize("module", ["client", "loadgen"])
+    def test_no_wall_clock_interval_math(self, module):
+        import importlib
+        import inspect
+
+        source = inspect.getsource(
+            importlib.import_module(f"repro.service.{module}")
+        )
+        uses = source.count("time.time()")
+        if module == "loadgen":
+            # exactly one, the report's generated_unix timestamp
+            assert uses == 1
+            assert "generated_unix" in source.split("time.time()")[0][-200:]
+        else:
+            assert uses == 0

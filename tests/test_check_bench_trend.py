@@ -222,3 +222,49 @@ class TestServiceLoadGate:
         del broken["mixes"]["warm"]
         base = write("base.json", broken)
         assert trend.main([cur, base]) == 1
+
+
+def _transport_record_v5(speedup=4.0, cpus=2, **kwargs):
+    record = _transport_record(**kwargs, cpus=cpus)
+    record["schema"] = "popqc-bench-transport/v5"
+    record["cluster_cache"] = {
+        "segments": 24,
+        "remote_hit_speedup_vs_oracle": speedup,
+        "host_a": {"hits": 0, "misses": 24, "stores": 24, "errors": 0},
+        "host_b": {"hits": 24, "misses": 0, "stores": 0, "errors": 0},
+    }
+    return record
+
+
+class TestClusterCacheGate:
+    """Schema v5 transport records must carry a healthy cluster_cache
+    section; the ratio gate is armed regardless of runner class."""
+
+    def test_healthy_v5_passes(self, write):
+        cur = write("cur.json", _transport_record_v5())
+        base = write("base.json", _transport_record_v5())
+        assert trend.main([cur, base]) == 0
+
+    def test_missing_section_is_a_regression(self, write):
+        record = _transport_record_v5()
+        del record["cluster_cache"]
+        cur = write("cur.json", record)
+        base = write("base.json", _transport_record_v5())
+        assert trend.main([cur, base]) == 1
+
+    def test_speedup_at_or_below_one_fails(self, write):
+        cur = write("cur.json", _transport_record_v5(speedup=0.8))
+        base = write("base.json", _transport_record_v5())
+        assert trend.main([cur, base]) == 1
+
+    def test_gate_armed_cross_class(self, write):
+        # throughput gates warn cross-class; the ratio gate still fails
+        cur = write("cur.json", _transport_record_v5(speedup=0.8, cpus=2))
+        base = write("base.json", _transport_record_v5(cpus=64))
+        assert trend.main([cur, base]) == 1
+
+    def test_v4_records_stay_ungated(self, write):
+        # pre-v5 baselines and records carry no cluster_cache section
+        cur = write("cur.json", _transport_record())
+        base = write("base.json", _transport_record())
+        assert trend.main([cur, base]) == 0
